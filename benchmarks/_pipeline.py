@@ -1,0 +1,117 @@
+"""Shared pipeline used by the benchmarks: one populated Materials Project.
+
+Builds, once per benchmark session, a scaled-down but *complete* deployment:
+synthetic ICSD inputs → MPS collection → FireWorks workflows executed by a
+Rocket → tasks → materials/phase diagrams/batteries/XRD/band structures →
+QueryEngine + Materials API.  Scale note: the paper's store held ~30,000
+materials; benches run at ~1/100 scale and reproduce shapes, not magnitudes
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.api import MaterialsAPI, QueryEngine, QueryLog
+from repro.builders import (
+    BandStructureBuilder,
+    BatteryBuilder,
+    MaterialsBuilder,
+    PhaseDiagramBuilder,
+    VnVRunner,
+    XRDBuilder,
+)
+from repro.datagen import (
+    SyntheticICSD,
+    elemental_references,
+    generate_battery_candidates,
+)
+from repro.docstore import DocumentStore
+from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from repro.matgen import mps_from_structure
+
+#: Converges for every structure (gentlest SCF settings).
+ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500,
+                "EDIFF": 1e-5}
+
+
+def build_population(n_icsd: int = 80, seed: int = 2012) -> Dict:
+    """Run the full pipeline; returns handles to every layer."""
+    store = DocumentStore()
+    db = store["mp"]
+
+    # (1) Inputs: synthetic ICSD + battery candidates + elemental refs.
+    icsd = SyntheticICSD(seed=seed)
+    structures = icsd.structures(n_icsd)
+    candidates = generate_battery_candidates("Li")
+    battery_structures = []
+    for pair in candidates:
+        battery_structures.extend([pair["discharged"], pair["charged"]])
+    all_elements = sorted(
+        {el for s in structures + battery_structures for el in s.elements}
+    )
+    refs = elemental_references(all_elements)
+
+    seen = set()
+    unique_structures = []
+    for s in structures + battery_structures + refs:
+        h = s.structure_hash()
+        if h not in seen:
+            seen.add(h)
+            unique_structures.append(s)
+
+    mps_records = [mps_from_structure(s) for s in unique_structures]
+    db["mps"].insert_many(mps_records)
+
+    # (2) Workflows through the engine (Binder dedup is active).
+    launchpad = LaunchPad(db)
+    fireworks = [
+        vasp_firework(
+            s, mps_id=record["mps_id"], incar=dict(ROBUST_INCAR),
+            walltime_s=1e9, memory_mb=1e6,
+        )
+        for s, record in zip(unique_structures, mps_records)
+    ]
+    launchpad.add_workflow(Workflow(fireworks, name="population"))
+    rocket = Rocket(launchpad, worker_name="bench-rocket")
+    rocket.rapidfire()
+
+    # (3) Builders.
+    MaterialsBuilder(db).run()
+    PhaseDiagramBuilder(db).run()
+    BatteryBuilder(db, "Li").run_intercalation()
+    BandStructureBuilder(db).run()
+
+    # (4) Dissemination stack.
+    query_log = QueryLog()
+    qe = QueryEngine(
+        db,
+        aliases={"e_hull": "e_above_hull", "gap": "band_gap"},
+        query_log=query_log,
+    )
+    api = MaterialsAPI(qe)
+
+    return {
+        "store": store,
+        "db": db,
+        "launchpad": launchpad,
+        "rocket": rocket,
+        "query_engine": qe,
+        "query_log": query_log,
+        "api": api,
+        "n_structures": len(unique_structures),
+    }
+
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Write a reproduced table/figure to results/<name>.txt and stdout."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,110 @@
+"""Figure 2: one datastore serving all four architectural roles at once.
+
+The architecture figure's claim is qualitative — "all these components
+coordinate through the datastore, which simultaneously acts as a message
+queue, analytics engine, and web back-end DB" — so the bench drives all
+four roles concurrently against a single store and asserts that each makes
+progress with no cross-role failures:
+
+1. parallel computation: launcher threads claiming/finishing jobs,
+2. data analytics: MapReduce aggregations over tasks,
+3. data dissemination: web-style QueryEngine reads,
+4. data V&V: validation sweeps.
+"""
+
+import threading
+
+import pytest
+
+from _pipeline import ROBUST_INCAR, emit
+from repro.builders import VnVRunner
+from repro.datagen import SyntheticICSD
+from repro.fireworks import Rocket, Workflow, vasp_firework
+
+
+def _four_role_storm(population, n_new_jobs=30, n_reads=150, n_mr=8, n_vnv=3):
+    db = population["db"]
+    launchpad = population["launchpad"]
+    qe = population["query_engine"]
+
+    icsd = SyntheticICSD(seed=777)
+    fresh = icsd.structures(n_new_jobs)
+    launchpad.add_workflow(
+        Workflow([
+            vasp_firework(s, incar=dict(ROBUST_INCAR), walltime_s=1e9,
+                          memory_mb=1e6)
+            for s in fresh
+        ])
+    )
+
+    progress = {"compute": 0, "analytics": 0, "web": 0, "vnv": 0}
+    errors = []
+
+    def compute_role():
+        rocket = Rocket(launchpad, worker_name="storm-rocket")
+        try:
+            progress["compute"] += rocket.rapidfire()
+        except Exception as exc:  # noqa: BLE001 - collected for the report
+            errors.append(("compute", exc))
+
+    def analytics_role():
+        try:
+            for _ in range(n_mr):
+                rows = db["tasks"].map_reduce(
+                    mapper=lambda d: [(d.get("formula"), 1)],
+                    reducer=lambda k, vs: sum(vs),
+                )
+                progress["analytics"] += len(rows)
+        except Exception as exc:
+            errors.append(("analytics", exc))
+
+    def web_role():
+        try:
+            for i in range(n_reads):
+                qe.query({"band_gap": {"$gte": (i % 30) / 10.0}},
+                         limit=20, user=f"web{i % 7}")
+                progress["web"] += 1
+        except Exception as exc:
+            errors.append(("web", exc))
+
+    def vnv_role():
+        try:
+            runner = VnVRunner(db)
+            for _ in range(n_vnv):
+                runner.run_all()
+                progress["vnv"] += 1
+        except Exception as exc:
+            errors.append(("vnv", exc))
+
+    threads = [
+        threading.Thread(target=fn)
+        for fn in (compute_role, analytics_role, web_role, vnv_role)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return progress, errors
+
+
+def test_fig2_four_roles(population, benchmark):
+    progress, errors = benchmark.pedantic(
+        _four_role_storm, args=(population,), rounds=1, iterations=1
+    )
+    lines = [
+        "four concurrent roles against ONE datastore:",
+        f"  parallel computation : {progress['compute']} jobs executed",
+        f"  data analytics       : {progress['analytics']} MapReduce rows",
+        f"  data dissemination   : {progress['web']} web queries served",
+        f"  data V&V             : {progress['vnv']} validation sweeps",
+        f"  cross-role errors    : {len(errors)}",
+    ]
+    emit("fig2_four_roles", "\n".join(lines))
+
+    assert not errors, errors
+    # Some of the 30 fresh structures may be Binder-duplicates of the
+    # population (correct behaviour: pointers, not launches).
+    assert progress["compute"] >= 15
+    assert progress["analytics"] > 0
+    assert progress["web"] == 150
+    assert progress["vnv"] == 3

@@ -1,0 +1,113 @@
+"""Figure 3: the envisioned materials discovery lifecycle, a → f.
+
+(a) ideas from data mining → (b) candidate MPS records → (c) computation
+via the workflow → (d) results in a private sandbox → (e) analysis with the
+open library → (f) public release.  The bench runs the whole loop and
+asserts each stage's artifact exists, then reports per-stage timing.
+"""
+
+import time
+
+import pytest
+
+from _pipeline import ROBUST_INCAR, emit
+from repro.api import SandboxManager
+from repro.dft.energy import reference_energy_per_atom
+from repro.fireworks import Rocket, Workflow, vasp_firework
+from repro.matgen import PDEntry, PhaseDiagram, mps_from_structure
+
+
+def _lifecycle(population):
+    db = population["db"]
+    launchpad = population["launchpad"]
+    qe = population["query_engine"]
+    timings = {}
+
+    # (a) Idea via data mining: "find stable insulating Cl compounds and
+    # try the Br analog".
+    t0 = time.perf_counter()
+    mined = qe.query(
+        {"elements": "Cl", "band_gap": {"$gt": 1.0},
+         "e_above_hull": {"$lte": 0.05}},
+        limit=3,
+    )
+    timings["a_idea_mining"] = time.perf_counter() - t0
+    assert mined, "mining must surface candidates"
+
+    # (b) Candidate structures serialized as MPS records.
+    t0 = time.perf_counter()
+    from repro.matgen import Structure
+
+    candidates = [
+        Structure.from_dict(doc["structure"]).substitute({"Cl": "Br"})
+        for doc in mined
+        if doc.get("structure")
+    ]
+    records = [mps_from_structure(s, source="user-idea",
+                                  created_by="alice") for s in candidates]
+    db["mps"].insert_many(records)
+    timings["b_mps_records"] = time.perf_counter() - t0
+
+    # (c) Submission + computation.
+    t0 = time.perf_counter()
+    wf = Workflow([
+        vasp_firework(s, mps_id=r["mps_id"], incar=dict(ROBUST_INCAR),
+                      walltime_s=1e9, memory_mb=1e6)
+        for s, r in zip(candidates, records)
+    ], name="alice-brominides")
+    launchpad.add_workflow(wf)
+    Rocket(launchpad, worker_name="alice-rocket").rapidfire()
+    timings["c_computation"] = time.perf_counter() - t0
+    assert launchpad.workflow_complete(wf.workflow_id)
+
+    # (d) Results land in Alice's sandbox (private).
+    t0 = time.perf_counter()
+    sm = SandboxManager(db)
+    sandbox = sm.create_sandbox("alice", "brominides")
+    new_tasks = [
+        launchpad.tasks.find_one({"mps_id": r["mps_id"]}) for r in records
+    ]
+    for task in new_tasks:
+        task.pop("_id")
+        sm.submit(sandbox, "alice", "sandbox_results", task)
+    timings["d_sandbox"] = time.perf_counter() - t0
+    assert not sm.visible_query("bob", "sandbox_results")
+
+    # (e) Analysis with the open library: stability of the new compounds.
+    t0 = time.perf_counter()
+    private = sm.visible_query("alice", "sandbox_results")
+    analyzed = []
+    for task in private:
+        elements = sorted(task["elements"])
+        refs = [PDEntry(el, reference_energy_per_atom(el)) for el in elements]
+        entry = PDEntry(task["formula"], task["energy"])
+        pd = PhaseDiagram(refs + [entry])
+        analyzed.append((task["formula"], pd.get_e_above_hull(entry)))
+    timings["e_analysis"] = time.perf_counter() - t0
+    assert analyzed
+
+    # (f) Publication to the community.
+    t0 = time.perf_counter()
+    published = sm.publish(sandbox, "alice", "sandbox_results")
+    timings["f_publish"] = time.perf_counter() - t0
+    assert published == len(private)
+    assert len(sm.visible_query(None, "sandbox_results")) == published
+
+    return timings, analyzed
+
+
+def test_fig3_lifecycle(population, benchmark):
+    timings, analyzed = benchmark.pedantic(
+        _lifecycle, args=(population,), rounds=1, iterations=1
+    )
+    lines = ["discovery lifecycle a->f (per-stage wall time):"]
+    for stage, seconds in timings.items():
+        lines.append(f"  {stage:18s} {seconds * 1e3:9.1f} ms")
+    lines.append("\nanalyzed candidates (formula, e_above_hull eV/atom):")
+    for formula, e_hull in analyzed:
+        lines.append(f"  {formula:14s} {e_hull:8.3f}")
+    emit("fig3_lifecycle", "\n".join(lines))
+    assert set(timings) == {
+        "a_idea_mining", "b_mps_records", "c_computation",
+        "d_sandbox", "e_analysis", "f_publish",
+    }

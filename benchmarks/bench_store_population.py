@@ -1,0 +1,83 @@
+"""§III-B store contents, at ~1/100 scale.
+
+The paper: "hundreds of fields describing calculations for over 30,000
+materials, 3,000 bandstructures, 400 intercalation batteries, and 14,000
+conversion batteries", with aggregate stored volume in the hundreds of GB
+*after* the raw output was parsed and reduced.
+
+The bench populates the scaled store, prints the collection census next to
+the paper's numbers, and checks the two structural claims: every collection
+is populated with internally-consistent counts, and the (simulated) raw
+output volume dwarfs what lands in the datastore.
+"""
+
+import pytest
+
+from _pipeline import emit
+from repro.builders import BatteryBuilder
+from repro.dft import SCFParameters, estimate_walltime_s
+from repro.docstore.documents import doc_size_bytes
+from repro.matgen import Structure
+
+PAPER_COUNTS = {
+    "materials": 30000,
+    "bandstructures": 3000,
+    "intercalation batteries": 400,
+    "conversion batteries": 14000,
+}
+
+
+def _census(population):
+    db = population["db"]
+    BatteryBuilder(db, "Li").run_conversion(max_hosts=40)
+    return {
+        "materials": db["materials"].count_documents(),
+        "bandstructures": db["bandstructures"].count_documents(),
+        "intercalation batteries": db["batteries"].count_documents(
+            {"battery_type": "intercalation"}
+        ),
+        "conversion batteries": db["batteries"].count_documents(
+            {"battery_type": "conversion"}
+        ),
+        "tasks": db["tasks"].count_documents(),
+        "mps": db["mps"].count_documents(),
+    }
+
+
+def test_store_population(population, benchmark):
+    census = benchmark.pedantic(
+        _census, args=(population,), rounds=1, iterations=1
+    )
+    db = population["db"]
+    stored_bytes = sum(
+        doc_size_bytes(d)
+        for coll in db.list_collection_names()
+        for d in db[coll].find({}).limit(0)
+    )
+    # Simulated raw output: ~300 KB per completed run directory (measured
+    # in tests/test_dft.py::test_reduction_factor).
+    n_tasks = census["tasks"]
+    raw_estimate = n_tasks * 300_000
+
+    lines = [f"{'collection':26s} {'ours':>8s} {'paper':>8s} (scale ~1/100)"]
+    for name, paper_n in PAPER_COUNTS.items():
+        lines.append(f"{name:26s} {census[name]:8d} {paper_n:8d}")
+    lines += [
+        f"{'tasks':26s} {census['tasks']:8d}        -",
+        f"{'mps inputs':26s} {census['mps']:8d}        -",
+        "",
+        f"stored (reduced) volume : {stored_bytes / 1e6:.1f} MB",
+        f"raw output equivalent   : {raw_estimate / 1e6:.1f} MB "
+        f"({raw_estimate / max(1, stored_bytes):.0f}x reduction keeps the DB "
+        "'relatively small')",
+    ]
+    emit("store_population", "\n".join(lines))
+
+    assert census["materials"] >= 100
+    assert census["bandstructures"] == census["materials"]
+    assert census["intercalation batteries"] >= 15
+    assert census["conversion batteries"] >= 20
+    # Paper shape: conversion >> intercalation.
+    assert (census["conversion batteries"]
+            > census["intercalation batteries"])
+    assert raw_estimate > stored_bytes

@@ -1,0 +1,104 @@
+"""§IV-A1: batch-queue limits vs. task farming + advance reservations.
+
+Workload: 64 VASP-sized tasks (runtimes spanning ~10x, per the paper's
+"minutes to days" spread scaled down), a per-user limit of 8 queued jobs.
+
+Strategies compared on the simulated cluster:
+
+* naive one-job-per-task (rejected beyond the queue limit → many tasks
+  simply cannot be submitted in one wave; a resubmission loop is needed);
+* one-job-per-task under an advance reservation (limits suspended);
+* a task farm (one queue slot for all 64 tasks, LPT-packed slots).
+
+Reported: submission success, total makespan, and the farm's wallclock-
+variation smoothing ratio.
+"""
+
+import pytest
+
+from _pipeline import emit
+from repro.errors import QueueLimitExceeded
+from repro.hpc import (
+    BatchQueue,
+    Cluster,
+    FarmTask,
+    Reservation,
+    TaskFarm,
+)
+
+
+def make_tasks(n=64):
+    return [
+        FarmTask(f"vasp-{i}", estimated_runtime_s=600 + (i * 971) % 5400)
+        for i in range(n)
+    ]
+
+
+def _naive(tasks):
+    queue = BatchQueue(Cluster.build(n_compute=4), max_queued_per_user=8)
+    farm = TaskFarm(tasks, n_slots=4)
+    submitted = rejected = 0
+    for job in farm.individual_batch_jobs():
+        try:
+            queue.submit(job)
+            submitted += 1
+        except QueueLimitExceeded:
+            rejected += 1
+    queue.run_until_idle()
+    return {"submitted": submitted, "rejected": rejected,
+            "makespan": queue.stats()["makespan_s"]}
+
+
+def _reserved(tasks):
+    queue = BatchQueue(Cluster.build(n_compute=4), max_queued_per_user=8)
+    queue.add_reservation(Reservation("mp", start=0, end=1e9, cores=96))
+    farm = TaskFarm(tasks, n_slots=4)
+    for job in farm.individual_batch_jobs():
+        queue.submit(job)
+    queue.run_until_idle()
+    return {"submitted": len(tasks), "rejected": 0,
+            "makespan": queue.stats()["makespan_s"]}
+
+
+def _farmed(tasks):
+    queue = BatchQueue(Cluster.build(n_compute=4), max_queued_per_user=8)
+    farm = TaskFarm(tasks, n_slots=4, cores_per_slot=24)
+    queue.submit(farm.as_batch_job())
+    queue.run_until_idle()
+    return {"submitted": 1, "rejected": 0,
+            "makespan": queue.stats()["makespan_s"],
+            "smoothing": farm.smoothing_ratio(),
+            "efficiency": farm.packing_efficiency}
+
+
+def test_taskfarm(benchmark):
+    tasks = make_tasks()
+    naive = _naive(make_tasks())
+    reserved = _reserved(make_tasks())
+    farmed = benchmark.pedantic(
+        _farmed, args=(make_tasks(),), rounds=1, iterations=1
+    )
+
+    total_work_h = sum(t.estimated_runtime_s for t in tasks) / 3600
+    lines = [
+        f"workload: 64 tasks, {total_work_h:.1f} CPU-slot-hours, "
+        f"queue limit 8 jobs/user",
+        f"  naive 1-job-per-task : {naive['submitted']} submitted, "
+        f"{naive['rejected']} REJECTED at the limit",
+        f"  with reservation     : {reserved['submitted']} submitted, "
+        f"makespan {reserved['makespan'] / 3600:.2f} h",
+        f"  task farm (1 queue slot): all 64 inside one job, makespan "
+        f"{farmed['makespan'] / 3600:.2f} h",
+        f"  farm packing efficiency : {farmed['efficiency']:.2f}",
+        f"  wallclock smoothing     : {farmed['smoothing']:.1f}x "
+        f"(per-task spread vs slot-load spread)",
+    ]
+    emit("taskfarm", "\n".join(lines))
+
+    assert naive["rejected"] > 40  # the limit bites hard
+    assert farmed["submitted"] == 1
+    assert farmed["efficiency"] > 0.85
+    assert farmed["smoothing"] > 3.0
+    # Farm makespan within 2x of the reservation ideal (both use 4 slots,
+    # but the farm pays the LPT imbalance + safety factor).
+    assert farmed["makespan"] < reserved["makespan"] * 2.0

@@ -1,0 +1,16 @@
+"""Session-scoped fixtures for the benchmark suite."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from _pipeline import build_population
+
+
+@pytest.fixture(scope="session")
+def population():
+    """One fully-populated Materials Project deployment per session."""
+    return build_population(n_icsd=80)

@@ -1,0 +1,104 @@
+"""The Figure 3 discovery lifecycle, stage by stage, with a narrative.
+
+A user (alice) mines the public database for an idea, submits candidate
+crystals, computes them, keeps the results in a private sandbox, analyzes
+stability with the open library, and finally publishes — the a → f loop the
+Materials Project infrastructure exists to serve.
+
+Run:  python examples/discovery_workflow.py
+"""
+
+from repro.api import QueryEngine, SandboxManager
+from repro.builders import MaterialsBuilder, PhaseDiagramBuilder
+from repro.datagen import SyntheticICSD
+from repro.dft.energy import reference_energy_per_atom
+from repro.docstore import DocumentStore
+from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from repro.matgen import PDEntry, PhaseDiagram, Structure, mps_from_structure
+
+ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
+
+
+def build_core_database(db) -> None:
+    """The pre-existing public MP core (what alice mines)."""
+    structures = SyntheticICSD(seed=5).structures(40)
+    records = [mps_from_structure(s) for s in structures]
+    db["mps"].insert_many(records)
+    launchpad = LaunchPad(db)
+    launchpad.add_workflow(Workflow([
+        vasp_firework(s, mps_id=r["mps_id"], incar=dict(ROBUST_INCAR),
+                      walltime_s=1e9, memory_mb=1e6)
+        for s, r in zip(structures, records)
+    ]))
+    Rocket(launchpad).rapidfire()
+    MaterialsBuilder(db).run()
+    PhaseDiagramBuilder(db).run()
+
+
+def main() -> None:
+    db = DocumentStore()["mp"]
+    build_core_database(db)
+    qe = QueryEngine(db)
+    launchpad = LaunchPad(db)
+    sandboxes = SandboxManager(db)
+
+    # (a) Ideas from mining the public data.
+    mined = qe.query(
+        {"band_gap": {"$gt": 1.0}, "e_above_hull": {"$lte": 0.02},
+         "elements": "O"},
+        limit=2, user="alice",
+    )
+    print(f"(a) mined {len(mined)} stable oxide insulators: "
+          f"{[d['reduced_formula'] for d in mined]}")
+
+    # (b) New candidates: the sulfide analogs, serialized as MPS records.
+    candidates = [
+        Structure.from_dict(d["structure"]).substitute({"O": "S"})
+        for d in mined
+    ]
+    records = [mps_from_structure(s, source="user-idea", created_by="alice")
+               for s in candidates]
+    db["mps"].insert_many(records)
+    print(f"(b) proposed sulfide analogs: "
+          f"{[r['reduced_formula'] for r in records]}")
+
+    # (c) Computation through the shared workflow engine.
+    wf = Workflow([
+        vasp_firework(s, mps_id=r["mps_id"], incar=dict(ROBUST_INCAR),
+                      walltime_s=1e9, memory_mb=1e6)
+        for s, r in zip(candidates, records)
+    ], name="alice-sulfides")
+    launchpad.add_workflow(wf)
+    Rocket(launchpad, worker_name="alice").rapidfire()
+    print(f"(c) workflow {wf.workflow_id} complete: "
+          f"{launchpad.workflow_states(wf.workflow_id)}")
+
+    # (d) Private sandbox for the raw results.
+    sandbox = sandboxes.create_sandbox("alice", "sulfide-analogs")
+    for record in records:
+        task = launchpad.tasks.find_one({"mps_id": record["mps_id"]})
+        task.pop("_id")
+        sandboxes.submit(sandbox, "alice", "sandbox_results", task)
+    print(f"(d) {len(records)} results in private sandbox {sandbox} "
+          f"(bob sees {len(sandboxes.visible_query('bob', 'sandbox_results'))} docs)")
+
+    # (e) Analysis: are the new phases stable?
+    verdicts = []
+    for task in sandboxes.visible_query("alice", "sandbox_results"):
+        elements = sorted(task["elements"])
+        refs = [PDEntry(el, reference_energy_per_atom(el)) for el in elements]
+        entry = PDEntry(task["formula"], task["energy"])
+        e_hull = PhaseDiagram(refs + [entry]).get_e_above_hull(entry)
+        verdicts.append((task["formula"], e_hull))
+        print(f"(e) {task['formula']:14s} e_above_hull = {e_hull:.3f} eV/atom"
+              f" -> {'promising' if e_hull < 0.05 else 'metastable'}")
+
+    # (f) Publication after the (simulated) patent filing.
+    published = sandboxes.publish(sandbox, "alice", "sandbox_results")
+    public = len(sandboxes.visible_query(None, "sandbox_results"))
+    print(f"(f) published {published} documents; anonymous users now see "
+          f"{public} sandbox results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""FireWorks failure handling live: re-runs, detours, manual intervention.
+
+Submits three deliberately troubled calculations and watches the engine
+repair them (§III-C3):
+
+* a job killed at its walltime  -> automatic re-run with 2x walltime;
+* an SCF divergence             -> detours that soften AMIX / switch ALGO;
+* an unrepairable job           -> FIZZLED + the workflow flagged for
+  manual intervention.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro.dft import structure_difficulty
+from repro.docstore import DocumentStore
+from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from repro.matgen import ELEMENTS, make_prototype
+
+
+def find_hard_structure():
+    """A structure whose SCF diverges under aggressive mixing."""
+    for el in (e.symbol for e in ELEMENTS if e.is_metal):
+        for proto in ("rocksalt", "zincblende", "cscl"):
+            s = make_prototype(proto, [el, "O"])
+            if structure_difficulty(s) > 0.9:
+                return s
+    raise RuntimeError("difficulty model broken")
+
+
+def main() -> None:
+    db = DocumentStore()["mp"]
+    launchpad = LaunchPad(db)
+
+    # 1. Walltime victim: asks for 1000s but needs several thousand.
+    walltime_victim = vasp_firework(
+        make_prototype("rocksalt", ["Mg", "O"]),
+        name="walltime-victim",
+        incar={"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500},
+        walltime_s=1000.0, memory_mb=1e6,
+    )
+
+    # 2. SCF diverger: a hard structure with aggressive mixing.
+    scf_diverger = vasp_firework(
+        find_hard_structure(),
+        name="scf-diverger",
+        incar={"ENCUT": 520, "AMIX": 0.9, "ALGO": "Fast", "NELM": 40},
+        walltime_s=1e9, memory_mb=1e6,
+    )
+
+    # 3. Hopeless: an unknown code nothing can assemble.
+    hopeless = vasp_firework(
+        make_prototype("rocksalt", ["Ca", "O"]),
+        name="hopeless",
+        incar={"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500},
+        walltime_s=1e9, memory_mb=1e6,
+    )
+    hopeless.spec["code"] = "mystery_code"
+
+    wf = Workflow([walltime_victim, scf_diverger, hopeless], name="troubled")
+    launchpad.add_workflow(wf)
+    Rocket(launchpad).rapidfire()
+
+    for fw in (walltime_victim, scf_diverger, hopeless):
+        doc = launchpad.engines.find_one({"fw_id": fw.fw_id})
+        print(f"\n{doc['name']}: state={doc['state']}, "
+              f"launches={doc['launches']}, detours={doc.get('detours', 0)}")
+        if doc["name"] == "walltime-victim":
+            print(f"  walltime escalated to "
+                  f"{doc['spec']['resources']['walltime_s']:.0f}s "
+                  "(re-runs with more resources)")
+        if doc["name"] == "scf-diverger":
+            incar = doc["spec"]["incar"]
+            print(f"  final parameters after detours: AMIX={incar['AMIX']}, "
+                  f"ALGO={incar['ALGO']}, NELM={incar['NELM']}")
+            for step in doc.get("resubmit_history", []):
+                print(f"    detour applied: {step['overrides']}")
+        if doc["state"] == "FIZZLED":
+            print(f"  fizzle reason: {doc.get('fizzle_reason')}")
+
+    flagged = launchpad.flagged_workflows()
+    print(f"\nworkflows flagged for manual intervention: "
+          f"{[w['workflow_id'] for w in flagged]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of the Materials Project datastore paper (SC 2012).
+
+"Community Accessible Datastore of High-Throughput Calculations:
+Experiences from the Materials Project", Gunter et al., SC 2012.
+
+Subpackages
+-----------
+docstore
+    From-scratch MongoDB-style document store (query language, indexes,
+    aggregation, MapReduce, wire protocol, proxy, sharding, replication).
+matgen
+    Materials object model and analysis (pymatgen analog): structures,
+    compositions, phase diagrams, batteries, XRD, band structures.
+dft
+    Deterministic pseudo-DFT engine standing in for VASP: SCF loop with
+    parameter-dependent convergence, realistic failure modes, raw output
+    files that must be parsed and reduced.
+hpc
+    Discrete-event HPC cluster simulator: PBS-like batch queue, task
+    farming, network policy (worker nodes must use the proxy), NUMA model.
+fireworks
+    Workflow engine (FireWorks analog): Firework/Stage/Fuse/Analyzer/
+    Binder, re-runs, detours, duplicate detection, iteration.
+builders
+    Data loading, derived-collection builders (materials, phase diagrams,
+    batteries, XRD, band structures) and continuous V&V.
+mapreduce
+    Generic MapReduce framework with single-threaded (Mongo analog) and
+    parallel (Hadoop analog) executors.
+api
+    Data dissemination: QueryEngine abstraction layer, Materials API REST
+    router + HTTP server/client, auth, rate limiting, sandboxes.
+analysis
+    Document complexity metrics (Table I) and summary statistics.
+datagen
+    Synthetic ICSD-like structure generator and web-query workload
+    generator.
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]

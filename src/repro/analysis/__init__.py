@@ -1,0 +1,17 @@
+"""``repro.analysis`` — introspection over stored documents.
+
+Document-complexity metrics (nodes / depth / mean depth) regenerating the
+paper's Table I, plus the database census / summary-statistics report.
+"""
+
+from .complexity import DocComplexity, collection_complexity, document_complexity
+from .stats import database_census, describe, histogram
+
+__all__ = [
+    "DocComplexity",
+    "collection_complexity",
+    "document_complexity",
+    "database_census",
+    "describe",
+    "histogram",
+]

@@ -1,0 +1,100 @@
+"""Document-structure complexity metrics — the data behind Table I.
+
+The paper illustrates "the complexity of the document structures ... as
+graphs" with three numbers per collection: **Nodes** (size of the document
+tree), **Depth** (deepest leaf), and **Mean depth** (average leaf depth).
+Paper values: battery prototypes 14/4/3.6, MPS 94/6/4.8, materials
+208/10/6.0, tasks 1077/12/7.4.
+
+Conventions (chosen to reproduce those magnitudes): the root document is
+depth 0 and not counted; every dict key, list element, and scalar leaf is a
+node; container nodes count once plus their children.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = ["DocComplexity", "document_complexity", "collection_complexity"]
+
+
+class DocComplexity:
+    """Node count, max depth, and mean leaf depth of one document tree."""
+
+    __slots__ = ("nodes", "max_depth", "mean_depth", "n_leaves")
+
+    def __init__(self, nodes: int, max_depth: int, mean_depth: float,
+                 n_leaves: int):
+        self.nodes = nodes
+        self.max_depth = max_depth
+        self.mean_depth = mean_depth
+        self.n_leaves = n_leaves
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "depth": self.max_depth,
+            "mean_depth": round(self.mean_depth, 1),
+            "leaves": self.n_leaves,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DocComplexity(nodes={self.nodes}, depth={self.max_depth}, "
+            f"mean_depth={self.mean_depth:.1f})"
+        )
+
+
+def _walk(value: Any, depth: int, stats: dict) -> None:
+    if depth > 0:
+        stats["nodes"] += 1
+    if isinstance(value, Mapping):
+        if not value and depth > 0:
+            stats["leaf_depths"].append(depth)
+        for child in value.values():
+            _walk(child, depth + 1, stats)
+    elif isinstance(value, (list, tuple)):
+        if not value and depth > 0:
+            stats["leaf_depths"].append(depth)
+        for child in value:
+            _walk(child, depth + 1, stats)
+    else:
+        stats["leaf_depths"].append(depth)
+
+
+def document_complexity(doc: Mapping[str, Any]) -> DocComplexity:
+    """Complexity of one document (root excluded, per Table I conventions)."""
+    stats: dict = {"nodes": 0, "leaf_depths": []}
+    _walk(doc, 0, stats)
+    depths: List[int] = stats["leaf_depths"]
+    if not depths:
+        return DocComplexity(0, 0, 0.0, 0)
+    return DocComplexity(
+        nodes=stats["nodes"],
+        max_depth=max(depths),
+        mean_depth=sum(depths) / len(depths),
+        n_leaves=len(depths),
+    )
+
+
+def collection_complexity(
+    docs: Sequence[Mapping[str, Any]],
+    name: str = "",
+) -> Dict[str, Any]:
+    """Aggregate Table I row for a collection: medians across documents."""
+    if not docs:
+        return {"collection": name, "n_docs": 0, "nodes": 0, "depth": 0,
+                "mean_depth": 0.0}
+    metrics = [document_complexity(d) for d in docs]
+    nodes = sorted(m.nodes for m in metrics)
+    depths = sorted(m.max_depth for m in metrics)
+    means = sorted(m.mean_depth for m in metrics)
+    mid = len(metrics) // 2
+    return {
+        "collection": name,
+        "n_docs": len(docs),
+        "nodes": nodes[mid],
+        "depth": depths[mid],
+        "mean_depth": round(means[mid], 1),
+        "max_nodes": nodes[-1],
+    }

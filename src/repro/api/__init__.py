@@ -1,0 +1,37 @@
+"""``repro.api`` — data dissemination (§III-D, §IV-D).
+
+The QueryEngine abstraction layer (aliases + sanitization + timing), the
+Materials API REST router with its HTTP server and MPRester-style client,
+delegated third-party auth, per-user rate limiting, user sandboxes with a
+publish flow, and the query-latency log behind Figure 5.
+"""
+
+from .querylog import QueryLog
+from .queryengine import QueryEngine, SAFE_OPERATORS
+from .auth import AuthRegistry, ThirdPartyProvider, User
+from .ratelimit import RateLimiter
+from .sandbox import SandboxManager
+from .rest import MaterialsAPI, SUPPORTED_PROPERTIES
+from .httpd import MaterialsAPIServer
+from .client import MPRester
+from .annotations import AnnotationStore
+from .webui import WebUI
+from .user_workflows import UserWorkflowManager
+
+__all__ = [
+    "QueryLog",
+    "QueryEngine",
+    "SAFE_OPERATORS",
+    "AuthRegistry",
+    "ThirdPartyProvider",
+    "User",
+    "RateLimiter",
+    "SandboxManager",
+    "MaterialsAPI",
+    "SUPPORTED_PROPERTIES",
+    "MaterialsAPIServer",
+    "MPRester",
+    "AnnotationStore",
+    "WebUI",
+    "UserWorkflowManager",
+]

@@ -1,0 +1,137 @@
+"""Collaborative annotation tools (§III-A).
+
+"Collaborative tools allow users to publicly annotate the data."  An
+annotation is a signed note attached to any document (by collection +
+natural key): corrections, experimental cross-checks, synthesis reports.
+Annotations live in their own collection of the same store, are queryable
+like everything else, support threaded replies, and can be flagged/retracted
+— the moderation minimum a public scientific resource needs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..docstore.database import Database
+from ..docstore.objectid import ObjectId
+from ..errors import AuthError, BadRequestError, NotFoundError
+
+__all__ = ["AnnotationStore"]
+
+_MAX_LENGTH = 4000
+
+
+class AnnotationStore:
+    """Public annotations over datastore documents."""
+
+    def __init__(self, database: Database):
+        self.db = database
+        self.annotations = database.get_collection("annotations")
+        for field in ("target.key", "author"):
+            name = f"{field}_1"
+            if name not in self.annotations.index_information():
+                self.annotations.create_index(field)
+
+    # -- writing -------------------------------------------------------------
+
+    def annotate(
+        self,
+        author: str,
+        collection: str,
+        key: str,
+        text: str,
+        reply_to: Optional[ObjectId] = None,
+    ) -> ObjectId:
+        """Attach a public note to ``collection``/``key``."""
+        if not author:
+            raise AuthError("annotations must be signed")
+        text = text.strip()
+        if not text:
+            raise BadRequestError("empty annotation")
+        if len(text) > _MAX_LENGTH:
+            raise BadRequestError(
+                f"annotation exceeds {_MAX_LENGTH} characters"
+            )
+        if reply_to is not None:
+            parent = self.annotations.find_one({"_id": reply_to})
+            if parent is None:
+                raise NotFoundError("reply target does not exist")
+            if parent["target"] != {"collection": collection, "key": key}:
+                raise BadRequestError("reply must target the same document")
+        doc = {
+            "target": {"collection": collection, "key": key},
+            "author": author,
+            "text": text,
+            "reply_to": reply_to,
+            "created_at": time.time(),
+            "retracted": False,
+            "flags": [],
+        }
+        return self.annotations.insert_one(doc).inserted_id
+
+    def retract(self, annotation_id: ObjectId, author: str) -> None:
+        """Authors may retract their own notes (text is blanked, not erased)."""
+        doc = self.annotations.find_one({"_id": annotation_id})
+        if doc is None:
+            raise NotFoundError("no such annotation")
+        if doc["author"] != author:
+            raise AuthError("only the author may retract")
+        self.annotations.update_one(
+            {"_id": annotation_id},
+            {"$set": {"retracted": True, "text": "[retracted by author]"}},
+        )
+
+    def flag(self, annotation_id: ObjectId, reporter: str, reason: str) -> None:
+        """Community moderation: flag a note for review."""
+        result = self.annotations.update_one(
+            {"_id": annotation_id},
+            {"$addToSet": {"flags": {"by": reporter, "reason": reason}}},
+        )
+        if result.matched_count == 0:
+            raise NotFoundError("no such annotation")
+
+    # -- reading -----------------------------------------------------------------
+
+    def for_target(self, collection: str, key: str,
+                   include_retracted: bool = True) -> List[dict]:
+        """All notes on one document, thread-ordered (roots then replies)."""
+        query: Dict[str, Any] = {
+            "target.collection": collection, "target.key": key,
+        }
+        if not include_retracted:
+            query["retracted"] = False
+        notes = self.annotations.find(query).sort("created_at", 1).to_list()
+        roots = [n for n in notes if n.get("reply_to") is None]
+        by_parent: Dict[Any, List[dict]] = {}
+        for n in notes:
+            if n.get("reply_to") is not None:
+                by_parent.setdefault(n["reply_to"], []).append(n)
+        ordered: List[dict] = []
+
+        def add(note: dict, depth: int) -> None:
+            note = dict(note)
+            note["depth"] = depth
+            ordered.append(note)
+            for child in by_parent.get(note["_id"], []):
+                add(child, depth + 1)
+
+        for root in roots:
+            add(root, 0)
+        return ordered
+
+    def by_author(self, author: str) -> List[dict]:
+        return self.annotations.find({"author": author}).to_list()
+
+    def flagged(self, min_flags: int = 1) -> List[dict]:
+        """Moderation queue: notes with at least ``min_flags`` reports."""
+        return [
+            n for n in self.annotations.find({"flags": {"$exists": True}})
+            if len(n.get("flags", [])) >= min_flags
+        ]
+
+    def stats(self) -> dict:
+        rows = self.annotations.aggregate([
+            {"$group": {"_id": "$target.collection", "n": {"$sum": 1}}},
+        ])
+        return {row["_id"]: row["n"] for row in rows}

@@ -1,0 +1,140 @@
+"""Delegated authentication and API keys (§IV-D1).
+
+"Rather than maintaining sensitive user login information, we delegate
+authentication to trusted third party providers (like Google or Yahoo) ...
+anyone with an email address from a trusted third party can sign up for an
+account."
+
+The simulation keeps the trust structure: a :class:`ThirdPartyProvider`
+vouches for an email and returns a signed assertion; the
+:class:`AuthRegistry` accepts assertions only from registered providers,
+creates/looks up the account, and issues either a session token or a
+long-lived API key (what the Materials API uses).  No passwords anywhere —
+exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import time
+from typing import Dict
+
+from ..errors import AuthError
+
+__all__ = ["ThirdPartyProvider", "User", "AuthRegistry"]
+
+
+class ThirdPartyProvider:
+    """A simulated OpenID-style identity provider."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._secret = os.urandom(16)
+
+    def assert_identity(self, email: str) -> dict:
+        """Produce a signed identity assertion for ``email``."""
+        if "@" not in email:
+            raise AuthError(f"not an email address: {email!r}")
+        issued = time.time()
+        payload = f"{self.name}|{email}|{issued:.3f}"
+        signature = hmac.new(self._secret, payload.encode(),
+                             hashlib.sha256).hexdigest()
+        return {"provider": self.name, "email": email, "issued": issued,
+                "signature": signature}
+
+    def verify(self, assertion: dict) -> bool:
+        payload = (
+            f"{assertion['provider']}|{assertion['email']}|"
+            f"{assertion['issued']:.3f}"
+        )
+        expected = hmac.new(self._secret, payload.encode(),
+                            hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, assertion.get("signature", ""))
+
+
+class User:
+    """An account created from a third-party identity."""
+
+    def __init__(self, user_id: str, email: str, provider: str):
+        self.user_id = user_id
+        self.email = email
+        self.provider = provider
+
+    def __repr__(self) -> str:
+        return f"User({self.user_id}, {self.email} via {self.provider})"
+
+
+class AuthRegistry:
+    """Accounts, session tokens, and API keys — no password storage."""
+
+    def __init__(self, session_ttl_s: float = 3600.0):
+        self._providers: Dict[str, ThirdPartyProvider] = {}
+        self._users: Dict[str, User] = {}
+        self._by_email: Dict[str, str] = {}
+        self._sessions: Dict[str, tuple] = {}  # token -> (user_id, expiry)
+        self._api_keys: Dict[str, str] = {}  # key -> user_id
+        self.session_ttl_s = session_ttl_s
+
+    # -- provider management ----------------------------------------------
+
+    def register_provider(self, provider: ThirdPartyProvider) -> None:
+        self._providers[provider.name] = provider
+
+    # -- sign-in flow -------------------------------------------------------
+
+    def sign_in(self, assertion: dict) -> str:
+        """Accept a provider assertion; create the account if new.
+
+        Returns a session token.
+        """
+        provider = self._providers.get(assertion.get("provider", ""))
+        if provider is None:
+            raise AuthError(
+                f"untrusted provider {assertion.get('provider')!r}"
+            )
+        if not provider.verify(assertion):
+            raise AuthError("identity assertion failed verification")
+        email = assertion["email"]
+        user_id = self._by_email.get(email)
+        if user_id is None:
+            user_id = f"u{len(self._users) + 1:05d}"
+            self._users[user_id] = User(user_id, email, provider.name)
+            self._by_email[email] = user_id
+        token = hashlib.sha256(os.urandom(32)).hexdigest()
+        self._sessions[token] = (user_id, time.time() + self.session_ttl_s)
+        return token
+
+    def authenticate(self, token: str) -> User:
+        """Resolve a session token; raises on unknown/expired tokens."""
+        entry = self._sessions.get(token)
+        if entry is None:
+            raise AuthError("unknown session token")
+        user_id, expiry = entry
+        if time.time() > expiry:
+            del self._sessions[token]
+            raise AuthError("session expired")
+        return self._users[user_id]
+
+    # -- API keys (the Materials API credential) ----------------------------------
+
+    def issue_api_key(self, token: str) -> str:
+        """A signed-in user mints a long-lived API key."""
+        user = self.authenticate(token)
+        key = "mpk-" + hashlib.sha256(os.urandom(32)).hexdigest()[:32]
+        self._api_keys[key] = user.user_id
+        return key
+
+    def authenticate_api_key(self, key: str) -> User:
+        user_id = self._api_keys.get(key)
+        if user_id is None:
+            raise AuthError("invalid API key")
+        return self._users[user_id]
+
+    def revoke_api_key(self, key: str) -> None:
+        self._api_keys.pop(key, None)
+
+    @property
+    def n_users(self) -> int:
+        return len(self._users)

@@ -1,0 +1,135 @@
+"""MPRester-style client for the Materials API (§III-D3).
+
+"The pymatgen library can import and export data from a number of existing
+formats, including fetching data via the Materials API."  This client is
+that bridge: it speaks the REST envelope either over real HTTP (against a
+:class:`~repro.api.httpd.MaterialsAPIServer`) or in-process (against a
+router directly), and returns analysis-library objects —
+``get_structure_by_formula`` hands back a real
+:class:`~repro.matgen.structure.Structure`, ``get_entries_in_chemsys``
+returns :class:`~repro.matgen.phasediagram.PDEntry` lists ready for hull
+construction — so "jointly analyzing local and remote data" is one code
+path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+from urllib.request import Request, urlopen
+
+from ..errors import APIError, NotFoundError
+from ..matgen.phasediagram import PDEntry
+from ..matgen.structure import Structure
+from .rest import MaterialsAPI
+
+__all__ = ["MPRester"]
+
+
+class MPRester:
+    """Client over HTTP (``base_url``) or in-process (``router``)."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        router: Optional[MaterialsAPI] = None,
+        api_key: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ):
+        if (base_url is None) == (router is None):
+            raise APIError("provide exactly one of base_url or router")
+        self.base_url = base_url.rstrip("/") if base_url else None
+        self.router = router
+        self.api_key = api_key
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def _get(self, path: str) -> Any:
+        if self.router is not None:
+            envelope = self.router.handle(path, api_key=self.api_key)
+        else:
+            request = Request(self.base_url + path)
+            if self.api_key:
+                request.add_header("X-API-KEY", self.api_key)
+            try:
+                with urlopen(request, timeout=self.timeout_s) as response:
+                    envelope = json.loads(response.read().decode("utf-8"))
+            except Exception as exc:  # urllib raises HTTPError on 4xx
+                body = getattr(exc, "read", lambda: b"{}")()
+                try:
+                    envelope = json.loads(body.decode("utf-8"))
+                except (ValueError, AttributeError):
+                    raise APIError(f"transport failure: {exc}") from exc
+        if not envelope.get("valid_response"):
+            status = envelope.get("status")
+            message = envelope.get("error", "unknown API error")
+            if status == 404:
+                raise NotFoundError(message)
+            raise APIError(f"API error {status}: {message}")
+        return envelope["response"]
+
+    # -- the Fig. 4 call and friends ------------------------------------------------
+
+    def get_property(self, identifier: str, prop: str) -> Any:
+        """``get_property("Fe2O3", "energy")`` — the paper's example URI."""
+        rows = self._get(f"/rest/v1/materials/{identifier}/vasp/{prop}")
+        return rows[0][prop] if len(rows) == 1 else [r.get(prop) for r in rows]
+
+    def get_energy(self, identifier: str) -> Union[float, List[float]]:
+        return self.get_property(identifier, "energy")
+
+    def get_band_gap(self, identifier: str) -> Union[float, List[float]]:
+        return self.get_property(identifier, "band_gap")
+
+    def get_material(self, identifier: str) -> Dict[str, Any]:
+        rows = self._get(f"/rest/v1/materials/{identifier}/vasp")
+        return rows[0]
+
+    def get_materials(self, identifier: str) -> List[Dict[str, Any]]:
+        return self._get(f"/rest/v1/materials/{identifier}/vasp")
+
+    def get_structure_by_formula(self, formula: str) -> Structure:
+        """Remote document → a live analysis-library object."""
+        rows = self._get(f"/rest/v1/materials/{formula}/vasp/structure")
+        structure_dict = rows[0]["structure"]
+        if structure_dict is None:
+            raise NotFoundError(f"material {formula!r} has no structure")
+        return Structure.from_dict(structure_dict)
+
+    def get_entries_in_chemsys(self, elements: List[str]) -> List[PDEntry]:
+        """All materials inside a chemical system, as hull-ready entries.
+
+        Queries every sub-system (like pymatgen's MPRester does) so binary
+        entries appear in ternary hulls.
+        """
+        from itertools import combinations
+
+        entries: List[PDEntry] = []
+        seen = set()
+        for r in range(1, len(elements) + 1):
+            for combo in combinations(sorted(elements), r):
+                system = "-".join(combo)
+                try:
+                    rows = self._get(f"/rest/v1/materials/{system}/vasp")
+                except NotFoundError:
+                    continue
+                for doc in rows:
+                    mid = doc.get("material_id")
+                    if mid in seen or doc.get("energy") is None:
+                        continue
+                    seen.add(mid)
+                    entries.append(
+                        PDEntry(doc["formula"], doc["energy"], entry_id=mid)
+                    )
+        return entries
+
+    def get_battery(self, battery_id: str) -> Dict[str, Any]:
+        rows = self._get(f"/rest/v1/batteries/{battery_id}")
+        return rows[0]
+
+    def get_batteries(self) -> List[Dict[str, Any]]:
+        return self._get("/rest/v1/batteries")
+
+    def get_tasks(self, mps_id: str) -> List[Dict[str, Any]]:
+        return self._get(f"/rest/v1/tasks/{mps_id}")

@@ -1,0 +1,119 @@
+"""A real HTTP front end for the Materials API (stdlib only).
+
+Serves :class:`~repro.api.rest.MaterialsAPI` over
+``http.server.ThreadingHTTPServer``: GET requests route by path, the API
+key arrives via the ``X-API-KEY`` header or an ``API_KEY`` query parameter,
+and responses are JSON with proper status codes.  This is the "Web API"
+box of the paper's architecture served over an actual socket, so the
+examples and benches exercise a genuine HTTP round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..docstore.documents import DocumentJSONEncoder
+from .rest import MaterialsAPI
+
+__all__ = ["MaterialsAPIServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        api: MaterialsAPI = self.server.materials_api  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        params = parse_qs(parsed.query)
+        if parsed.path == "/ui" or parsed.path.startswith("/ui/"):
+            self._serve_ui(parsed.path, params)
+            return
+        api_key = self.headers.get("X-API-KEY") or (
+            params.get("API_KEY", [None])[0]
+        )
+        envelope = api.handle(parsed.path, api_key=api_key)
+        status = 200 if envelope.get("valid_response") else envelope.get(
+            "status", 400
+        )
+        payload = json.dumps(envelope, cls=DocumentJSONEncoder).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _serve_ui(self, path: str, params: dict) -> None:
+        """The Web UI pages (when a WebUI renderer is attached)."""
+        from ..errors import NotFoundError
+
+        webui = getattr(self.server, "webui", None)
+        if webui is None:
+            self._send_html(404, "<h1>Web UI not enabled</h1>")
+            return
+        try:
+            if path in ("/ui", "/ui/"):
+                search = params.get("search", [None])[0]
+                html_text = webui.index_page(search=search)
+            elif path in ("/ui/batteries", "/ui/batteries/"):
+                ion = params.get("ion", ["Li"])[0]
+                html_text = webui.battery_screen_page(working_ion=ion)
+            elif path.startswith("/ui/material/"):
+                html_text = webui.material_page(path.rsplit("/", 1)[-1])
+            else:
+                raise NotFoundError(f"no UI page {path!r}")
+            self._send_html(200, html_text)
+        except NotFoundError as exc:
+            self._send_html(404, f"<h1>404</h1><p>{exc}</p>")
+
+    def _send_html(self, status: int, html_text: str) -> None:
+        payload = html_text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # quiet by default; the QueryLog is the observable record
+
+
+class MaterialsAPIServer:
+    """Threaded HTTP server wrapping a MaterialsAPI router."""
+
+    def __init__(self, api: MaterialsAPI, host: str = "127.0.0.1",
+                 port: int = 0, webui: Optional[Any] = None):
+        self.api = api
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.materials_api = api  # type: ignore[attr-defined]
+        self._httpd.webui = webui  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MaterialsAPIServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MaterialsAPIServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,131 @@
+"""Per-query latency log — the measurement behind Figure 5.
+
+Every query served through the QueryEngine appends an entry (timestamp,
+collection, latency, rows returned, user).  :meth:`QueryLog.histogram`
+reproduces the paper's latency histogram; :meth:`QueryLog.time_series`
+reproduces the scatterplot inset; :meth:`QueryLog.summary` gives the
+headline numbers ("3315 distinct queries returning a total of 12,951,099
+records").
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["QueryLog"]
+
+
+class QueryLog:
+    """Thread-safe append-only log of served queries."""
+
+    def __init__(self) -> None:
+        self._entries: List[dict] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        collection: str,
+        millis: float,
+        nreturned: int,
+        user: Optional[str] = None,
+        ts: Optional[float] = None,
+        query_repr: Optional[str] = None,
+    ) -> None:
+        import time
+
+        with self._lock:
+            self._entries.append(
+                {
+                    "ts": time.time() if ts is None else ts,
+                    "collection": collection,
+                    "millis": float(millis),
+                    "nreturned": int(nreturned),
+                    "user": user,
+                    "query": query_repr,
+                }
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def entries(self) -> List[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    # -- Fig. 5 views --------------------------------------------------------
+
+    def histogram(
+        self, bin_edges_ms: Optional[Sequence[float]] = None
+    ) -> List[Tuple[str, int]]:
+        """Latency histogram as (label, count) rows.
+
+        Default bins are logarithmic, matching the paper's figure which
+        spans sub-ms to multi-second outliers.
+        """
+        edges = list(
+            bin_edges_ms
+            if bin_edges_ms is not None
+            else [0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000]
+        )
+        counts = [0] * (len(edges) + 1)
+        for entry in self.entries:
+            ms = entry["millis"]
+            placed = False
+            for i, edge in enumerate(edges):
+                if ms < edge:
+                    counts[i] += 1
+                    placed = True
+                    break
+            if not placed:
+                counts[-1] += 1
+        rows = []
+        lo = 0.0
+        for i, edge in enumerate(edges):
+            rows.append((f"[{lo:g}, {edge:g}) ms", counts[i]))
+            lo = edge
+        rows.append((f">= {edges[-1]:g} ms", counts[-1]))
+        return rows
+
+    def time_series(self) -> List[Tuple[float, float]]:
+        """(timestamp, millis) pairs in time order — the inset scatter."""
+        return sorted((e["ts"], e["millis"]) for e in self.entries)
+
+    def percentile(self, p: float) -> float:
+        values = sorted(e["millis"] for e in self.entries)
+        if not values:
+            return 0.0
+        k = min(len(values) - 1, max(0, int(math.ceil(p / 100.0 * len(values))) - 1))
+        return values[k]
+
+    def summary(self) -> dict:
+        entries = self.entries
+        if not entries:
+            return {"queries": 0, "records_returned": 0}
+        lat = [e["millis"] for e in entries]
+        return {
+            "queries": len(entries),
+            "records_returned": sum(e["nreturned"] for e in entries),
+            "distinct_users": len({e["user"] for e in entries if e["user"]}),
+            "median_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "max_ms": max(lat),
+            "mean_ms": sum(lat) / len(lat),
+        }
+
+    def by_collection(self) -> Dict[str, dict]:
+        out: Dict[str, List[float]] = {}
+        for entry in self.entries:
+            out.setdefault(entry["collection"], []).append(entry["millis"])
+        return {
+            coll: {
+                "queries": len(ms),
+                "mean_ms": sum(ms) / len(ms),
+                "max_ms": max(ms),
+            }
+            for coll, ms in out.items()
+        }

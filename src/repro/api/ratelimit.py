@@ -1,0 +1,73 @@
+"""Per-user rate limiting (§IV-D1).
+
+"We also implement checks to limit the number of queries from a given user
+to prevent denial-of-service or data scraping attacks."
+
+A sliding-window limiter: each user may issue at most ``max_requests``
+within any trailing ``window_s`` seconds.  The clock is injectable so tests
+and simulations control time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..errors import RateLimitExceeded
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """Sliding-window request limiter keyed by user id."""
+
+    def __init__(
+        self,
+        max_requests: int = 120,
+        window_s: float = 60.0,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if max_requests < 1 or window_s <= 0:
+            raise ValueError("invalid rate limit configuration")
+        self.max_requests = int(max_requests)
+        self.window_s = float(window_s)
+        self._clock = clock or time.monotonic
+        self._windows: Dict[str, Deque[float]] = {}
+        self._lock = threading.Lock()
+        self.denials = 0
+
+    def check(self, user: str) -> None:
+        """Admit one request for ``user`` or raise RateLimitExceeded."""
+        now = self._clock()
+        with self._lock:
+            window = self._windows.setdefault(user, deque())
+            cutoff = now - self.window_s
+            while window and window[0] <= cutoff:
+                window.popleft()
+            if len(window) >= self.max_requests:
+                self.denials += 1
+                retry_in = window[0] + self.window_s - now
+                raise RateLimitExceeded(
+                    f"user {user!r} exceeded {self.max_requests} requests per "
+                    f"{self.window_s:g}s window; retry in {retry_in:.1f}s"
+                )
+            window.append(now)
+
+    def remaining(self, user: str) -> int:
+        now = self._clock()
+        with self._lock:
+            window = self._windows.get(user)
+            if not window:
+                return self.max_requests
+            cutoff = now - self.window_s
+            live = sum(1 for t in window if t > cutoff)
+            return max(0, self.max_requests - live)
+
+    def reset(self, user: Optional[str] = None) -> None:
+        with self._lock:
+            if user is None:
+                self._windows.clear()
+            else:
+                self._windows.pop(user, None)

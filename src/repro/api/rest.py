@@ -1,0 +1,297 @@
+"""The Materials API: HTTP-style URIs mapped to data objects (§III-D2, Fig. 4).
+
+URI anatomy, exactly as the paper's Figure 4::
+
+    /rest/v1/materials/Fe2O3/vasp/energy
+     ^pre  ^ver ^application  ^datatype ^property
+                 identifier
+
+The identifier may be a formula (``Fe2O3``), a material id (``mp-42``), a
+chemical system (``Li-Fe-O``), or an MPS id.  The datatype selects the
+calculation source (only ``vasp`` is populated here).  The property selects
+a field of the materials document; omitting it returns the whole document.
+Responses are JSON-ready dicts with the classic envelope::
+
+    {"valid_response": true, "response": [...], "created_at": ...}
+
+The router composes the security stack: API-key auth (optional), per-user
+rate limiting, and the QueryEngine (so every query is sanitized and logged).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import (
+    APIError,
+    AuthError,
+    BadRequestError,
+    NotFoundError,
+    RateLimitExceeded,
+)
+from .auth import AuthRegistry
+from .queryengine import QueryEngine
+from .ratelimit import RateLimiter
+
+__all__ = ["MaterialsAPI", "SUPPORTED_PROPERTIES"]
+
+SUPPORTED_PROPERTIES = frozenset(
+    {
+        "energy", "energy_per_atom", "formation_energy_per_atom",
+        "e_above_hull", "is_stable", "band_gap", "is_metal",
+        "nsites", "elements", "nelements", "chemical_system",
+        "reduced_formula", "structure", "material_id", "mps_id",
+    }
+)
+
+_API_VERSION = "v1"
+_APPLICATIONS = ("materials", "batteries", "tasks", "phasediagram", "xrd")
+
+
+def _classify_identifier(identifier: str) -> Dict[str, Any]:
+    """Map a URI identifier onto a materials-collection query."""
+    if identifier.startswith("mp-"):
+        return {"material_id": identifier}
+    if identifier.startswith("mps-"):
+        return {"mps_id": identifier}
+    if "-" in identifier:
+        parts = identifier.split("-")
+        if all(p and p[0].isupper() for p in parts):
+            return {"chemical_system": "-".join(sorted(parts))}
+        raise BadRequestError(f"malformed chemical system {identifier!r}")
+    # Otherwise treat as a formula; normalize through Composition.
+    from ..matgen.composition import Composition
+    from ..errors import CompositionError
+
+    try:
+        comp = Composition(identifier)
+    except CompositionError as exc:
+        raise BadRequestError(f"cannot parse identifier {identifier!r}: {exc}")
+    return {"reduced_formula": comp.reduced_formula}
+
+
+class MaterialsAPI:
+    """The REST router behind ``/rest/v1/...``."""
+
+    def __init__(
+        self,
+        query_engine: QueryEngine,
+        auth: Optional[AuthRegistry] = None,
+        rate_limiter: Optional[RateLimiter] = None,
+        require_auth: bool = False,
+    ):
+        self.qe = query_engine
+        self.auth = auth
+        self.rate_limiter = rate_limiter
+        self.require_auth = require_auth
+
+    # -- envelope helpers -----------------------------------------------------
+
+    @staticmethod
+    def _ok(response: Any) -> dict:
+        return {
+            "valid_response": True,
+            "version": {"api": _API_VERSION, "db": "2012.08"},
+            "created_at": time.time(),
+            "response": response,
+        }
+
+    @staticmethod
+    def _error(status: int, message: str) -> dict:
+        return {
+            "valid_response": False,
+            "status": status,
+            "error": message,
+            "created_at": time.time(),
+        }
+
+    # -- request handling ----------------------------------------------------------
+
+    def handle(self, uri: str, api_key: Optional[str] = None) -> dict:
+        """Serve one request; never raises — errors become envelopes."""
+        try:
+            user = self._authenticate(api_key)
+            if self.rate_limiter is not None:
+                self.rate_limiter.check(user or "anonymous")
+            return self._ok(self._route(uri, user))
+        except RateLimitExceeded as exc:
+            return self._error(429, str(exc))
+        except AuthError as exc:
+            return self._error(401, str(exc))
+        except NotFoundError as exc:
+            return self._error(404, str(exc))
+        except BadRequestError as exc:
+            return self._error(400, str(exc))
+        except APIError as exc:
+            return self._error(400, str(exc))
+
+    def _authenticate(self, api_key: Optional[str]) -> Optional[str]:
+        if api_key is not None and self.auth is not None:
+            return self.auth.authenticate_api_key(api_key).user_id
+        if self.require_auth:
+            raise AuthError("this deployment requires an API key")
+        return None
+
+    def _route(self, uri: str, user: Optional[str]) -> Any:
+        parts = [p for p in uri.split("?")[0].split("/") if p]
+        if len(parts) < 3 or parts[0] != "rest":
+            raise BadRequestError(f"URI must start with /rest/v1/: {uri!r}")
+        if parts[1] != _API_VERSION:
+            raise BadRequestError(f"unsupported API version {parts[1]!r}")
+        application = parts[2]
+        if application not in _APPLICATIONS:
+            raise NotFoundError(f"unknown application {application!r}")
+        if application == "materials":
+            return self._route_materials(parts[3:], user)
+        if application == "batteries":
+            return self._route_batteries(parts[3:], user)
+        if application == "phasediagram":
+            return self._route_phasediagram(parts[3:], user)
+        if application == "xrd":
+            return self._route_xrd(parts[3:], user)
+        return self._route_tasks(parts[3:], user)
+
+    # -- /rest/v1/materials/... -------------------------------------------------------
+
+    def _route_materials(self, rest: List[str], user: Optional[str]) -> Any:
+        if not rest:
+            raise BadRequestError("missing material identifier")
+        identifier = rest[0]
+        criteria = _classify_identifier(identifier)
+        datatype = rest[1] if len(rest) > 1 else "vasp"
+        if datatype != "vasp":
+            raise NotFoundError(f"no data of type {datatype!r}")
+        prop = rest[2] if len(rest) > 2 else None
+        if prop is not None and prop not in SUPPORTED_PROPERTIES:
+            raise BadRequestError(
+                f"unknown property {prop!r}; supported: "
+                f"{sorted(SUPPORTED_PROPERTIES)}"
+            )
+        properties = ["material_id", prop] if prop else None
+        docs = self.qe.query(criteria, properties, "materials", user=user)
+        if not docs:
+            raise NotFoundError(f"no materials match {identifier!r}")
+        out = []
+        for doc in docs:
+            doc.pop("_id", None)
+            out.append(doc)
+        return out
+
+    # -- /rest/v1/batteries/... ---------------------------------------------------------
+
+    def _route_batteries(self, rest: List[str], user: Optional[str]) -> Any:
+        criteria: Dict[str, Any] = {}
+        if rest:
+            criteria = {"battery_id": rest[0]}
+        docs = self.qe.query(criteria, None, "batteries", user=user)
+        if rest and not docs:
+            raise NotFoundError(f"no battery {rest[0]!r}")
+        for doc in docs:
+            doc.pop("_id", None)
+        return docs
+
+    # -- /rest/v1/phasediagram/<chemsys> — a *function* endpoint ----------------------
+
+    def _route_phasediagram(self, rest: List[str], user: Optional[str]) -> Any:
+        """Compute a phase diagram on demand from stored materials.
+
+        The paper's Web API "maps HTTP URIs to data objects and functions";
+        this is a function: the hull is built per request from the live
+        materials collection, so it always reflects the newest data.
+        """
+        if not rest:
+            raise BadRequestError("missing chemical system, e.g. Li-Fe-O")
+        elements = sorted(p for p in rest[0].split("-") if p)
+        if not elements or not all(p[0].isupper() for p in elements):
+            raise BadRequestError(f"malformed chemical system {rest[0]!r}")
+        from ..dft.energy import reference_energy_per_atom
+        from ..errors import CompositionError, MatgenError
+        from ..matgen.phasediagram import PDEntry, PhaseDiagram
+
+        docs = self.qe.query(
+            {"elements": {"$in": elements}},
+            ["material_id", "formula", "energy", "elements"],
+            "materials",
+            user=user,
+        )
+        try:
+            entries = [
+                PDEntry(sym, reference_energy_per_atom(sym),
+                        entry_id=f"ref-{sym}")
+                for sym in elements
+            ]
+        except CompositionError as exc:
+            raise BadRequestError(str(exc))
+        member_ids = []
+        for doc in docs:
+            if set(doc.get("elements", [])) <= set(elements) and doc.get("energy"):
+                entries.append(
+                    PDEntry(doc["formula"], doc["energy"],
+                            entry_id=doc["material_id"])
+                )
+                member_ids.append(doc["material_id"])
+        try:
+            pd = PhaseDiagram(entries)
+        except MatgenError as exc:
+            raise BadRequestError(f"cannot build diagram: {exc}")
+        summary = pd.summary()
+        summary["member_materials"] = member_ids
+        summary["e_above_hull"] = {
+            e.entry_id: pd.get_e_above_hull(e)
+            for e in entries
+            if e.entry_id and not e.entry_id.startswith("ref-")
+        }
+        return [summary]
+
+    # -- /rest/v1/xrd/<identifier> — computed diffraction pattern ----------------------
+
+    def _route_xrd(self, rest: List[str], user: Optional[str]) -> Any:
+        """Return (or compute on demand) the powder pattern of a material."""
+        if not rest:
+            raise BadRequestError("missing material identifier")
+        criteria = _classify_identifier(rest[0])
+        stored = self.qe.query(criteria, None, "materials", user=user)
+        if not stored:
+            raise NotFoundError(f"no materials match {rest[0]!r}")
+        out = []
+        for doc in stored:
+            cached = self.qe.query(
+                {"material_id": doc["material_id"]}, None, "xrd", user=user
+            )
+            if cached:
+                record = cached[0]
+                record.pop("_id", None)
+            else:
+                if doc.get("structure") is None:
+                    continue
+                from ..matgen.structure import Structure
+                from ..matgen.xrd import XRDCalculator
+
+                pattern = XRDCalculator().get_pattern(
+                    Structure.from_dict(doc["structure"])
+                )
+                record = pattern.as_dict()
+                record["material_id"] = doc["material_id"]
+                record["computed_on_demand"] = True
+            out.append(record)
+        if not out:
+            raise NotFoundError(f"no structures available for {rest[0]!r}")
+        return out
+
+    # -- /rest/v1/tasks/... ----------------------------------------------------------------
+
+    def _route_tasks(self, rest: List[str], user: Optional[str]) -> Any:
+        if not rest:
+            raise BadRequestError("missing mps identifier")
+        docs = self.qe.query(
+            {"mps_id": rest[0]},
+            ["mps_id", "formula", "energy", "state", "parameters"],
+            "tasks",
+            user=user,
+        )
+        if not docs:
+            raise NotFoundError(f"no tasks for {rest[0]!r}")
+        for doc in docs:
+            doc.pop("_id", None)
+        return docs

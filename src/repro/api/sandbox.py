@@ -1,0 +1,125 @@
+"""User sandboxes: private data areas with publish-to-public flow (§III-A).
+
+"The resulting data can be uploaded to a user-controlled area called a
+sandbox, which is only visible to the creator and selected collaborators ...
+At any point (e.g., after a publication or a patent filing), the user can
+allow the data to become publicly disseminated."
+
+Implementation: sandboxed documents live in the same collections as core
+data but carry a ``_sandbox`` envelope (``{"sandbox_id", "visibility"}``).
+:class:`SandboxManager` owns sandbox metadata (owner, collaborators) and
+provides the *only* sanctioned read path, which merges public data with the
+sandboxes the requesting user may see.  Publishing flips documents to
+``visibility: "public"`` — the "natural by-product of the Web UI for the
+sandboxes" the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..docstore.database import Database
+from ..docstore.objectid import ObjectId
+from ..errors import AuthError, NotFoundError
+
+__all__ = ["SandboxManager"]
+
+
+class SandboxManager:
+    """Sandbox lifecycle + visibility-aware queries."""
+
+    def __init__(self, database: Database):
+        self.db = database
+        self.sandboxes = database.get_collection("sandboxes")
+        if "sandbox_id_1" not in self.sandboxes.index_information():
+            self.sandboxes.create_index("sandbox_id", unique=True)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create_sandbox(self, owner: str, name: str) -> str:
+        sandbox_id = f"sbx-{ObjectId().hex()[:12]}"
+        self.sandboxes.insert_one(
+            {
+                "sandbox_id": sandbox_id,
+                "name": name,
+                "owner": owner,
+                "collaborators": [],
+                "created_at": time.time(),
+            }
+        )
+        return sandbox_id
+
+    def _sandbox(self, sandbox_id: str) -> dict:
+        doc = self.sandboxes.find_one({"sandbox_id": sandbox_id})
+        if doc is None:
+            raise NotFoundError(f"no sandbox {sandbox_id!r}")
+        return doc
+
+    def add_collaborator(self, sandbox_id: str, owner: str, user: str) -> None:
+        sandbox = self._sandbox(sandbox_id)
+        if sandbox["owner"] != owner:
+            raise AuthError("only the owner may add collaborators")
+        self.sandboxes.update_one(
+            {"sandbox_id": sandbox_id},
+            {"$addToSet": {"collaborators": user}},
+        )
+
+    def accessible_sandboxes(self, user: str) -> List[str]:
+        docs = self.sandboxes.find(
+            {"$or": [{"owner": user}, {"collaborators": user}]},
+            {"sandbox_id": 1},
+        ).to_list()
+        return [d["sandbox_id"] for d in docs]
+
+    def can_access(self, sandbox_id: str, user: str) -> bool:
+        sandbox = self._sandbox(sandbox_id)
+        return user == sandbox["owner"] or user in sandbox["collaborators"]
+
+    # -- data ----------------------------------------------------------------------
+
+    def submit(self, sandbox_id: str, user: str, collection: str,
+               document: Mapping[str, Any]) -> Any:
+        """Insert a private document into a sandbox the user can access."""
+        if not self.can_access(sandbox_id, user):
+            raise AuthError(f"{user!r} cannot write to {sandbox_id!r}")
+        doc = dict(document)
+        doc["_sandbox"] = {"sandbox_id": sandbox_id, "visibility": "private",
+                           "submitted_by": user, "submitted_at": time.time()}
+        return self.db.get_collection(collection).insert_one(doc).inserted_id
+
+    def visible_query(self, user: Optional[str], collection: str,
+                      criteria: Optional[Mapping[str, Any]] = None) -> List[dict]:
+        """Everything ``user`` may see: core data + public sandbox data +
+        private data of accessible sandboxes.  Anonymous users see only the
+        first two."""
+        visibility: List[dict] = [
+            {"_sandbox": {"$exists": False}},            # core database
+            {"_sandbox.visibility": "public"},           # published sandbox data
+        ]
+        if user is not None:
+            accessible = self.accessible_sandboxes(user)
+            if accessible:
+                visibility.append(
+                    {"_sandbox.sandbox_id": {"$in": accessible}}
+                )
+        query: Dict[str, Any] = {"$or": visibility}
+        if criteria:
+            query = {"$and": [dict(criteria), query]}
+        return self.db.get_collection(collection).find(query).to_list()
+
+    def publish(self, sandbox_id: str, user: str, collection: str,
+                criteria: Optional[Mapping[str, Any]] = None) -> int:
+        """Make (matching) sandbox documents public; owner only."""
+        sandbox = self._sandbox(sandbox_id)
+        if sandbox["owner"] != user:
+            raise AuthError("only the owner may publish sandbox data")
+        query: Dict[str, Any] = {"_sandbox.sandbox_id": sandbox_id}
+        if criteria:
+            query = {"$and": [dict(criteria), query]}
+        coll = self.db.get_collection(collection)
+        result = coll.update_many(
+            query, {"$set": {"_sandbox.visibility": "public",
+                             "_sandbox.published_at": time.time()}}
+        )
+        return result.modified_count

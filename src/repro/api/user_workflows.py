@@ -1,0 +1,210 @@
+"""User-defined workflows on protected datastores — the paper's future work.
+
+"Future work in the Materials Project will address the challenges associated
+with allowing users to define workflows on their own protected datastores.
+This will enable broader collaborative science by shortening the materials
+design cycle."
+
+:class:`UserWorkflowManager` implements that vision on top of the existing
+primitives: an authenticated user submits candidate structures; the manager
+creates approval-gated Fireworks (a core-team member must release them onto
+the shared HPC resources), enforces a per-user compute quota, and routes the
+results into the submitting user's private sandbox rather than the public
+core — closing the loop of Figure 3 for external users.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..errors import AuthError, BadRequestError, NotFoundError
+from ..fireworks.launchpad import LaunchPad
+from ..fireworks.model import Fuse, Workflow
+from ..fireworks.dupefinder import vasp_firework
+from ..matgen.mps import mps_from_structure, validate_mps
+from ..matgen.structure import Structure
+from .sandbox import SandboxManager
+
+__all__ = ["UserWorkflowManager"]
+
+#: Gentle parameters for user submissions (robust over arbitrary inputs).
+_USER_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500,
+               "EDIFF": 1e-5}
+
+
+class UserWorkflowManager:
+    """Submission, approval, quota, and sandbox routing for user workflows."""
+
+    def __init__(
+        self,
+        launchpad: LaunchPad,
+        sandboxes: SandboxManager,
+        max_structures_per_user: int = 50,
+        core_team: Optional[Sequence[str]] = None,
+    ):
+        self.launchpad = launchpad
+        self.sandboxes = sandboxes
+        self.max_structures_per_user = int(max_structures_per_user)
+        self.core_team = set(core_team or ())
+        self.submissions = launchpad.db.get_collection("user_submissions")
+        if "submission_id_1" not in self.submissions.index_information():
+            self.submissions.create_index("submission_id", unique=True)
+
+    # -- quota ----------------------------------------------------------------
+
+    def _used_quota(self, user: str) -> int:
+        rows = self.submissions.aggregate([
+            {"$match": {"user": user}},
+            {"$group": {"_id": None, "n": {"$sum": "$n_structures"}}},
+        ])
+        return rows[0]["n"] if rows else 0
+
+    def remaining_quota(self, user: str) -> int:
+        return max(0, self.max_structures_per_user - self._used_quota(user))
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        user: str,
+        structures: Sequence[Structure],
+        sandbox_id: Optional[str] = None,
+        description: str = "",
+    ) -> dict:
+        """Submit user structures as an approval-gated workflow.
+
+        Creates (or reuses) the user's sandbox, writes the MPS records, and
+        enqueues approval-gated Fireworks.  Returns the submission record.
+        """
+        if not structures:
+            raise BadRequestError("submission contains no structures")
+        if len(structures) > self.remaining_quota(user):
+            raise BadRequestError(
+                f"quota exceeded: {len(structures)} structures requested, "
+                f"{self.remaining_quota(user)} remaining for {user!r}"
+            )
+        if sandbox_id is None:
+            sandbox_id = self.sandboxes.create_sandbox(
+                user, f"submission-{int(time.time())}"
+            )
+        elif not self.sandboxes.can_access(sandbox_id, user):
+            raise AuthError(f"{user!r} cannot use sandbox {sandbox_id!r}")
+
+        records = []
+        for s in structures:
+            record = mps_from_structure(s, source="user-submission",
+                                        created_by=user)
+            validate_mps(record)
+            records.append(record)
+            self.sandboxes.submit(sandbox_id, user, "mps", record)
+
+        fireworks = []
+        for s, record in zip(structures, records):
+            fw = vasp_firework(
+                s, mps_id=record["mps_id"], incar=dict(_USER_INCAR),
+                walltime_s=1e9, memory_mb=1e6,
+            )
+            fw.fuse = Fuse(requires_approval=True)
+            fw.spec["submitted_by"] = user
+            fw.spec["sandbox_id"] = sandbox_id
+            fireworks.append(fw)
+        workflow = Workflow(fireworks, name=f"user-{user}")
+        self.launchpad.add_workflow(workflow)
+
+        submission = {
+            "submission_id": f"sub-{workflow.workflow_id}",
+            "workflow_id": workflow.workflow_id,
+            "user": user,
+            "sandbox_id": sandbox_id,
+            "n_structures": len(structures),
+            "description": description,
+            "state": "PENDING_APPROVAL",
+            "submitted_at": time.time(),
+            "fw_ids": [fw.fw_id for fw in fireworks],
+        }
+        self.submissions.insert_one(submission)
+        return submission
+
+    # -- approval gate ----------------------------------------------------------------
+
+    def approve(self, submission_id: str, approver: str) -> dict:
+        """A core-team member releases the submission onto shared resources."""
+        if approver not in self.core_team:
+            raise AuthError(f"{approver!r} is not on the core team")
+        submission = self.submissions.find_one({"submission_id": submission_id})
+        if submission is None:
+            raise NotFoundError(f"no submission {submission_id!r}")
+        if submission["state"] != "PENDING_APPROVAL":
+            raise BadRequestError(
+                f"submission is {submission['state']}, not pending"
+            )
+        for fw_id in submission["fw_ids"]:
+            self.launchpad.approve(fw_id)
+        self.submissions.update_one(
+            {"submission_id": submission_id},
+            {"$set": {"state": "APPROVED", "approved_by": approver,
+                      "approved_at": time.time()}},
+        )
+        return self.submissions.find_one({"submission_id": submission_id})
+
+    def reject(self, submission_id: str, approver: str, reason: str) -> None:
+        if approver not in self.core_team:
+            raise AuthError(f"{approver!r} is not on the core team")
+        submission = self.submissions.find_one({"submission_id": submission_id})
+        if submission is None:
+            raise NotFoundError(f"no submission {submission_id!r}")
+        self.launchpad.engines.update_many(
+            {"fw_id": {"$in": submission["fw_ids"]}},
+            {"$set": {"state": "DEFUSED"}},
+        )
+        self.submissions.update_one(
+            {"submission_id": submission_id},
+            {"$set": {"state": "REJECTED", "rejected_by": approver,
+                      "reason": reason}},
+        )
+
+    # -- result routing ----------------------------------------------------------------
+
+    def collect_results(self, submission_id: str) -> dict:
+        """Copy finished task results into the submitter's sandbox.
+
+        Idempotent; call any time.  Marks the submission COMPLETED once
+        every Firework reached a terminal state.
+        """
+        submission = self.submissions.find_one({"submission_id": submission_id})
+        if submission is None:
+            raise NotFoundError(f"no submission {submission_id!r}")
+        user = submission["user"]
+        sandbox_id = submission["sandbox_id"]
+        routed = 0
+        terminal = 0
+        for fw_id in submission["fw_ids"]:
+            engine = self.launchpad.engines.find_one({"fw_id": fw_id})
+            state = engine.get("state")
+            if state in ("COMPLETED", "FIZZLED", "DEFUSED"):
+                terminal += 1
+            if state != "COMPLETED" or engine.get("task_id") is None:
+                continue
+            already = self.launchpad.db.get_collection(
+                "sandbox_results"
+            ).find_one({"_sandbox.sandbox_id": sandbox_id, "fw_id": fw_id})
+            if already is not None:
+                continue
+            task = self.launchpad.tasks.find_one({"_id": engine["task_id"]})
+            task.pop("_id", None)
+            self.sandboxes.submit(sandbox_id, user, "sandbox_results", task)
+            routed += 1
+        if terminal == len(submission["fw_ids"]):
+            self.submissions.update_one(
+                {"submission_id": submission_id},
+                {"$set": {"state": "COMPLETED"}},
+            )
+        return {"routed": routed, "terminal": terminal,
+                "total": len(submission["fw_ids"])}
+
+    def pending_approvals(self) -> List[dict]:
+        return self.submissions.find({"state": "PENDING_APPROVAL"}).to_list()
+
+    def submissions_for(self, user: str) -> List[dict]:
+        return self.submissions.find({"user": user}).to_list()

@@ -1,0 +1,289 @@
+"""The Web UI: server-rendered portal pages (§III-D1).
+
+"We have built a rich, interactive web portal focusing on the scientist as
+the end-user.  Our interface uses technologies like HTML5 and AJAX to allow
+users to search and browse MP data and pan and zoom real-time visualizations
+of bandstructures, diffraction patterns, and other properties."
+
+We render the same information server-side with stdlib-only HTML + inline
+SVG: a searchable materials index, a per-material detail page with an SVG
+XRD stick pattern and an SVG band-structure plot, and the user annotations
+thread (the paper's "collaborative tools allow users to publicly annotate
+the data").  Every page reads through the QueryEngine, so Web-UI traffic
+lands in the same query log as API traffic — exactly the paper's
+single-back-end architecture.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, Optional
+
+from ..errors import NotFoundError
+from .annotations import AnnotationStore
+from .queryengine import QueryEngine
+
+__all__ = ["WebUI"]
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; color: #222; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #bbb; padding: 4px 10px; text-align: left; }}
+ th {{ background: #eef; }}
+ .metal {{ color: #a40; }} .insulator {{ color: #06a; }}
+ svg {{ border: 1px solid #ccc; background: #fff; }}
+ .annotation {{ border-left: 3px solid #8ac; margin: .5em 0; padding: .2em .8em; }}
+</style></head><body>
+<h1>{title}</h1>
+{body}
+<hr><small>Materials Project reproduction — data served through the
+QueryEngine abstraction layer</small>
+</body></html>"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+class WebUI:
+    """Server-side HTML renderer over the QueryEngine."""
+
+    def __init__(self, query_engine: QueryEngine,
+                 annotations: Optional[AnnotationStore] = None):
+        self.qe = query_engine
+        self.annotations = annotations
+
+    # -- pages -----------------------------------------------------------
+
+    def index_page(self, search: Optional[str] = None, limit: int = 50) -> str:
+        """The searchable materials browser."""
+        criteria: Dict[str, Any] = {}
+        if search:
+            criteria = {"$or": [
+                {"reduced_formula": search},
+                {"chemical_system": "-".join(sorted(search.split("-")))},
+                {"elements": search},
+            ]}
+        docs = self.qe.query(
+            criteria,
+            properties=["material_id", "reduced_formula", "chemical_system",
+                        "formation_energy_per_atom", "band_gap", "is_metal",
+                        "e_above_hull"],
+            sort=[("formation_energy_per_atom", 1)],
+            limit=limit,
+            user="webui",
+        )
+        rows = []
+        for d in docs:
+            gap = d.get("band_gap")
+            klass = "metal" if d.get("is_metal") else "insulator"
+            rows.append(
+                "<tr>"
+                f"<td><a href='/ui/material/{_esc(d.get('material_id'))}'>"
+                f"{_esc(d.get('material_id'))}</a></td>"
+                f"<td>{_esc(d.get('reduced_formula'))}</td>"
+                f"<td>{_esc(d.get('chemical_system'))}</td>"
+                f"<td>{d.get('formation_energy_per_atom', 0) or 0:.3f}</td>"
+                f"<td class='{klass}'>"
+                f"{'metal' if d.get('is_metal') else f'{gap:.2f} eV' if gap is not None else '-'}"
+                "</td>"
+                f"<td>{d.get('e_above_hull', float('nan')) if d.get('e_above_hull') is not None else '-'}</td>"
+                "</tr>"
+            )
+        body = (
+            "<form method='get' action='/ui'>"
+            "<input name='search' placeholder='formula / chemsys / element'"
+            f" value='{_esc(search or '')}'/>"
+            "<button>Search</button></form>"
+            f"<p>{len(docs)} materials</p>"
+            "<table><tr><th>id</th><th>formula</th><th>system</th>"
+            "<th>E_f (eV/atom)</th><th>gap</th><th>E above hull</th></tr>"
+            + "".join(rows) + "</table>"
+        )
+        return _PAGE.format(title="Materials Browser", body=body)
+
+    def material_page(self, material_id: str) -> str:
+        """Detail page: properties + SVG XRD + SVG bands + annotations."""
+        doc = self.qe.query_one({"material_id": material_id}, user="webui")
+        if doc is None:
+            raise NotFoundError(f"no material {material_id!r}")
+        props = "".join(
+            f"<tr><th>{_esc(k)}</th><td>{_esc(doc.get(k))}</td></tr>"
+            for k in ("reduced_formula", "chemical_system", "nsites",
+                      "energy_per_atom", "formation_energy_per_atom",
+                      "e_above_hull", "band_gap", "is_metal")
+        )
+        xrd_svg = self._xrd_svg(material_id)
+        bands_svg = self._bands_svg(material_id)
+        notes = self._annotations_html(material_id)
+        body = (
+            f"<table>{props}</table>"
+            f"<h2>X-ray diffraction</h2>{xrd_svg}"
+            f"<h2>Band structure</h2>{bands_svg}"
+            f"<h2>Community annotations</h2>{notes}"
+            "<p><a href='/ui'>&larr; back to browser</a></p>"
+        )
+        return _PAGE.format(
+            title=f"{doc.get('reduced_formula')} ({material_id})", body=body
+        )
+
+    def battery_screen_page(self, working_ion: str = "Li") -> str:
+        """The paper's Figure 1 as a live page: voltage vs. capacity scatter.
+
+        Computed candidates are dots; the known-materials envelope
+        (commercial cathode chemistry circa 2012) is the shaded box the
+        screen is meant to break out of.
+        """
+        electrodes = self.qe.query(
+            {"battery_type": "intercalation", "working_ion": working_ion},
+            collection="batteries", user="webui",
+        )
+        if not electrodes:
+            body = "<p>No electrodes screened yet.</p>"
+            return _PAGE.format(title="Battery Screening", body=body)
+        width, height = 680, 420
+        v_lo, v_hi = 0.0, 5.0
+        c_lo, c_hi = 0.0, max(
+            350.0, max(e["capacity_grav"] for e in electrodes) * 1.1
+        )
+
+        def x(capacity: float) -> float:
+            return 50 + (capacity - c_lo) / (c_hi - c_lo) * (width - 70)
+
+        def y(voltage: float) -> float:
+            return height - 35 - (voltage - v_lo) / (v_hi - v_lo) * (height - 60)
+
+        # Known-materials envelope (the figure's comparison region).
+        env = (
+            f"<rect x='{x(100):.0f}' y='{y(4.3):.0f}' "
+            f"width='{x(200) - x(100):.0f}' height='{y(3.0) - y(4.3):.0f}' "
+            "fill='#fc6' fill-opacity='0.35' stroke='#c93'/>"
+            f"<text x='{x(105):.0f}' y='{y(4.35):.0f}' font-size='11' "
+            "fill='#963'>known materials</text>"
+        )
+        dots = []
+        for e in sorted(electrodes, key=lambda d: -d["specific_energy"]):
+            cx, cy = x(e["capacity_grav"]), y(e["average_voltage"])
+            dots.append(
+                f"<circle cx='{cx:.1f}' cy='{cy:.1f}' r='5' fill='#06a' "
+                "fill-opacity='0.75'>"
+                f"<title>{_esc(e['framework'])}: "
+                f"{e['average_voltage']:.2f} V, "
+                f"{e['capacity_grav']:.0f} mAh/g, "
+                f"{e['specific_energy']:.0f} Wh/kg</title></circle>"
+            )
+        axes = (
+            f"<line x1='50' y1='{height - 35}' x2='{width - 20}' "
+            f"y2='{height - 35}' stroke='#444'/>"
+            f"<line x1='50' y1='25' x2='50' y2='{height - 35}' stroke='#444'/>"
+            f"<text x='{width // 2 - 60}' y='{height - 8}' font-size='12'>"
+            "capacity (mAh/g)</text>"
+            f"<text x='8' y='{height // 2}' font-size='12' "
+            f"transform='rotate(-90 14 {height // 2})'>voltage (V)</text>"
+        )
+        svg = (f"<svg width='{width}' height='{height}'>" + env
+               + "".join(dots) + axes + "</svg>")
+        rows = "".join(
+            "<tr>"
+            f"<td>{_esc(e['framework'])}</td>"
+            f"<td>{e['average_voltage']:.2f}</td>"
+            f"<td>{e['capacity_grav']:.0f}</td>"
+            f"<td>{e['specific_energy']:.0f}</td>"
+            "</tr>"
+            for e in sorted(electrodes, key=lambda d: -d["specific_energy"])
+        )
+        body = (
+            f"<p>{len(electrodes)} {working_ion}-ion intercalation candidates "
+            "screened by computation (the paper's Figure 1).</p>"
+            + svg
+            + "<table><tr><th>framework</th><th>V</th><th>mAh/g</th>"
+              "<th>Wh/kg</th></tr>" + rows + "</table>"
+            "<p><a href='/ui'>&larr; back to browser</a></p>"
+        )
+        return _PAGE.format(title="Battery Screening (Figure 1)", body=body)
+
+    # -- SVG visualizations ------------------------------------------------------
+
+    def _xrd_svg(self, material_id: str, width: int = 640,
+                 height: int = 220) -> str:
+        rows = self.qe.query({"material_id": material_id}, collection="xrd",
+                             user="webui")
+        if not rows or not rows[0].get("peaks"):
+            return "<p>(no diffraction pattern computed)</p>"
+        peaks = rows[0]["peaks"]
+        sticks = []
+        for p in peaks:
+            x = 20 + (p["two_theta"] - 10) / 80.0 * (width - 40)
+            h = p["intensity"] / 100.0 * (height - 40)
+            sticks.append(
+                f"<line x1='{x:.1f}' y1='{height - 20}' x2='{x:.1f}' "
+                f"y2='{height - 20 - h:.1f}' stroke='#06a' stroke-width='2'>"
+                f"<title>2θ={p['two_theta']:.2f}° hkl={tuple(p['hkl'])} "
+                f"I={p['intensity']:.0f}</title></line>"
+            )
+        axis = (
+            f"<line x1='20' y1='{height - 20}' x2='{width - 20}' "
+            f"y2='{height - 20}' stroke='#444'/>"
+            f"<text x='{width // 2}' y='{height - 4}' font-size='11'>"
+            "2θ (degrees, Cu Kα)</text>"
+        )
+        return (f"<svg width='{width}' height='{height}'>"
+                + "".join(sticks) + axis + "</svg>")
+
+    def _bands_svg(self, material_id: str, width: int = 640,
+                   height: int = 260) -> str:
+        rows = self.qe.query({"material_id": material_id},
+                             collection="bandstructures", user="webui")
+        if not rows or not rows[0].get("bands"):
+            return "<p>(no band structure computed)</p>"
+        data = rows[0]["bands"]
+        bands = data["bands"]
+        fermi = data["fermi_level"]
+        n_k = len(bands[0])
+        flat = [e for band in bands for e in band]
+        e_lo, e_hi = min(flat) - 0.5, max(flat) + 0.5
+
+        def x(i: int) -> float:
+            return 30 + i / max(1, n_k - 1) * (width - 50)
+
+        def y(e: float) -> float:
+            return height - 25 - (e - e_lo) / (e_hi - e_lo) * (height - 45)
+
+        paths = []
+        for band in bands:
+            pts = " ".join(f"{x(i):.1f},{y(e):.1f}" for i, e in enumerate(band))
+            paths.append(
+                f"<polyline points='{pts}' fill='none' stroke='#06a' "
+                "stroke-width='1.2'/>"
+            )
+        fermi_line = (
+            f"<line x1='30' y1='{y(fermi):.1f}' x2='{width - 20}' "
+            f"y2='{y(fermi):.1f}' stroke='#a40' stroke-dasharray='5,4'/>"
+            f"<text x='{width - 90}' y='{y(fermi) - 4:.1f}' font-size='11' "
+            "fill='#a40'>E_F</text>"
+        )
+        labels = []
+        for i, label in enumerate(data.get("labels", [])):
+            if label:
+                labels.append(
+                    f"<text x='{x(i) - 4:.1f}' y='{height - 8}' "
+                    f"font-size='11'>{_esc(label)}</text>"
+                )
+        return (f"<svg width='{width}' height='{height}'>"
+                + "".join(paths) + fermi_line + "".join(labels) + "</svg>")
+
+    # -- annotations -----------------------------------------------------------------
+
+    def _annotations_html(self, material_id: str) -> str:
+        if self.annotations is None:
+            return "<p>(annotations disabled)</p>"
+        notes = self.annotations.for_target("materials", material_id)
+        if not notes:
+            return "<p>(no annotations yet)</p>"
+        return "".join(
+            f"<div class='annotation'><b>{_esc(n['author'])}</b>: "
+            f"{_esc(n['text'])}</div>"
+            for n in notes
+        )

@@ -1,0 +1,200 @@
+"""Command-line interface: populate, serve, query, validate, report.
+
+A downstream operator's entry points over a persistent datastore directory::
+
+    python -m repro.cli populate --data-dir ./mpdb --n 40
+    python -m repro.cli status   --data-dir ./mpdb
+    python -m repro.cli query    --data-dir ./mpdb --formula NaCl
+    python -m repro.cli vnv      --data-dir ./mpdb
+    python -m repro.cli serve    --data-dir ./mpdb --port 8899
+
+Every command opens the same snapshot+journal-backed store, so state
+persists between invocations — a one-machine analog of operating the
+production deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .api import MaterialsAPI, MaterialsAPIServer, QueryEngine, WebUI
+from .api.annotations import AnnotationStore
+from .builders import (
+    BandStructureBuilder,
+    BatteryBuilder,
+    MaterialsBuilder,
+    PhaseDiagramBuilder,
+    SymmetryBuilder,
+    VnVRunner,
+    XRDBuilder,
+)
+from .datagen import SyntheticICSD, elemental_references
+from .docstore import DocumentStore
+from .fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from .matgen import mps_from_structure
+
+ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
+
+
+def _open_store(args: argparse.Namespace) -> DocumentStore:
+    return DocumentStore(persistence_dir=args.data_dir)
+
+
+def cmd_populate(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    db = store["mp"]
+    icsd = SyntheticICSD(seed=args.seed)
+    structures = icsd.structures(args.n)
+    elements = sorted({el for s in structures for el in s.elements})
+    structures += elemental_references(elements)
+    seen, unique = set(), []
+    for s in structures:
+        if s.structure_hash() not in seen:
+            seen.add(s.structure_hash())
+            unique.append(s)
+    records = [mps_from_structure(s) for s in unique]
+    existing = {d["mps_id"] for d in db["mps"].find({}, {"mps_id": 1})}
+    fresh = [(s, r) for s, r in zip(unique, records)
+             if r["mps_id"] not in existing]
+    if fresh:
+        db["mps"].insert_many([r for _, r in fresh])
+    launchpad = LaunchPad(db)
+    intake = launchpad.add_workflow(Workflow([
+        vasp_firework(s, mps_id=r["mps_id"], incar=dict(ROBUST_INCAR),
+                      walltime_s=1e9, memory_mb=1e6)
+        for s, r in zip(unique, records)
+    ]))
+    launches = Rocket(launchpad).rapidfire()
+    print(f"workflow: {intake['added']} new fireworks, "
+          f"{intake['duplicates']} dedup hits, {launches} launched")
+    print(f"materials: {MaterialsBuilder(db).run()}")
+    print(f"phase diagrams: {PhaseDiagramBuilder(db).run()}")
+    print(f"batteries: {BatteryBuilder(db, 'Li').run_intercalation()}")
+    print(f"xrd: {XRDBuilder(db).run()}")
+    print(f"bands: {BandStructureBuilder(db).run()}")
+    print(f"symmetry: {SymmetryBuilder(db).run()}")
+    store.snapshot()
+    print(f"snapshot written to {args.data_dir}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .analysis import database_census
+
+    store = _open_store(args)
+    db = store["mp"]
+    stats = db.command_stats()
+    print(f"database: {stats['db']}  collections: {stats['collections']}  "
+          f"documents: {stats['objects']}  bytes: {stats['dataSize']}")
+    for name in db.list_collection_names():
+        print(f"  {name:20s} {db[name].count_documents():6d} docs")
+    census = database_census(db)
+    if "formation_energy" in census:
+        fe = census["formation_energy"]
+        print(f"formation energy: mean {fe['mean']:.2f} eV/atom "
+              f"(range {fe['min']:.2f} .. {fe['max']:.2f})")
+        print(f"stable materials: {census.get('n_stable', 0)}  "
+              f"metals: {census.get('n_metals', 0)}  "
+              f"insulators: {census.get('n_insulators', 0)}")
+        cov = census["element_coverage"]
+        print(f"chemistry: {cov['n_elements']} elements; most common "
+              + ", ".join(f"{el} ({n})" for el, n in cov["most_common"]))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    qe = QueryEngine(store["mp"])
+    if args.formula:
+        criteria = {"reduced_formula": args.formula}
+    elif args.criteria:
+        criteria = json.loads(args.criteria)
+    else:
+        criteria = {}
+    docs = qe.query(criteria, limit=args.limit,
+                    properties=args.properties.split(",")
+                    if args.properties else None)
+    for doc in docs:
+        doc.pop("_id", None)
+        doc.pop("structure", None)
+        print(json.dumps(doc, default=str))
+    print(f"({len(docs)} documents)", file=sys.stderr)
+    return 0
+
+
+def cmd_vnv(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    report = VnVRunner(store["mp"]).run_all()
+    print(f"V&V: {report['n_violations']} violations in "
+          f"{report['elapsed_s'] * 1e3:.0f} ms")
+    for violation in report["violations"]:
+        print(f"  [{violation['rule']}] {violation['message']}")
+    store.snapshot()
+    return 0 if report["clean"] else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    qe = QueryEngine(store["mp"])
+    api = MaterialsAPI(qe)
+    webui = WebUI(qe, AnnotationStore(store["mp"]))
+    server = MaterialsAPIServer(api, port=args.port, webui=webui)
+    server.start()
+    print(f"Materials API + Web UI on {server.base_url} "
+          f"(try {server.base_url}/ui) — Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Materials Project reproduction CLI"
+    )
+    parser.add_argument("--data-dir", default="./mp-datastore",
+                        help="persistence directory for the document store")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("populate", help="generate inputs, compute, build")
+    p.add_argument("--n", type=int, default=30, help="ICSD structures")
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=cmd_populate)
+
+    p = sub.add_parser("status", help="collection census")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("query", help="query the materials collection")
+    p.add_argument("--formula", help="reduced formula shortcut")
+    p.add_argument("--criteria", help="raw JSON query document")
+    p.add_argument("--properties", help="comma-separated projection")
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("vnv", help="run validation & verification")
+    p.set_defaults(fn=cmd_vnv)
+
+    p = sub.add_parser("serve", help="serve the Materials API + Web UI")
+    p.add_argument("--port", type=int, default=8899)
+    p.set_defaults(fn=cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped through `head`): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

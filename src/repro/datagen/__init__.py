@@ -1,0 +1,17 @@
+"""``repro.datagen`` — synthetic data sources.
+
+:mod:`.icsd` generates the ICSD-like structure population (and battery
+candidate pairs for Fig. 1); :mod:`.workload` generates the week-of-portal
+query traffic behind Fig. 5.
+"""
+
+from .icsd import SyntheticICSD, elemental_references, generate_battery_candidates
+from .workload import QueryWorkload, WorkloadQuery
+
+__all__ = [
+    "SyntheticICSD",
+    "elemental_references",
+    "generate_battery_candidates",
+    "QueryWorkload",
+    "WorkloadQuery",
+]

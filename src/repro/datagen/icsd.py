@@ -1,0 +1,160 @@
+"""Synthetic ICSD: deterministic generation of diverse crystal structures.
+
+The real project "populated from the crystal structures in the Inorganic
+Crystal Structure Data (ICSD) database" (§III-B1); offline we synthesize an
+equivalent population: prototype lattices instantiated over chemically
+sensible element combinations, with ICSD-like provenance metadata, ready to
+serialize as MPS records.
+
+Battery screening (Fig. 1) needs a special sub-population:
+:func:`generate_battery_candidates` emits intercalation frameworks (olivine,
+layered, spinel) for a working ion over many redox metals, *paired with
+their delithiated hosts* so voltage pairs are computable, plus the elemental
+reference crystals every phase diagram needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MatgenError
+from ..matgen.elements import Element
+from ..matgen.mps import MPSRecord, mps_from_structure
+from ..matgen.prototypes import make_prototype
+from ..matgen.structure import Structure
+
+__all__ = ["SyntheticICSD", "generate_battery_candidates", "elemental_references"]
+
+#: Cations that make sensible binary/ternary oxides, halides, sulfides.
+_CATIONS = [
+    "Li", "Na", "K", "Rb", "Cs", "Mg", "Ca", "Sr", "Ba",
+    "Sc", "Ti", "V", "Cr", "Mn", "Fe", "Co", "Ni", "Cu", "Zn",
+    "Y", "Zr", "Nb", "Mo", "Al", "Ga", "In", "Sn", "La", "Ce",
+]
+_ANIONS = ["O", "S", "Se", "F", "Cl", "Br", "N"]
+_BINARY_PROTOS = ["rocksalt", "cscl", "fluorite", "zincblende"]
+_TERNARY_PROTOS = ["perovskite", "spinel", "layered", "olivine"]
+
+#: Redox-active framework metals for battery candidates.
+_REDOX_METALS = ["Ti", "V", "Cr", "Mn", "Fe", "Co", "Ni", "Cu", "Mo", "Nb"]
+
+
+class SyntheticICSD:
+    """Deterministic stream of ICSD-like structures + metadata."""
+
+    def __init__(self, seed: int = 2012):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._next_icsd_id = 100000
+        self._seen_hashes: set = set()
+
+    def _icsd_id(self) -> int:
+        self._next_icsd_id += 1
+        return self._next_icsd_id
+
+    def _random_binary(self) -> Structure:
+        proto = self._rng.choice(_BINARY_PROTOS)
+        cation = self._rng.choice(_CATIONS)
+        anion = self._rng.choice(_ANIONS)
+        return make_prototype(proto, [cation, anion])
+
+    def _random_ternary(self) -> Structure:
+        proto = self._rng.choice(_TERNARY_PROTOS)
+        if proto == "perovskite":
+            a = self._rng.choice(["Ca", "Sr", "Ba", "La", "K"])
+            b = self._rng.choice(["Ti", "Zr", "Nb", "Mn", "Fe"])
+            return make_prototype(proto, [a, b])
+        if proto == "spinel":
+            a = self._rng.choice(["Mg", "Zn", "Mn", "Fe", "Li"])
+            b = self._rng.choice(["Al", "Cr", "Fe", "Co", "Mn"])
+            return make_prototype(proto, [a, b])
+        if proto == "layered":
+            a = self._rng.choice(["Li", "Na", "K"])
+            m = self._rng.choice(_REDOX_METALS)
+            return make_prototype(proto, [a, m])
+        # olivine
+        a = self._rng.choice(["Li", "Na"])
+        m = self._rng.choice(_REDOX_METALS)
+        return make_prototype(proto, [a, m])
+
+    def structures(self, n: int, ternary_fraction: float = 0.4) -> List[Structure]:
+        """``n`` distinct structures (by fingerprint), deterministic."""
+        out: List[Structure] = []
+        attempts = 0
+        while len(out) < n:
+            attempts += 1
+            if attempts > 50 * max(1, n):
+                raise MatgenError(
+                    "element/prototype space exhausted before reaching n"
+                )
+            if self._rng.random() < ternary_fraction:
+                s = self._random_ternary()
+            else:
+                s = self._random_binary()
+            h = s.structure_hash()
+            if h in self._seen_hashes:
+                continue
+            self._seen_hashes.add(h)
+            out.append(s)
+        return out
+
+    def mps_records(self, n: int, **kwargs) -> List[MPSRecord]:
+        """``n`` MPS records with ICSD-like provenance."""
+        records = []
+        for s in self.structures(n, **kwargs):
+            records.append(
+                mps_from_structure(
+                    s,
+                    source="icsd",
+                    created_by="mp-core",
+                    extra_metadata={"icsd_id": self._icsd_id()},
+                )
+            )
+        return records
+
+
+def elemental_references(symbols: Sequence[str]) -> List[Structure]:
+    """Elemental reference crystals (bcc metals / fcc others)."""
+    out = []
+    for sym in sorted(set(symbols)):
+        proto = "bcc" if Element(sym).is_metal else "fcc"
+        out.append(make_prototype(proto, [sym]))
+    return out
+
+
+def generate_battery_candidates(
+    working_ion: str = "Li",
+    metals: Optional[Sequence[str]] = None,
+    frameworks: Sequence[str] = ("olivine", "layered", "spinel"),
+) -> List[Dict]:
+    """Charged/discharged structure pairs for battery screening (Fig. 1).
+
+    Returns dicts: ``{"framework": ..., "metal": ..., "discharged":
+    Structure, "charged": Structure}`` where the charged structure is the
+    working-ion-free host with identical geometry (topotactic removal).
+    """
+    metals = list(metals or _REDOX_METALS)
+    out: List[Dict] = []
+    for framework in frameworks:
+        for metal in metals:
+            if framework == "spinel" and metal == working_ion:
+                continue
+            try:
+                if framework == "spinel":
+                    discharged = make_prototype("spinel", [working_ion, metal])
+                else:
+                    discharged = make_prototype(framework, [working_ion, metal])
+                charged = discharged.remove_species([working_ion])
+            except MatgenError:
+                continue
+            out.append(
+                {
+                    "framework": framework,
+                    "metal": metal,
+                    "working_ion": working_ion,
+                    "discharged": discharged,
+                    "charged": charged,
+                }
+            )
+    return out

@@ -1,0 +1,168 @@
+"""Web-query workload generator — the load behind Figure 5.
+
+The paper reports "3315 distinct queries returning a total of 12,951,099
+records" in one week (§III) and a latency histogram with "a majority of the
+queries on the order of a few hundred milliseconds" with a few outliers
+(Fig. 5).  This module synthesizes that workload shape: a mix of query
+archetypes drawn from a heavy-tailed popularity distribution, spread over a
+simulated time axis with a diurnal cycle.
+
+Archetypes (weights mirror how a materials portal is actually used):
+
+* formula lookup (``{"reduced_formula": X}``) — the dominant cheap query
+* chemical-system browse (``{"chemical_system": X}``)
+* element containment (``{"elements": {"$all": [...]}}``)
+* property range scans (band gap / formation-energy windows)
+* paginated full browses with sorts — the rare expensive outliers
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["QueryWorkload", "WorkloadQuery"]
+
+
+class WorkloadQuery:
+    """One synthetic web query: collection, filter, options, arrival time."""
+
+    def __init__(self, collection: str, query: Dict[str, Any],
+                 sort: Optional[List[Tuple[str, int]]], limit: int,
+                 arrival_s: float, user: str, archetype: str):
+        self.collection = collection
+        self.query = query
+        self.sort = sort
+        self.limit = limit
+        self.arrival_s = arrival_s
+        self.user = user
+        self.archetype = archetype
+
+    def __repr__(self) -> str:
+        return f"WorkloadQuery({self.archetype}, t={self.arrival_s:.0f}s)"
+
+
+class QueryWorkload:
+    """Deterministic generator of a week-of-portal-traffic workload."""
+
+    ARCHETYPE_WEIGHTS = {
+        "formula_lookup": 0.40,
+        "chemsys_browse": 0.20,
+        "element_containment": 0.18,
+        "property_range": 0.14,
+        "full_browse": 0.05,
+        "battery_screen": 0.03,
+    }
+
+    def __init__(
+        self,
+        formulas: Sequence[str],
+        chemical_systems: Sequence[str],
+        elements: Sequence[str],
+        n_users: int = 50,
+        seed: int = 824,
+        duration_s: float = 7 * 24 * 3600.0,
+    ):
+        if not formulas or not elements:
+            raise ReproError("workload needs formulas and elements to draw from")
+        self.formulas = list(formulas)
+        self.chemical_systems = list(chemical_systems) or list(formulas)
+        self.elements = list(elements)
+        self.n_users = int(n_users)
+        self.duration_s = float(duration_s)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- popularity & timing ------------------------------------------------
+
+    def _zipf_choice(self, items: Sequence[Any]) -> Any:
+        """Heavy-tailed popularity: rank-1/x sampling."""
+        n = len(items)
+        # Inverse CDF of 1/x on [1, n].
+        u = self._rng.random()
+        rank = int(math.exp(u * math.log(n))) - 1
+        return items[min(rank, n - 1)]
+
+    def _arrival(self) -> float:
+        """Uniform day draw + diurnal intra-day profile (peak mid-day)."""
+        day = self._rng.randrange(int(self.duration_s // 86400) or 1)
+        # Rejection-sample an hour with sinusoidal day/night weighting.
+        while True:
+            hour = self._rng.random() * 24
+            weight = 0.35 + 0.65 * max(0.0, math.sin(math.pi * (hour - 6) / 14))
+            if self._rng.random() < weight:
+                break
+        arrival = day * 86400.0 + hour * 3600.0 + self._rng.random() * 60
+        return min(arrival, self.duration_s)
+
+    # -- archetypes -------------------------------------------------------------
+
+    def _make(self, archetype: str, arrival: float, user: str) -> WorkloadQuery:
+        rng = self._rng
+        if archetype == "formula_lookup":
+            return WorkloadQuery(
+                "materials",
+                {"reduced_formula": self._zipf_choice(self.formulas)},
+                None, 10, arrival, user, archetype,
+            )
+        if archetype == "chemsys_browse":
+            return WorkloadQuery(
+                "materials",
+                {"chemical_system": self._zipf_choice(self.chemical_systems)},
+                [("energy_per_atom", 1)], 50, arrival, user, archetype,
+            )
+        if archetype == "element_containment":
+            k = rng.choice([1, 2, 2, 3])
+            els = rng.sample(self.elements, min(k, len(self.elements)))
+            return WorkloadQuery(
+                "materials",
+                {"elements": {"$all": sorted(els)}},
+                None, 100, arrival, user, archetype,
+            )
+        if archetype == "property_range":
+            if rng.random() < 0.5:
+                lo = round(rng.uniform(0.0, 3.0), 2)
+                q = {"band_gap": {"$gte": lo, "$lte": lo + rng.choice([0.5, 1.0])}}
+            else:
+                hi = round(rng.uniform(-3.0, 0.0), 2)
+                q = {"formation_energy_per_atom": {"$lte": hi}}
+            return WorkloadQuery("materials", q, [("band_gap", -1)], 100,
+                                 arrival, user, archetype)
+        if archetype == "full_browse":
+            return WorkloadQuery(
+                "materials", {},
+                [("formation_energy_per_atom", 1)],
+                rng.choice([200, 500, 1000]),
+                arrival, user, archetype,
+            )
+        if archetype == "battery_screen":
+            return WorkloadQuery(
+                "batteries",
+                {"average_voltage": {"$gte": 2.0},
+                 "capacity_grav": {"$gte": 100.0}},
+                [("specific_energy", -1)], 100, arrival, user, archetype,
+            )
+        raise ReproError(f"unknown archetype {archetype!r}")
+
+    # -- generation ---------------------------------------------------------------
+
+    def generate(self, n_queries: int = 3315) -> List[WorkloadQuery]:
+        """``n_queries`` queries sorted by arrival time (the paper's 3,315)."""
+        names = list(self.ARCHETYPE_WEIGHTS)
+        weights = [self.ARCHETYPE_WEIGHTS[a] for a in names]
+        out = []
+        for _ in range(n_queries):
+            archetype = self._rng.choices(names, weights)[0]
+            user = f"user{self._rng.randrange(self.n_users):03d}"
+            out.append(self._make(archetype, self._arrival(), user))
+        out.sort(key=lambda q: q.arrival_s)
+        return out
+
+    def archetype_mix(self, queries: Sequence[WorkloadQuery]) -> Dict[str, int]:
+        mix: Dict[str, int] = {}
+        for q in queries:
+            mix[q.archetype] = mix.get(q.archetype, 0) + 1
+        return mix

@@ -1,0 +1,43 @@
+"""``repro.dft`` — the pseudo-DFT engine standing in for VASP.
+
+Deterministic physics with VASP's operational envelope: an energy model
+(:mod:`.energy`), a parameter-sensitive SCF loop (:mod:`.scf`), the FakeVASP
+runner with walltime/memory failure modes (:mod:`.vasp`), and run-directory
+I/O that writes bulky raw outputs and parses them back down to small task
+summaries (:mod:`.io`).
+"""
+
+from .energy import (
+    formation_energy_per_atom,
+    reference_energy_per_atom,
+    structure_jitter,
+    total_energy,
+)
+from .scf import SCFParameters, SCFResult, expected_iterations, run_scf, structure_difficulty
+from .vasp import (
+    FakeVASP,
+    Resources,
+    VaspRun,
+    estimate_memory_mb,
+    estimate_walltime_s,
+)
+from .io import parse_run_directory, raw_output_size
+
+__all__ = [
+    "formation_energy_per_atom",
+    "reference_energy_per_atom",
+    "structure_jitter",
+    "total_energy",
+    "SCFParameters",
+    "SCFResult",
+    "expected_iterations",
+    "run_scf",
+    "structure_difficulty",
+    "FakeVASP",
+    "Resources",
+    "VaspRun",
+    "estimate_memory_mb",
+    "estimate_walltime_s",
+    "parse_run_directory",
+    "raw_output_size",
+]

@@ -1,0 +1,259 @@
+"""Run-directory I/O: bulky raw outputs and the parser that reduces them.
+
+§III-B: "While the VASP calculations are running, they generate from a small
+input (the initial crystal) several MB of intermediate output data.  This is
+parsed and reduced by the FireWorks Analyzer ... so that the aggregate
+volume of data stored in our database remains relatively small."
+
+``write_outputs`` produces the raw side: INCAR/POSCAR text inputs, an
+OSZICAR iteration log, an OUTCAR with per-iteration blocks *plus a plain-text
+charge-density grid* (the deliberate bulk), and an EIGENVAL band file.
+``parse_run_directory`` is the reduce side: it re-reads only the text files
+(never Python objects) and distils them into a small summary document ready
+for the ``tasks`` collection — typically a 100–1000× size reduction, which
+the tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..errors import DFTError
+from ..matgen.structure import Structure
+
+__all__ = ["write_inputs", "write_outputs", "write_failure",
+           "parse_run_directory", "raw_output_size"]
+
+#: Charge-density grid points per axis (bulk knob; 24³ ≈ 14k values).
+CHG_GRID = 24
+
+
+def write_inputs(run_dir: str, structure: Structure, params: Any,
+                 version: str) -> None:
+    """Write INCAR/POSCAR/KPOINTS-like input files."""
+    with open(os.path.join(run_dir, "INCAR"), "w") as fh:
+        fh.write(f"# FakeVASP {version}\n")
+        for key, value in params.as_dict().items():
+            fh.write(f"{key} = {value}\n")
+    with open(os.path.join(run_dir, "POSCAR"), "w") as fh:
+        fh.write(f"{structure.reduced_formula}\n1.0\n")
+        for row in structure.lattice.matrix:
+            fh.write("  " + "  ".join(f"{x:.10f}" for x in row) + "\n")
+        symbols = [s.element.symbol for s in structure.sites]
+        # Coordinates MUST be grouped in the symbol-line order: VASP (and
+        # any conforming reader) assigns species by count blocks.
+        uniq = sorted(set(symbols), key=symbols.index)
+        fh.write(" ".join(uniq) + "\n")
+        fh.write(" ".join(str(symbols.count(u)) for u in uniq) + "\n")
+        fh.write("Direct\n")
+        for symbol in uniq:
+            for site in structure.sites:
+                if site.element.symbol != symbol:
+                    continue
+                fh.write(
+                    "  "
+                    + "  ".join(f"{x:.10f}" for x in site.frac_coords)
+                    + f"  {symbol}\n"
+                )
+    with open(os.path.join(run_dir, "KPOINTS"), "w") as fh:
+        fh.write("Automatic mesh\n0\nGamma\n4 4 4\n")
+
+
+def write_outputs(run_dir: str, run: Any, version: str) -> None:
+    """Write the raw output side of a successful run (the bulky part)."""
+    scf = run.scf
+    structure = run.structure
+    # OSZICAR: one line per SCF step.
+    with open(os.path.join(run_dir, "OSZICAR"), "w") as fh:
+        e = scf.energy * 1.05
+        for i, res in enumerate(scf.residuals, start=1):
+            e = scf.energy + (e - scf.energy) * 0.6
+            fh.write(f"DAV: {i:4d}  {e: .8E}  {res: .3E}\n")
+        fh.write(f"  F= {scf.energy:.8f} E0= {scf.energy:.8f}\n")
+
+    # OUTCAR: verbose per-iteration blocks + charge-density grid.
+    with open(os.path.join(run_dir, "OUTCAR"), "w") as fh:
+        fh.write(f" vasp.{version} (fake) executed on  LinuxIFC\n")
+        fh.write(f" POSCAR = {structure.reduced_formula}\n")
+        fh.write(f" NIONS = {structure.num_sites}\n")
+        for key, value in scf.parameters.as_dict().items():
+            fh.write(f"   {key:8s} = {value}\n")
+        for i, res in enumerate(scf.residuals, start=1):
+            fh.write(
+                f"----------------------- Iteration {i:5d} "
+                "-----------------------\n"
+            )
+            fh.write(f"    POTLOK:  cpu time {0.5 + 0.01 * i:10.4f}\n")
+            fh.write(f"    density residual   {res: .6E}\n")
+            fh.write("    eigenvalue-minimisations  :   24\n")
+            fh.write(f"    total energy-change (2. order) : {res * 10: .7E}\n")
+        fh.write("   reached required accuracy - stopping structural minimisation\n")
+        fh.write(f"  FREE ENERGIE OF THE ION-ELECTRON SYSTEM (eV)\n")
+        fh.write(f"  free  energy   TOTEN  = {scf.energy:16.8f} eV\n")
+        fh.write(f"  energy without entropy= {scf.energy:16.8f}\n")
+        # The bulk: plain-text charge density on a grid (what CHGCAR is).
+        fh.write(f"\n CHARGE DENSITY GRID {CHG_GRID} {CHG_GRID} {CHG_GRID}\n")
+        rng = np.random.default_rng(
+            abs(hash(structure.structure_hash())) % (2 ** 32)
+        )
+        grid = rng.random(CHG_GRID ** 3) * structure.num_sites
+        for start in range(0, grid.size, 6):
+            fh.write(
+                " ".join(f"{x: .10E}" for x in grid[start:start + 6]) + "\n"
+            )
+
+    # EIGENVAL: band energies per k-point.
+    bs = run.band_structure
+    with open(os.path.join(run_dir, "EIGENVAL"), "w") as fh:
+        fh.write(f"{bs.n_bands} {len(bs.kpoints)} {bs.fermi_level:.6f}\n")
+        for ik, k in enumerate(bs.kpoints):
+            fh.write(f"k {k[0]:.6f} {k[1]:.6f} {k[2]:.6f}\n")
+            for ib in range(bs.n_bands):
+                fh.write(f"  {ib + 1} {bs.bands[ib, ik]:.6f}\n")
+
+    # Machine-readable footer the parser uses for exact values.
+    with open(os.path.join(run_dir, "run_summary.json"), "w") as fh:
+        json.dump(
+            {
+                "version": version,
+                "status": "COMPLETED",
+                "energy": scf.energy,
+                "energy_per_atom": scf.energy_per_atom,
+                "n_iterations": scf.n_iterations,
+                "walltime_used_s": run.walltime_used_s,
+                "memory_used_mb": run.memory_used_mb,
+                "parameters": scf.parameters.as_dict(),
+                "structure": structure.as_dict(),
+            },
+            fh,
+        )
+
+
+def write_failure(run_dir: str, kind: str, message: str, version: str) -> None:
+    """Leave the truncated artifacts of a killed/failed run."""
+    with open(os.path.join(run_dir, "OUTCAR"), "a") as fh:
+        fh.write(f" vasp.{version} (fake)\n")
+        if kind == "WALLTIME":
+            fh.write(" =>> PBS: job killed: walltime exceeded limit\n")
+        elif kind == "OOM":
+            fh.write(" forrtl: severe (41): insufficient virtual memory\n")
+        else:
+            fh.write(
+                " ZBRENT: fatal error: electronic self-consistency loop "
+                "did not converge\n"
+            )
+        fh.write(f" {message}\n")
+    with open(os.path.join(run_dir, "run_summary.json"), "w") as fh:
+        json.dump(
+            {"version": version, "status": "FAILED", "error_kind": kind,
+             "message": message},
+            fh,
+        )
+
+
+def raw_output_size(run_dir: str) -> int:
+    """Total bytes of raw output files in a run directory."""
+    total = 0
+    for name in os.listdir(run_dir):
+        total += os.path.getsize(os.path.join(run_dir, name))
+    return total
+
+
+def parse_run_directory(run_dir: str) -> Dict[str, Any]:
+    """Parse + reduce a run directory into a small task summary document.
+
+    This is the FireWorks Analyzer's first stage: it must work from the
+    text files alone.  The OUTCAR is scanned for the final energy and the
+    failure signature; OSZICAR yields the iteration count; EIGENVAL yields
+    the band gap summary; the charge-density bulk is *not* retained (that
+    is the entire point of the reduction).
+    """
+    outcar_path = os.path.join(run_dir, "OUTCAR")
+    summary_path = os.path.join(run_dir, "run_summary.json")
+    if not os.path.exists(outcar_path) and not os.path.exists(summary_path):
+        raise DFTError(f"no outputs found in {run_dir!r}")
+
+    doc: Dict[str, Any] = {"run_dir": run_dir}
+
+    if os.path.exists(summary_path):
+        try:
+            with open(summary_path) as fh:
+                footer = json.load(fh)
+        except (ValueError, OSError) as exc:
+            raise DFTError(
+                f"corrupt run summary in {run_dir!r}: {exc}"
+            ) from exc
+        doc["status"] = footer.get("status", "UNKNOWN")
+        doc["code_version"] = footer.get("version")
+        if doc["status"] == "FAILED":
+            doc["error_kind"] = footer.get("error_kind")
+            doc["error_message"] = footer.get("message")
+            return doc
+        doc["energy"] = footer["energy"]
+        doc["energy_per_atom"] = footer["energy_per_atom"]
+        doc["n_iterations"] = footer["n_iterations"]
+        doc["walltime_used_s"] = footer["walltime_used_s"]
+        doc["memory_used_mb"] = footer["memory_used_mb"]
+        doc["parameters"] = footer["parameters"]
+        doc["structure"] = footer["structure"]
+
+    # Cross-check the OUTCAR text (the "real" parse).
+    if os.path.exists(outcar_path):
+        iterations = 0
+        energy_text: Optional[float] = None
+        error_line: Optional[str] = None
+        with open(outcar_path) as fh:
+            for line in fh:
+                if "Iteration" in line:
+                    iterations += 1
+                elif "TOTEN" in line:
+                    energy_text = float(line.split("=")[1].split()[0])
+                elif "ZBRENT" in line or "walltime exceeded" in line or (
+                    "insufficient virtual memory" in line
+                ):
+                    error_line = line.strip()
+                elif line.startswith(" CHARGE DENSITY GRID"):
+                    break  # never read the bulk
+        doc["outcar"] = {
+            "iterations_seen": iterations,
+            "final_energy_text": energy_text,
+            "error_line": error_line,
+        }
+        if energy_text is not None and "energy" in doc:
+            if abs(energy_text - doc["energy"]) > 1e-4:
+                raise DFTError(
+                    f"OUTCAR energy {energy_text} disagrees with summary "
+                    f"{doc['energy']}"
+                )
+
+    # Band gap from EIGENVAL (reduced: gap only, not the full bands).
+    eig_path = os.path.join(run_dir, "EIGENVAL")
+    if os.path.exists(eig_path):
+        with open(eig_path) as fh:
+            header = fh.readline().split()
+            n_bands, n_k, fermi = int(header[0]), int(header[1]), float(header[2])
+            bands = np.zeros((n_bands, n_k))
+            ik = -1
+            for line in fh:
+                if line.startswith("k "):
+                    ik += 1
+                else:
+                    parts = line.split()
+                    bands[int(parts[0]) - 1, ik] = float(parts[1])
+        below = bands[bands <= fermi]
+        above = bands[bands > fermi]
+        crosses = ((bands.min(axis=1) < fermi) & (bands.max(axis=1) > fermi)).any()
+        if crosses or below.size == 0 or above.size == 0:
+            gap = 0.0
+        else:
+            gap = max(0.0, float(above.min() - below.max()))
+        doc["band_gap"] = gap
+        doc["is_metal"] = bool(crosses)
+        doc["fermi_level"] = fermi
+
+    doc["raw_output_bytes"] = raw_output_size(run_dir)
+    return doc

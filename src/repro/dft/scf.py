@@ -1,0 +1,188 @@
+"""The iterative SCF loop with parameter-dependent convergence.
+
+§III-C1: "The core method is really a series of algorithms, each of which is
+an iterative calculation with several key parameters.  There is no single
+set of parameters or iterative algorithms that works best for all types of
+crystals, and there is no guarantee that a given run will converge at all."
+
+We reproduce exactly that operational profile with a damped fixed-point
+iteration on a small charge-density vector:
+
+    rho_{n+1} = (1 - β) rho_n + β F(rho_n)
+
+``F`` is a contraction with structure-dependent conditioning λ ∈ (0, 2):
+well-behaved crystals have λ < 1 for any mixing; "difficult" crystals
+(deterministically selected by structure hash) have λ that exceeds 1 when
+the mixing β is too aggressive for the algorithm in use, so the loop
+oscillates and hits NELM without converging — the error that, in the real
+pipeline, triggers a FireWorks *detour* with reduced AMIX or ALGO=Normal.
+
+Cutoff energy (ENCUT) controls the discretization bias of the converged
+energy: ``E(ENCUT) = E_∞ + A·exp(-ENCUT/150)``, so under-converged inputs
+give systematically wrong (higher) energies that V&V rules can catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import List, Optional
+
+from ..errors import ConvergenceError, InputError
+from ..matgen.structure import Structure
+from .energy import total_energy
+
+__all__ = ["SCFParameters", "SCFResult", "run_scf", "structure_difficulty"]
+
+#: Energy bias amplitude for finite cutoff (eV/atom).
+CUTOFF_BIAS_EV = 0.8
+
+#: Cutoff e-folding scale (eV).
+CUTOFF_SCALE = 150.0
+
+
+class SCFParameters:
+    """INCAR-like knobs of the pseudo-DFT SCF loop."""
+
+    def __init__(
+        self,
+        encut: float = 520.0,
+        nelm: int = 60,
+        ediff: float = 1e-5,
+        amix: float = 0.4,
+        algo: str = "Fast",
+    ):
+        if encut <= 0:
+            raise InputError(f"ENCUT must be positive, got {encut}")
+        if nelm < 1:
+            raise InputError(f"NELM must be >= 1, got {nelm}")
+        if ediff <= 0:
+            raise InputError(f"EDIFF must be positive, got {ediff}")
+        if not 0 < amix <= 1:
+            raise InputError(f"AMIX must be in (0, 1], got {amix}")
+        if algo not in ("Fast", "Normal", "All"):
+            raise InputError(f"ALGO must be Fast/Normal/All, got {algo!r}")
+        self.encut = float(encut)
+        self.nelm = int(nelm)
+        self.ediff = float(ediff)
+        self.amix = float(amix)
+        self.algo = algo
+
+    def as_dict(self) -> dict:
+        return {
+            "ENCUT": self.encut,
+            "NELM": self.nelm,
+            "EDIFF": self.ediff,
+            "AMIX": self.amix,
+            "ALGO": self.algo,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SCFParameters":
+        return cls(
+            encut=d.get("ENCUT", 520.0),
+            nelm=d.get("NELM", 60),
+            ediff=d.get("EDIFF", 1e-5),
+            amix=d.get("AMIX", 0.4),
+            algo=d.get("ALGO", "Fast"),
+        )
+
+
+class SCFResult:
+    """Outcome of a converged (or aborted) SCF loop."""
+
+    def __init__(
+        self,
+        converged: bool,
+        energy: float,
+        energy_per_atom: float,
+        n_iterations: int,
+        residuals: List[float],
+        parameters: SCFParameters,
+    ):
+        self.converged = converged
+        self.energy = energy
+        self.energy_per_atom = energy_per_atom
+        self.n_iterations = n_iterations
+        self.residuals = residuals
+        self.parameters = parameters
+
+    def as_dict(self) -> dict:
+        return {
+            "converged": self.converged,
+            "energy": self.energy,
+            "energy_per_atom": self.energy_per_atom,
+            "n_iterations": self.n_iterations,
+            "final_residual": self.residuals[-1] if self.residuals else None,
+            "parameters": self.parameters.as_dict(),
+        }
+
+
+def structure_difficulty(structure: Structure) -> float:
+    """Deterministic conditioning score in [0, 1): larger = harder to converge.
+
+    ~15% of structures land above 0.85 and need gentler mixing (a detour),
+    matching the paper's description of jobs that "sometimes quit with an
+    error message" and need "a few minor input parameters changed".
+    """
+    h = hashlib.sha1(
+        ("difficulty:" + structure.structure_hash()).encode()
+    ).digest()
+    return int.from_bytes(h[:8], "big") / 2 ** 64
+
+
+def _contraction_factor(structure: Structure, params: SCFParameters) -> float:
+    """Spectral radius of the damped iteration; > 1 diverges."""
+    difficulty = structure_difficulty(structure)
+    # Base conditioning: easy structures ~0.5, hard ones approach 1.6.
+    lam = 0.5 + 1.1 * difficulty
+    algo_gain = {"Fast": 1.0, "Normal": 0.55, "All": 0.35}[params.algo]
+    # Damped iteration: rho = |1 - beta| + beta * lam * algo_gain.
+    beta = params.amix
+    return abs(1.0 - beta) + beta * lam * algo_gain
+
+
+def run_scf(structure: Structure, params: Optional[SCFParameters] = None) -> SCFResult:
+    """Run the SCF loop; raises :class:`ConvergenceError` on NELM exhaustion.
+
+    The converged energy is the model total energy plus the finite-cutoff
+    bias.  The residual trace follows the contraction factor exactly, so
+    iteration counts respond to AMIX/ALGO the way a real code's would.
+    """
+    params = params or SCFParameters()
+    rho = _contraction_factor(structure, params)
+    n_atoms = structure.num_sites
+
+    e_converged = total_energy(structure)
+    bias = CUTOFF_BIAS_EV * math.exp(-params.encut / CUTOFF_SCALE) * n_atoms
+    e_final = e_converged + bias
+
+    residuals: List[float] = []
+    residual = 1.0  # initial density error (normalized)
+    for iteration in range(1, params.nelm + 1):
+        residual *= rho
+        # Small deterministic wobble so traces look like real SCF logs.
+        wobble = 1.0 + 0.05 * math.sin(iteration * 2.3)
+        residuals.append(residual * wobble)
+        if residual < params.ediff:
+            return SCFResult(
+                converged=True,
+                energy=e_final,
+                energy_per_atom=e_final / n_atoms,
+                n_iterations=iteration,
+                residuals=residuals,
+                parameters=params,
+            )
+    raise ConvergenceError(
+        f"SCF did not converge in NELM={params.nelm} iterations "
+        f"(residual {residuals[-1]:.2e}, contraction {rho:.3f}; "
+        f"reduce AMIX or switch ALGO)"
+    )
+
+
+def expected_iterations(structure: Structure, params: SCFParameters) -> float:
+    """Closed-form iteration estimate: n = ln(EDIFF) / ln(ρ)."""
+    rho = _contraction_factor(structure, params)
+    if rho >= 1.0:
+        return math.inf
+    return math.log(params.ediff) / math.log(rho)

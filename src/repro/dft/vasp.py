@@ -1,0 +1,213 @@
+"""FakeVASP: the pseudo-DFT *code* with VASP's operational envelope.
+
+This is the executable the workflow engine schedules.  Given a structure and
+INCAR-like parameters it:
+
+* deterministically estimates the walltime and memory the run *needs*
+  (unpredictable-looking — log-normal-ish jitter over a strong ``nsites``
+  power law, spanning "minutes to days" at real scale, §III-C1);
+* fails with :class:`~repro.errors.WalltimeExceeded` /
+  :class:`~repro.errors.MemoryExceeded` when the allocated resources fall
+  short (the batch system's kill), leaving a *truncated* run directory
+  exactly like a killed job would;
+* runs the SCF loop, which may raise :class:`~repro.errors.ConvergenceError`
+  for hard structures with aggressive mixing (the "quit with an error
+  message" case needing a detour);
+* on success writes a run directory of raw output files — INCAR, POSCAR,
+  OSZICAR, a deliberately bulky OUTCAR with per-iteration blocks and a
+  charge-density grid, and an EIGENVAL band file — several hundred KB that
+  the Analyzer must parse and reduce (§III-B "several MB of intermediate
+  output ... parsed and reduced").
+
+Nothing sleeps: runtimes are *simulated* quantities consumed by the HPC
+simulator, so the whole pipeline runs at laptop speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+from ..errors import InputError, MemoryExceeded, WalltimeExceeded
+from ..matgen.bandstructure import compute_band_structure
+from ..matgen.dos import compute_dos
+from ..matgen.structure import Structure
+from .scf import SCFParameters, SCFResult, run_scf
+from . import io as dft_io
+
+__all__ = ["Resources", "VaspRun", "FakeVASP", "estimate_walltime_s",
+           "estimate_memory_mb"]
+
+#: Walltime prefactor: seconds per site^2.5 at ENCUT=520 (simulated).
+_WALLTIME_PREFACTOR = 9.0
+
+#: Baseline memory + per-site slope (MB, simulated).
+_MEM_BASE_MB = 180.0
+_MEM_PER_SITE_MB = 35.0
+
+
+def _jitter(structure: Structure, tag: str, lo: float, hi: float) -> float:
+    """Deterministic multiplicative jitter in [lo, hi] from the structure."""
+    h = hashlib.sha1((tag + structure.structure_hash()).encode()).digest()
+    unit = int.from_bytes(h[:8], "big") / 2 ** 64
+    # Log-uniform: runtimes look log-normal-ish across a population.
+    return lo * (hi / lo) ** unit
+
+
+def estimate_walltime_s(structure: Structure, params: SCFParameters) -> float:
+    """Simulated walltime the run will actually need (seconds)."""
+    n = structure.num_sites
+    base = _WALLTIME_PREFACTOR * n ** 2.5 * (params.encut / 520.0) ** 1.5
+    return base * _jitter(structure, "walltime:", 0.4, 4.0)
+
+
+def estimate_memory_mb(structure: Structure, params: SCFParameters) -> float:
+    """Simulated peak memory the run will need (MB)."""
+    n = structure.num_sites
+    base = _MEM_BASE_MB + _MEM_PER_SITE_MB * n * (params.encut / 520.0)
+    return base * _jitter(structure, "memory:", 0.8, 1.6)
+
+
+class Resources:
+    """What the batch job granted this calculation."""
+
+    def __init__(self, walltime_s: float = 6 * 3600.0, memory_mb: float = 4096.0,
+                 cores: int = 24):
+        if walltime_s <= 0 or memory_mb <= 0 or cores < 1:
+            raise InputError("resources must be positive")
+        self.walltime_s = float(walltime_s)
+        self.memory_mb = float(memory_mb)
+        self.cores = int(cores)
+
+    def as_dict(self) -> dict:
+        return {
+            "walltime_s": self.walltime_s,
+            "memory_mb": self.memory_mb,
+            "cores": self.cores,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Resources":
+        return cls(d.get("walltime_s", 6 * 3600.0), d.get("memory_mb", 4096.0),
+                   d.get("cores", 24))
+
+
+class VaspRun:
+    """A completed FakeVASP run: SCF result + derived electronic structure."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        scf: SCFResult,
+        walltime_used_s: float,
+        memory_used_mb: float,
+        run_dir: Optional[str],
+    ):
+        self.structure = structure
+        self.scf = scf
+        self.walltime_used_s = walltime_used_s
+        self.memory_used_mb = memory_used_mb
+        self.run_dir = run_dir
+        self.band_structure = compute_band_structure(structure)
+        self.dos = compute_dos(self.band_structure)
+
+    @property
+    def final_energy(self) -> float:
+        return self.scf.energy
+
+    @property
+    def energy_per_atom(self) -> float:
+        return self.scf.energy_per_atom
+
+    @property
+    def band_gap(self) -> float:
+        return self.band_structure.band_gap
+
+    def as_dict(self) -> dict:
+        return {
+            "formula": self.structure.reduced_formula,
+            "scf": self.scf.as_dict(),
+            "walltime_used_s": self.walltime_used_s,
+            "memory_used_mb": self.memory_used_mb,
+            "band_gap": self.band_gap,
+            "is_metal": self.band_structure.is_metal,
+            "run_dir": self.run_dir,
+        }
+
+
+class FakeVASP:
+    """The pseudo-DFT executable.
+
+    Parameters
+    ----------
+    version:
+        Stamped into outputs; the tasks collection stores runs of "different
+        versions of VASP ... side by side" (§III-B2).
+    """
+
+    def __init__(self, version: str = "5.2.12-fake"):
+        self.version = version
+
+    def run(
+        self,
+        structure: Structure,
+        params: Optional[SCFParameters] = None,
+        resources: Optional[Resources] = None,
+        run_dir: Optional[str] = None,
+    ) -> VaspRun:
+        """Execute one calculation; writes ``run_dir`` if given.
+
+        Raises WalltimeExceeded / MemoryExceeded / ConvergenceError with a
+        truncated run directory left behind, as the real failure modes do.
+        """
+        params = params or SCFParameters()
+        resources = resources or Resources()
+        if run_dir is not None:
+            os.makedirs(run_dir, exist_ok=True)
+            dft_io.write_inputs(run_dir, structure, params, self.version)
+
+        needed_mem = estimate_memory_mb(structure, params)
+        if needed_mem > resources.memory_mb:
+            if run_dir is not None:
+                dft_io.write_failure(
+                    run_dir, "OOM", f"needed {needed_mem:.0f} MB, "
+                    f"had {resources.memory_mb:.0f} MB", self.version
+                )
+            raise MemoryExceeded(
+                f"calculation needs {needed_mem:.0f} MB but only "
+                f"{resources.memory_mb:.0f} MB allocated"
+            )
+
+        needed_wall = estimate_walltime_s(structure, params)
+        if needed_wall > resources.walltime_s:
+            if run_dir is not None:
+                dft_io.write_failure(
+                    run_dir, "WALLTIME",
+                    f"killed at {resources.walltime_s:.0f}s "
+                    f"(needed ~{needed_wall:.0f}s)", self.version
+                )
+            raise WalltimeExceeded(
+                f"calculation needs ~{needed_wall:.0f}s but job walltime is "
+                f"{resources.walltime_s:.0f}s"
+            )
+
+        try:
+            scf = run_scf(structure, params)
+        except Exception:
+            if run_dir is not None:
+                dft_io.write_failure(
+                    run_dir, "SCF",
+                    f"electronic minimisation did not converge "
+                    f"(NELM={params.nelm}, AMIX={params.amix}, ALGO={params.algo})",
+                    self.version,
+                )
+            raise
+
+        # Used walltime scales with the iteration count actually taken.
+        frac = scf.n_iterations / max(1, params.nelm)
+        used_wall = needed_wall * (0.5 + 0.5 * frac)
+        run = VaspRun(structure, scf, used_wall, needed_mem, run_dir)
+        if run_dir is not None:
+            dft_io.write_outputs(run_dir, run, self.version)
+        return run

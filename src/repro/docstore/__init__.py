@@ -1,0 +1,70 @@
+"""``repro.docstore`` — a from-scratch MongoDB-style document store.
+
+This is the central substrate of the reproduction: the paper's single
+datastore that simultaneously serves as workflow task queue, analytics
+engine, and web back-end (§III-A).  Public surface:
+
+* :class:`DocumentStore` / :class:`Database` / :class:`Collection` — the
+  in-process CRUD API (MongoClient analog) with Mongo query & update
+  languages, secondary indexes, cursors, aggregation, and MapReduce.
+* :class:`ObjectId` — 12-byte time-sortable document ids.
+* :class:`DatastoreServer` / :class:`RemoteClient` — TCP wire protocol.
+* :class:`DatastoreProxy` — the HPC worker-node proxy hop (§IV-A2).
+* :class:`ShardedCollection`, :class:`ReplicaSet` — scale-out paths the
+  paper identifies for future growth (§IV-D2).
+"""
+
+from .objectid import ObjectId
+from .documents import (
+    MISSING,
+    document_from_json,
+    document_to_json,
+    get_path,
+    set_path,
+    walk,
+)
+from .matching import Matcher, compile_query
+from .updates import apply_update
+from .cursor import Cursor
+from .collection import Collection
+from .database import Database, DocumentStore
+from .aggregation import run_pipeline
+from .mapreduce import map_reduce, MapReduceResult
+from .server import DatastoreServer, RemoteClient, RemoteCollection
+from .proxy import DatastoreProxy
+from .sharding import ShardedCollection, hash_shard_key
+from .replication import ReplicaSet, ReplicaNode, Oplog
+from .changestream import ChangeEvent, ChangeStream
+from .filestore import FileStore
+
+__all__ = [
+    "ObjectId",
+    "MISSING",
+    "document_from_json",
+    "document_to_json",
+    "get_path",
+    "set_path",
+    "walk",
+    "Matcher",
+    "compile_query",
+    "apply_update",
+    "Cursor",
+    "Collection",
+    "Database",
+    "DocumentStore",
+    "run_pipeline",
+    "map_reduce",
+    "MapReduceResult",
+    "DatastoreServer",
+    "RemoteClient",
+    "RemoteCollection",
+    "DatastoreProxy",
+    "ShardedCollection",
+    "hash_shard_key",
+    "ReplicaSet",
+    "ReplicaNode",
+    "Oplog",
+    "ChangeEvent",
+    "ChangeStream",
+    "FileStore",
+]

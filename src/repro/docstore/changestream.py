@@ -1,0 +1,104 @@
+"""Change streams: buffered subscriptions to collection writes.
+
+The paper's §IV-C1 asks for "a more automated, incremental loading
+capability" between computation and dissemination.  Change streams are the
+mechanism: a :class:`ChangeStream` subscribes to a collection's write events
+(insert/update/delete) into a bounded buffer that a consumer drains at its
+own pace — the same model as MongoDB change streams / oplog tailing, minus
+the wire protocol.  :class:`repro.builders.incremental.
+IncrementalMaterialsBuilder` consumes one to keep the materials collection
+continuously fresh.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..errors import DocstoreError
+from .collection import Collection
+
+__all__ = ["ChangeEvent", "ChangeStream"]
+
+
+class ChangeEvent:
+    """One observed write."""
+
+    __slots__ = ("operation", "namespace", "document", "document_id", "seq")
+
+    def __init__(self, operation: str, namespace: str,
+                 document: Optional[dict], document_id: Any, seq: int):
+        self.operation = operation  # insert | update | delete | drop
+        self.namespace = namespace
+        self.document = document
+        self.document_id = document_id
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return f"ChangeEvent({self.operation} on {self.namespace}, seq={self.seq})"
+
+
+class ChangeStream:
+    """A bounded buffer of a collection's change events.
+
+    ``max_buffer`` bounds memory; when the consumer falls further behind
+    than that, the stream records the overflow and raises on the next
+    read — the same "resume token too old, resync required" contract real
+    oplog tailing has.
+    """
+
+    def __init__(self, collection: Collection, max_buffer: int = 10_000):
+        if max_buffer < 1:
+            raise DocstoreError("max_buffer must be positive")
+        self.collection = collection
+        self.max_buffer = max_buffer
+        self._events: Deque[ChangeEvent] = deque()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._overflowed = False
+        self._closed = False
+        collection.add_change_listener(self._on_change)
+
+    def _on_change(self, op: str, payload: dict) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            self._seq += 1
+            event = ChangeEvent(
+                operation=op,
+                namespace=payload.get("ns", self.collection.name),
+                document=payload.get("doc"),
+                document_id=payload.get("_id",
+                                        (payload.get("doc") or {}).get("_id")),
+                seq=self._seq,
+            )
+            self._events.append(event)
+            if len(self._events) > self.max_buffer:
+                self._events.popleft()
+                self._overflowed = True
+
+    # -- consumption --------------------------------------------------------
+
+    def drain(self, max_events: Optional[int] = None) -> List[ChangeEvent]:
+        """Remove and return pending events (oldest first)."""
+        with self._lock:
+            if self._overflowed:
+                self._overflowed = False
+                self._events.clear()
+                raise DocstoreError(
+                    "change stream overflowed; consumer must full-resync"
+                )
+            out: List[ChangeEvent] = []
+            while self._events and (max_events is None or len(out) < max_events):
+                out.append(self._events.popleft())
+            return out
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,574 @@
+"""Collections: the core CRUD surface of the document store.
+
+A :class:`Collection` is a named set of documents with secondary indexes,
+Mongo-style ``find``/``update``/``delete`` semantics, and — critically for
+the paper — an atomic :meth:`find_one_and_update`.  That single primitive is
+what lets one MongoDB deployment act as a *message queue*: the FireWorks
+launcher claims a runnable job by atomically flipping its state from
+``WAITING`` to ``RUNNING`` so that two launchers never grab the same job
+(§III-B2).  All mutating operations hold the collection lock, giving the
+same document-level atomicity MongoDB provides.
+
+Documents are deep-copied on the way in and out, so callers can never mutate
+stored state behind the store's back — the same isolation a wire protocol
+would give, at much lower cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
+
+from ..errors import DocstoreError, DuplicateKeyError
+from .cursor import Cursor, apply_projection
+from .documents import (
+    deep_copy_doc,
+    doc_size_bytes,
+    get_path,
+    validate_document,
+)
+from .indexes import IndexManager, QueryPlan
+from .matching import Matcher, compile_query
+from .objectid import ObjectId
+from .updates import apply_update, is_operator_update
+
+__all__ = ["Collection", "InsertResult", "UpdateResult", "DeleteResult", "BulkWriteResult"]
+
+
+class InsertResult:
+    """Result of insert_one/insert_many."""
+
+    __slots__ = ("inserted_ids",)
+
+    def __init__(self, inserted_ids: List[Any]):
+        self.inserted_ids = inserted_ids
+
+    @property
+    def inserted_id(self) -> Any:
+        return self.inserted_ids[0] if self.inserted_ids else None
+
+
+class UpdateResult:
+    __slots__ = ("matched_count", "modified_count", "upserted_id")
+
+    def __init__(self, matched: int, modified: int, upserted_id: Any = None):
+        self.matched_count = matched
+        self.modified_count = modified
+        self.upserted_id = upserted_id
+
+
+class DeleteResult:
+    __slots__ = ("deleted_count",)
+
+    def __init__(self, deleted: int):
+        self.deleted_count = deleted
+
+
+class BulkWriteResult:
+    __slots__ = ("inserted_count", "matched_count", "modified_count", "deleted_count")
+
+    def __init__(self, inserted: int, matched: int, modified: int, deleted: int):
+        self.inserted_count = inserted
+        self.matched_count = matched
+        self.modified_count = modified
+        self.deleted_count = deleted
+
+
+class Collection:
+    """A named document collection with CRUD, indexes, and atomic claims."""
+
+    def __init__(self, name: str, database: Optional[Any] = None):
+        if not name or "$" in name:
+            raise DocstoreError(f"invalid collection name {name!r}")
+        self.name = name
+        self.database = database
+        self._docs: Dict[int, dict] = {}
+        self._id_to_pos: Dict[Any, int] = {}
+        self._next_pos = 0
+        self._indexes = IndexManager()
+        self._lock = threading.RLock()
+        self._last_plan: Optional[QueryPlan] = None
+        # Optional observers (oplog for replication, query timing log).
+        self._change_listeners: List[Callable[[str, dict], None]] = []
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __repr__(self) -> str:
+        return f"Collection({self.name!r}, docs={len(self._docs)})"
+
+    def add_change_listener(self, fn: Callable[[str, dict], None]) -> None:
+        """Register ``fn(op, payload)`` called on insert/update/delete."""
+        self._change_listeners.append(fn)
+
+    def _notify(self, op: str, payload: dict) -> None:
+        for fn in self._change_listeners:
+            fn(op, payload)
+
+    @staticmethod
+    def _id_key(value: Any) -> Any:
+        return value.binary if isinstance(value, ObjectId) else value
+
+    # -- inserts ----------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> InsertResult:
+        """Insert a single document, assigning an ObjectId if needed."""
+        return InsertResult([self._insert(document)])
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertResult:
+        ids = [self._insert(d) for d in documents]
+        return InsertResult(ids)
+
+    def _insert(self, document: Mapping[str, Any], _notify: bool = True) -> Any:
+        if not isinstance(document, Mapping):
+            raise DocstoreError("documents must be mappings")
+        doc = deep_copy_doc(dict(document))
+        if "_id" not in doc:
+            doc["_id"] = ObjectId()
+        validate_document(doc)
+        with self._lock:
+            key = self._id_key(doc["_id"])
+            if key in self._id_to_pos:
+                raise DuplicateKeyError(
+                    f"duplicate _id {doc['_id']!r} in collection {self.name!r}"
+                )
+            pos = self._next_pos
+            self._next_pos += 1
+            self._indexes.add_document(pos, doc)  # may raise DuplicateKeyError
+            self._docs[pos] = doc
+            self._id_to_pos[key] = pos
+        if _notify:
+            self._notify("insert", {"ns": self.name, "doc": deep_copy_doc(doc)})
+        return doc["_id"]
+
+    # -- query execution ---------------------------------------------------
+
+    def _candidates(self, query: Mapping[str, Any], matcher: Matcher) -> Iterator[dict]:
+        plan = self._indexes.plan(query)
+        if plan is not None:
+            index, positions = plan
+            self._last_plan = QueryPlan("IXSCAN", index.name, len(positions))
+            for pos in sorted(positions):
+                doc = self._docs.get(pos)
+                if doc is not None and matcher.matches(doc):
+                    yield doc
+        else:
+            self._last_plan = QueryPlan("COLLSCAN", None, len(self._docs))
+            for pos in sorted(self._docs):
+                doc = self._docs[pos]
+                if matcher.matches(doc):
+                    yield doc
+
+    def explain(self, query: Optional[Mapping[str, Any]] = None) -> dict:
+        """Run the planner for ``query`` and report the chosen plan."""
+        query = query or {}
+        matcher = compile_query(query)
+        count = sum(1 for _ in self._candidates(query, matcher))
+        plan = self._last_plan
+        out = plan.to_dict() if plan else {"stage": "COLLSCAN", "index": None}
+        out["nReturned"] = count
+        return out
+
+    def find(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        projection: Optional[Mapping[str, Any]] = None,
+    ) -> Cursor:
+        """Return a lazy cursor over matching documents."""
+        query = query or {}
+        matcher = compile_query(query)
+
+        def source() -> Iterator[dict]:
+            with self._lock:
+                matched = [deep_copy_doc(d) for d in self._candidates(query, matcher)]
+            return iter(matched)
+
+        return Cursor(source, projection)
+
+    def find_one(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        projection: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[dict]:
+        """First matching document or None."""
+        query = query or {}
+        matcher = compile_query(query)
+        with self._lock:
+            for doc in self._candidates(query, matcher):
+                return apply_projection(doc, projection)
+        return None
+
+    def count_documents(self, query: Optional[Mapping[str, Any]] = None) -> int:
+        query = query or {}
+        if not query:
+            return len(self._docs)
+        matcher = compile_query(query)
+        with self._lock:
+            return sum(1 for _ in self._candidates(query, matcher))
+
+    def distinct(
+        self, field: str, query: Optional[Mapping[str, Any]] = None
+    ) -> List[Any]:
+        return self.find(query or {}).distinct(field)
+
+    # -- updates ------------------------------------------------------------
+
+    def update_one(
+        self,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._update(query, update, multi=False, upsert=upsert)
+
+    def update_many(
+        self,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._update(query, update, multi=True, upsert=upsert)
+
+    def replace_one(
+        self,
+        query: Mapping[str, Any],
+        replacement: Mapping[str, Any],
+        upsert: bool = False,
+    ) -> UpdateResult:
+        if is_operator_update(replacement):
+            raise DocstoreError("replace_one requires a plain document")
+        return self._update(query, replacement, multi=False, upsert=upsert)
+
+    def _update(
+        self,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+        multi: bool,
+        upsert: bool,
+    ) -> UpdateResult:
+        matcher = compile_query(query)
+        is_operator_update(update)  # validates mixing eagerly
+        matched = 0
+        modified = 0
+        with self._lock:
+            positions = [
+                pos
+                for pos in sorted(self._docs)
+                if matcher.matches(self._docs[pos])
+            ]
+            if not multi:
+                positions = positions[:1]
+            for pos in positions:
+                matched += 1
+                if self._apply_to_position(pos, update):
+                    modified += 1
+            if matched == 0 and upsert:
+                new_doc = self._build_upsert_doc(query, update)
+                new_id = self._insert(new_doc)
+                return UpdateResult(0, 0, upserted_id=new_id)
+        return UpdateResult(matched, modified)
+
+    def _apply_to_position(self, pos: int, update: Mapping[str, Any]) -> bool:
+        old = self._docs[pos]
+        new = deep_copy_doc(old)
+        apply_update(new, update)
+        validate_document(new)
+        if new.get("_id") != old.get("_id"):
+            raise DocstoreError("update cannot change _id")
+        if new == old:
+            return False
+        self._indexes.remove_document(pos, old)
+        try:
+            self._indexes.add_document(pos, new)
+        except DuplicateKeyError:
+            self._indexes.add_document(pos, old)  # restore
+            raise
+        self._docs[pos] = new
+        self._notify(
+            "update",
+            {"ns": self.name, "_id": new.get("_id"), "doc": deep_copy_doc(new)},
+        )
+        return True
+
+    @staticmethod
+    def _build_upsert_doc(
+        query: Mapping[str, Any], update: Mapping[str, Any]
+    ) -> dict:
+        base: dict = {}
+        # Seed with equality conditions from the query, like Mongo upserts.
+        for field, cond in query.items():
+            if field.startswith("$"):
+                continue
+            if isinstance(cond, Mapping) and any(
+                str(k).startswith("$") for k in cond
+            ):
+                if "$eq" in cond:
+                    from .documents import set_path
+
+                    set_path(base, field, deep_copy_doc(cond["$eq"]))
+                continue
+            from .documents import set_path
+
+            set_path(base, field, deep_copy_doc(cond))
+        if is_operator_update(update):
+            apply_update(base, update, is_insert=True)
+        else:
+            preserved_id = base.get("_id")
+            base = deep_copy_doc(dict(update))
+            if preserved_id is not None and "_id" not in base:
+                base["_id"] = preserved_id
+        return base
+
+    def find_one_and_update(
+        self,
+        query: Mapping[str, Any],
+        update: Mapping[str, Any],
+        sort: Optional[List[tuple]] = None,
+        return_document: str = "before",
+        upsert: bool = False,
+        projection: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[dict]:
+        """Atomically find one document and update it.
+
+        This is the task-queue primitive: the launcher calls it with a
+        "runnable job" query and a ``{"$set": {"state": "RUNNING", ...}}``
+        update; under the collection lock no other launcher can claim the
+        same document.  ``return_document`` is ``"before"`` or ``"after"``.
+        """
+        if return_document not in ("before", "after"):
+            raise DocstoreError("return_document must be 'before' or 'after'")
+        matcher = compile_query(query)
+        with self._lock:
+            candidates = list(self._candidates(query, matcher))
+            if sort:
+                from .matching import ordering_key
+
+                for field, direction in reversed(sort):
+                    candidates.sort(
+                        key=lambda d, _f=field: ordering_key(get_path(d, _f)),
+                        reverse=direction == -1,
+                    )
+            if not candidates:
+                if upsert:
+                    new_doc = self._build_upsert_doc(query, update)
+                    new_id = self._insert(new_doc)
+                    if return_document == "after":
+                        stored = self.find_one({"_id": new_id}, projection)
+                        return stored
+                return None
+            target = candidates[0]
+            pos = self._id_to_pos[self._id_key(target["_id"])]
+            before = deep_copy_doc(self._docs[pos])
+            self._apply_to_position(pos, update)
+            result = before if return_document == "before" else deep_copy_doc(
+                self._docs[pos]
+            )
+            return apply_projection(result, projection) if projection else result
+
+    def find_one_and_delete(
+        self,
+        query: Mapping[str, Any],
+        sort: Optional[List[tuple]] = None,
+    ) -> Optional[dict]:
+        """Atomically find one matching document and remove it."""
+        matcher = compile_query(query)
+        with self._lock:
+            candidates = list(self._candidates(query, matcher))
+            if sort:
+                from .matching import ordering_key
+
+                for field, direction in reversed(sort):
+                    candidates.sort(
+                        key=lambda d, _f=field: ordering_key(get_path(d, _f)),
+                        reverse=direction == -1,
+                    )
+            if not candidates:
+                return None
+            target = candidates[0]
+            self._delete_by_id(target["_id"])
+            return deep_copy_doc(target)
+
+    # -- deletes -------------------------------------------------------------
+
+    def delete_one(self, query: Mapping[str, Any]) -> DeleteResult:
+        return self._delete(query, multi=False)
+
+    def delete_many(self, query: Optional[Mapping[str, Any]] = None) -> DeleteResult:
+        return self._delete(query or {}, multi=True)
+
+    def _delete(self, query: Mapping[str, Any], multi: bool) -> DeleteResult:
+        matcher = compile_query(query)
+        deleted = 0
+        with self._lock:
+            ids = [
+                self._docs[pos]["_id"]
+                for pos in sorted(self._docs)
+                if matcher.matches(self._docs[pos])
+            ]
+            if not multi:
+                ids = ids[:1]
+            for _id in ids:
+                self._delete_by_id(_id)
+                deleted += 1
+        return DeleteResult(deleted)
+
+    def _delete_by_id(self, _id: Any) -> None:
+        key = self._id_key(_id)
+        pos = self._id_to_pos.pop(key, None)
+        if pos is None:
+            return
+        doc = self._docs.pop(pos)
+        self._indexes.remove_document(pos, doc)
+        self._notify("delete", {"ns": self.name, "_id": _id})
+
+    def drop(self) -> None:
+        """Remove all documents and indexes."""
+        with self._lock:
+            self._docs.clear()
+            self._id_to_pos.clear()
+            for name in self._indexes.names():
+                self._indexes.drop(name)
+            self._next_pos = 0
+        self._notify("drop", {"ns": self.name})
+
+    # -- indexes ---------------------------------------------------------------
+
+    def create_index(
+        self, field: str, unique: bool = False, name: Optional[str] = None
+    ) -> str:
+        """Create (and backfill) a single-field index; returns its name."""
+        with self._lock:
+            index = self._indexes.create(field, unique=unique, name=name)
+            try:
+                for pos, doc in self._docs.items():
+                    index.add(pos, doc)
+            except DuplicateKeyError:
+                self._indexes.drop(index.name)
+                raise
+            return index.name
+
+    def drop_index(self, name: str) -> None:
+        with self._lock:
+            self._indexes.drop(name)
+
+    def index_information(self) -> Dict[str, dict]:
+        return {
+            ix.name: {"field": ix.field, "unique": ix.unique, "entries": len(ix)}
+            for ix in self._indexes.all()
+        }
+
+    @property
+    def last_plan(self) -> Optional[QueryPlan]:
+        """Plan chosen by the most recent query (explain-style introspection)."""
+        return self._last_plan
+
+    # -- bulk writes -------------------------------------------------------------
+
+    def bulk_write(
+        self,
+        operations: List[Mapping[str, Any]],
+        ordered: bool = True,
+    ) -> BulkWriteResult:
+        """Execute a batch of write operations (pymongo-style op docs).
+
+        Each operation is a single-key document naming the op::
+
+            {"insert_one": {"document": {...}}}
+            {"update_one": {"filter": {...}, "update": {...}, "upsert": bool}}
+            {"update_many": {...}}  {"replace_one": {...}}
+            {"delete_one": {"filter": {...}}}  {"delete_many": {...}}
+
+        With ``ordered=True`` (default) execution stops at the first error,
+        matching MongoDB; the partial result is attached to the raised
+        exception as ``partial_result``.
+        """
+        inserted = matched = modified = deleted = 0
+        for i, op_doc in enumerate(operations):
+            if not isinstance(op_doc, Mapping) or len(op_doc) != 1:
+                raise DocstoreError(
+                    f"bulk op {i} must be a single-key document"
+                )
+            name, spec = next(iter(op_doc.items()))
+            try:
+                if name == "insert_one":
+                    self.insert_one(spec["document"])
+                    inserted += 1
+                elif name in ("update_one", "update_many"):
+                    fn = self.update_one if name == "update_one" else self.update_many
+                    r = fn(spec["filter"], spec["update"],
+                           upsert=spec.get("upsert", False))
+                    matched += r.matched_count
+                    modified += r.modified_count
+                    if r.upserted_id is not None:
+                        inserted += 1
+                elif name == "replace_one":
+                    r = self.replace_one(spec["filter"], spec["replacement"],
+                                         upsert=spec.get("upsert", False))
+                    matched += r.matched_count
+                    modified += r.modified_count
+                    if r.upserted_id is not None:
+                        inserted += 1
+                elif name == "delete_one":
+                    deleted += self.delete_one(spec["filter"]).deleted_count
+                elif name == "delete_many":
+                    deleted += self.delete_many(spec.get("filter", {})).deleted_count
+                else:
+                    raise DocstoreError(f"unknown bulk op {name!r}")
+            except DocstoreError as exc:
+                if ordered:
+                    exc.partial_result = BulkWriteResult(  # type: ignore[attr-defined]
+                        inserted, matched, modified, deleted
+                    )
+                    raise
+                # unordered: skip the failing op, keep going
+                continue
+        return BulkWriteResult(inserted, matched, modified, deleted)
+
+    def watch(self, max_buffer: int = 10_000):
+        """Open a change stream over this collection."""
+        from .changestream import ChangeStream
+
+        return ChangeStream(self, max_buffer=max_buffer)
+
+    # -- aggregation & misc -----------------------------------------------------
+
+    def aggregate(self, pipeline: List[Mapping[str, Any]]) -> List[dict]:
+        """Run an aggregation pipeline (see :mod:`repro.docstore.aggregation`)."""
+        from .aggregation import run_pipeline
+
+        with self._lock:
+            docs = [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]
+        return run_pipeline(docs, pipeline, database=self.database)
+
+    def map_reduce(
+        self,
+        mapper: Callable[[dict], Iterable[tuple]],
+        reducer: Callable[[Any, List[Any]], Any],
+        query: Optional[Mapping[str, Any]] = None,
+        finalize: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> List[dict]:
+        """Built-in single-threaded MapReduce (see :mod:`.mapreduce`)."""
+        from .mapreduce import collection_map_reduce
+
+        return collection_map_reduce(self, mapper, reducer, query, finalize)
+
+    def stats(self) -> dict:
+        """Collection statistics (counts, sizes, index info)."""
+        with self._lock:
+            sizes = [doc_size_bytes(d) for d in self._docs.values()]
+        total = sum(sizes)
+        return {
+            "ns": self.name,
+            "count": len(sizes),
+            "size": total,
+            "avgObjSize": (total / len(sizes)) if sizes else 0.0,
+            "nindexes": len(self._indexes.names()),
+            "indexes": self.index_information(),
+        }
+
+    def all_documents(self) -> List[dict]:
+        """Snapshot of every document (deep-copied)."""
+        with self._lock:
+            return [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]

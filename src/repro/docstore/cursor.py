@@ -1,0 +1,175 @@
+"""Cursors: lazy result sets with sort / skip / limit / projection.
+
+The web back-end (§III-D) pages through result sets and projects deeply
+nested fields out of large task documents; projections are also how the
+QueryEngine keeps API payloads small.  Cursors are lazy — the underlying
+find() does no work until iteration starts — so a query that is immediately
+``.limit(1)``-ed after an index probe touches very few documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional
+
+from ..errors import DocstoreError
+from .documents import MISSING, deep_copy_doc, get_path, set_path
+from .matching import ordering_key
+
+__all__ = ["Cursor", "apply_projection"]
+
+
+def _split_projection(projection: Mapping[str, Any]) -> tuple:
+    include: List[str] = []
+    exclude: List[str] = []
+    for field, flag in projection.items():
+        if flag in (1, True):
+            include.append(field)
+        elif flag in (0, False):
+            exclude.append(field)
+        else:
+            raise DocstoreError(f"projection value for {field!r} must be 0/1")
+    inc_set = [f for f in include if f != "_id"]
+    exc_set = [f for f in exclude if f != "_id"]
+    if inc_set and exc_set:
+        raise DocstoreError("cannot mix inclusion and exclusion in a projection")
+    id_flag = projection.get("_id", None)
+    return inc_set, exc_set, id_flag
+
+
+def apply_projection(doc: Mapping[str, Any], projection: Optional[Mapping[str, Any]]) -> dict:
+    """Return a new document with the projection applied.
+
+    Follows Mongo rules: inclusion projections whitelist dotted paths (always
+    keeping ``_id`` unless ``_id: 0``); exclusion projections remove paths.
+    """
+    if not projection:
+        return deep_copy_doc(doc)
+    include, exclude, id_flag = _split_projection(projection)
+    if include:
+        out: dict = {}
+        if id_flag in (None, 1, True) and "_id" in doc:
+            out["_id"] = doc["_id"]
+        for path in include:
+            value = get_path(doc, path)
+            if value is not MISSING:
+                set_path(out, path, deep_copy_doc(value))
+        return out
+    out = deep_copy_doc(doc)
+    for path in exclude:
+        from .documents import unset_path
+
+        unset_path(out, path)
+    if id_flag in (0, False):
+        out.pop("_id", None)
+    return out
+
+
+class Cursor:
+    """Lazy, chainable view over a query's results.
+
+    ``source`` is a zero-argument callable producing the matching documents
+    (already safety-copied by the collection).  Chaining ``sort``, ``skip``,
+    ``limit`` and re-iterating re-executes the query, like re-running a
+    cursor in the mongo shell.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Iterable[dict]],
+        projection: Optional[Mapping[str, Any]] = None,
+    ):
+        self._source = source
+        self._projection = dict(projection) if projection else None
+        self._sort_spec: List[tuple] = []
+        self._skip = 0
+        self._limit: Optional[int] = None
+        self._batch_size: Optional[int] = None  # cosmetic parity with Mongo
+
+    # -- chainable modifiers ------------------------------------------------
+
+    def sort(self, key_or_list: Any, direction: int = 1) -> "Cursor":
+        """Sort by a field name or list of ``(field, direction)`` pairs."""
+        if isinstance(key_or_list, str):
+            spec = [(key_or_list, direction)]
+        else:
+            spec = [(f, d) for f, d in key_or_list]
+        for field, d in spec:
+            if d not in (1, -1):
+                raise DocstoreError("sort direction must be 1 or -1")
+            if not isinstance(field, str):
+                raise DocstoreError("sort field must be a string")
+        self._sort_spec = spec
+        return self
+
+    def skip(self, n: int) -> "Cursor":
+        if n < 0:
+            raise DocstoreError("skip must be non-negative")
+        self._skip = n
+        return self
+
+    def limit(self, n: int) -> "Cursor":
+        if n < 0:
+            raise DocstoreError("limit must be non-negative")
+        self._limit = n or None
+        return self
+
+    def batch_size(self, n: int) -> "Cursor":
+        self._batch_size = n
+        return self
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self) -> List[dict]:
+        docs = list(self._source())
+        if self._sort_spec:
+            for field, direction in reversed(self._sort_spec):
+                docs.sort(
+                    key=lambda d, _f=field: ordering_key(get_path(d, _f)),
+                    reverse=direction == -1,
+                )
+        if self._skip:
+            docs = docs[self._skip:]
+        if self._limit is not None:
+            docs = docs[: self._limit]
+        if self._projection:
+            docs = [apply_projection(d, self._projection) for d in docs]
+        return docs
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._execute())
+
+    def __getitem__(self, index: int) -> dict:
+        docs = self._execute()
+        return docs[index]
+
+    def count(self) -> int:
+        """Number of documents the cursor would return (honors skip/limit)."""
+        return len(self._execute())
+
+    def to_list(self) -> List[dict]:
+        """Materialize the full result list."""
+        return self._execute()
+
+    def first(self) -> Optional[dict]:
+        """First document or None."""
+        docs = self.limit(1)._execute() if self._limit is None else self._execute()
+        return docs[0] if docs else None
+
+    def distinct(self, field: str) -> List[Any]:
+        """Distinct values of ``field`` across the result set."""
+        seen: List[Any] = []
+        for doc in self._execute():
+            value = get_path(doc, field)
+            if value is MISSING:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if not any(_eq(v, s) for s in seen):
+                    seen.append(v)
+        return seen
+
+
+def _eq(a: Any, b: Any) -> bool:
+    from .matching import _values_equal
+
+    return _values_equal(a, b)

@@ -1,0 +1,198 @@
+"""Databases and the client entry point.
+
+A :class:`Database` is a namespace of collections; :class:`DocumentStore`
+plays the role of ``MongoClient`` — it owns databases, the optional
+persistence layer, and the profiling switch that records per-query latency
+(the data behind the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import CollectionNotFound, DocstoreError
+from .collection import Collection
+
+__all__ = ["Database", "DocumentStore"]
+
+
+class Database:
+    """A named namespace of collections, created lazily on access."""
+
+    def __init__(self, name: str, client: Optional["DocumentStore"] = None):
+        if not name or any(c in name for c in " $/\\."):
+            raise DocstoreError(f"invalid database name {name!r}")
+        self.name = name
+        self.client = client
+        self._collections: Dict[str, Collection] = {}
+        self._lock = threading.RLock()
+        self._profile_level = 0
+        self._profile_log: List[dict] = []
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.get_collection(name)
+
+    def __getattr__(self, name: str) -> Collection:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.get_collection(name)
+
+    def get_collection(self, name: str, create: bool = True) -> Collection:
+        with self._lock:
+            coll = self._collections.get(name)
+            if coll is None:
+                if not create:
+                    raise CollectionNotFound(
+                        f"collection {name!r} not found in db {self.name!r}"
+                    )
+                coll = Collection(name, database=self)
+                if self._profile_level > 0:
+                    self._attach_profiler(coll)
+                self._collections[name] = coll
+            return coll
+
+    def list_collection_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        with self._lock:
+            coll = self._collections.pop(name, None)
+            if coll is not None:
+                coll.drop()
+
+    # -- profiling (per-query timing, powers Fig. 5 reproduction) ---------
+
+    def set_profiling_level(self, level: int) -> None:
+        """0 = off, 1+ = record every find/aggregate with wall time."""
+        with self._lock:
+            self._profile_level = level
+            if level > 0:
+                for coll in self._collections.values():
+                    self._attach_profiler(coll)
+
+    def _attach_profiler(self, coll: Collection) -> None:
+        if getattr(coll, "_profiled", False):
+            return
+        coll._profiled = True  # type: ignore[attr-defined]
+        original_find = coll.find
+        original_agg = coll.aggregate
+        db = self
+
+        def timed_find(query=None, projection=None):
+            cursor = original_find(query, projection)
+            original_execute = cursor._execute
+
+            def timed_execute():
+                t0 = time.perf_counter()
+                docs = original_execute()
+                elapsed = time.perf_counter() - t0
+                db._record_profile(coll.name, "find", query or {}, elapsed, len(docs))
+                return docs
+
+            cursor._execute = timed_execute  # type: ignore[method-assign]
+            return cursor
+
+        def timed_aggregate(pipeline):
+            t0 = time.perf_counter()
+            out = original_agg(pipeline)
+            elapsed = time.perf_counter() - t0
+            db._record_profile(coll.name, "aggregate", {"pipeline": len(pipeline)}, elapsed, len(out))
+            return out
+
+        coll.find = timed_find  # type: ignore[method-assign]
+        coll.aggregate = timed_aggregate  # type: ignore[method-assign]
+
+    def _record_profile(
+        self, ns: str, op: str, query: Any, elapsed_s: float, nreturned: int
+    ) -> None:
+        self._profile_log.append(
+            {
+                "ns": f"{self.name}.{ns}",
+                "op": op,
+                "query": query,
+                "millis": elapsed_s * 1e3,
+                "nreturned": nreturned,
+                "ts": time.time(),
+            }
+        )
+
+    @property
+    def profile_log(self) -> List[dict]:
+        """Recorded query timings (like Mongo's system.profile collection)."""
+        return list(self._profile_log)
+
+    def clear_profile_log(self) -> None:
+        self._profile_log.clear()
+
+    def command_stats(self) -> dict:
+        """dbStats-like summary across collections."""
+        stats = [c.stats() for c in self._collections.values()]
+        return {
+            "db": self.name,
+            "collections": len(stats),
+            "objects": sum(s["count"] for s in stats),
+            "dataSize": sum(s["size"] for s in stats),
+            "indexes": sum(s["nindexes"] for s in stats),
+        }
+
+
+class DocumentStore:
+    """Top-level client owning databases (MongoClient analog).
+
+    Optionally bound to a persistence directory — see
+    :mod:`repro.docstore.persistence` — so snapshots and the journal have a
+    home.  A bare ``DocumentStore()`` is purely in-memory.
+    """
+
+    def __init__(self, persistence_dir: Optional[str] = None):
+        self._databases: Dict[str, Database] = {}
+        self._lock = threading.RLock()
+        self.persistence_dir = persistence_dir
+        self._persistence = None
+        if persistence_dir is not None:
+            from .persistence import PersistenceManager
+
+            self._persistence = PersistenceManager(self, persistence_dir)
+            self._persistence.recover()
+
+    def __getitem__(self, name: str) -> Database:
+        return self.get_database(name)
+
+    def __getattr__(self, name: str) -> Database:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.get_database(name)
+
+    def get_database(self, name: str) -> Database:
+        with self._lock:
+            db = self._databases.get(name)
+            if db is None:
+                db = Database(name, client=self)
+                self._databases[name] = db
+                if self._persistence is not None:
+                    self._persistence.watch_database(db)
+            return db
+
+    def list_database_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._databases)
+
+    def drop_database(self, name: str) -> None:
+        with self._lock:
+            db = self._databases.pop(name, None)
+            if db is not None:
+                for coll_name in db.list_collection_names():
+                    db.drop_collection(coll_name)
+
+    def snapshot(self) -> None:
+        """Write a full snapshot to the persistence directory."""
+        if self._persistence is None:
+            raise DocstoreError("store has no persistence directory")
+        self._persistence.snapshot()
+
+    def close(self) -> None:
+        if self._persistence is not None:
+            self._persistence.close()

@@ -1,0 +1,131 @@
+"""Content-addressed blob store with datastore references (GridFS analog).
+
+The paper keeps bulky raw calculation output *outside* the database — on the
+HPC filesystem or staged to HDFS — while "MongoDB will continue to contain
+references to the data that allow queries to be performed" (§IV-B2).  The
+:class:`FileStore` is that pattern as a component: blobs live on disk under
+their SHA-1 (so identical outputs from duplicate runs are stored once), and
+each ``put`` returns a small reference document that callers embed in task
+documents; ``get`` resolves references back to bytes.
+
+The loader uses it to archive raw run files so the tasks collection holds a
+queryable pointer to every OUTCAR without ever holding the bulk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+from typing import Dict, List, Optional, Union
+
+from ..errors import DocstoreError
+
+__all__ = ["FileStore"]
+
+
+class FileStore:
+    """Content-addressed blobs under ``<root>/<aa>/<sha1>``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- writing -----------------------------------------------------------
+
+    def _path_for(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest)
+
+    def put_bytes(self, data: bytes, filename: str = "blob",
+                  content_type: str = "application/octet-stream") -> dict:
+        """Store ``data``; returns the reference document."""
+        digest = hashlib.sha1(data).hexdigest()
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        return {
+            "blob_id": digest,
+            "filename": filename,
+            "length": len(data),
+            "content_type": content_type,
+        }
+
+    def put_file(self, source_path: str,
+                 content_type: str = "application/octet-stream") -> dict:
+        """Store a file from disk (streamed, not loaded whole)."""
+        sha = hashlib.sha1()
+        size = 0
+        with open(source_path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 16), b""):
+                sha.update(chunk)
+                size += len(chunk)
+        digest = sha.hexdigest()
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            shutil.copyfile(source_path, path + ".tmp")
+            os.replace(path + ".tmp", path)
+        return {
+            "blob_id": digest,
+            "filename": os.path.basename(source_path),
+            "length": size,
+            "content_type": content_type,
+        }
+
+    # -- reading ------------------------------------------------------------------
+
+    def get(self, ref: Union[str, dict]) -> bytes:
+        """Resolve a reference (doc or bare blob id) to its bytes."""
+        digest = ref["blob_id"] if isinstance(ref, dict) else ref
+        path = self._path_for(digest)
+        if not os.path.exists(path):
+            raise DocstoreError(f"no blob {digest!r} in file store")
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if hashlib.sha1(data).hexdigest() != digest:
+            raise DocstoreError(f"blob {digest!r} failed its integrity check")
+        return data
+
+    def exists(self, ref: Union[str, dict]) -> bool:
+        digest = ref["blob_id"] if isinstance(ref, dict) else ref
+        return os.path.exists(self._path_for(digest))
+
+    def delete(self, ref: Union[str, dict]) -> bool:
+        digest = ref["blob_id"] if isinstance(ref, dict) else ref
+        path = self._path_for(digest)
+        if os.path.exists(path):
+            os.remove(path)
+            return True
+        return False
+
+    # -- bulk / admin -----------------------------------------------------------------
+
+    def archive_directory(self, directory: str,
+                          patterns: Optional[List[str]] = None) -> Dict[str, dict]:
+        """Store selected files of a run directory; returns name → ref."""
+        import fnmatch
+
+        refs: Dict[str, dict] = {}
+        for name in sorted(os.listdir(directory)):
+            full = os.path.join(directory, name)
+            if not os.path.isfile(full):
+                continue
+            if patterns and not any(fnmatch.fnmatch(name, p) for p in patterns):
+                continue
+            refs[name] = self.put_file(full, content_type="text/plain")
+        return refs
+
+    def stats(self) -> dict:
+        n = 0
+        total = 0
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".tmp"):
+                    continue
+                n += 1
+                total += os.path.getsize(os.path.join(dirpath, name))
+        return {"blobs": n, "bytes": total}

@@ -1,0 +1,301 @@
+"""Secondary indexes and index selection.
+
+MongoDB's good read performance "where most of the data fits into memory"
+(§III-B) comes from B-tree indexes.  We implement an in-memory analog: each
+index keeps a sorted list of ``(key, doc_position)`` pairs maintained with
+``bisect``, giving O(log n) equality and range probes, plus a hash map for
+O(1) equality when the indexed value is hashable.  The planner inspects a
+query document and picks the most selective usable index; everything else
+falls back to a collection scan with the compiled matcher.
+
+Unique indexes enforce :class:`~repro.errors.DuplicateKeyError`, which the
+workflow engine relies on for Binder-based duplicate job detection.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import DuplicateKeyError
+from .documents import MISSING, get_path_multi
+from .matching import ordering_key, type_rank
+from .objectid import ObjectId
+
+__all__ = ["Index", "IndexManager", "QueryPlan"]
+
+
+def _hashable(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool, bytes, ObjectId, type(None)))
+
+
+class _Key:
+    """Sort key wrapper so heterogeneous index keys order deterministically."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Key") -> bool:
+        return ordering_key(self.value) < ordering_key(other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Key) and ordering_key(self.value) == ordering_key(
+            other.value
+        )
+
+
+class Index:
+    """A single-field secondary index over a collection's documents.
+
+    Positions are opaque integer slots assigned by the collection; the index
+    maps indexed values to sets of positions.  A document whose field is an
+    array gets one entry per element ("multikey" index), matching Mongo.
+    """
+
+    def __init__(self, field: str, unique: bool = False, name: Optional[str] = None):
+        self.field = field
+        self.unique = unique
+        self.name = name or f"{field}_1"
+        # Sorted parallel arrays for range scans.
+        self._keys: List[_Key] = []
+        self._positions: List[int] = []
+        # Hash lookup for equality; only hashable keys participate.
+        self._hash: Dict[Any, Set[int]] = {}
+        self._entry_count = 0
+
+    def __len__(self) -> int:
+        return self._entry_count
+
+    def _index_values(self, doc: Mapping[str, Any]) -> List[Any]:
+        values = get_path_multi(doc, self.field)
+        out: List[Any] = []
+        for v in values:
+            if isinstance(v, list):
+                out.extend(v)
+            else:
+                out.append(v)
+        if not out:
+            out.append(MISSING)
+        return out
+
+    def add(self, position: int, doc: Mapping[str, Any]) -> None:
+        values = self._index_values(doc)
+        if self.unique:
+            for v in values:
+                if v is MISSING:
+                    continue
+                existing = self._hash.get(self._hash_key(v))
+                if existing:
+                    raise DuplicateKeyError(
+                        f"duplicate key {v!r} for unique index {self.name!r}"
+                    )
+        for v in values:
+            key = _Key(v)
+            idx = bisect.bisect_right(self._keys, key)
+            self._keys.insert(idx, key)
+            self._positions.insert(idx, position)
+            self._hash.setdefault(self._hash_key(v), set()).add(position)
+            self._entry_count += 1
+
+    def remove(self, position: int, doc: Mapping[str, Any]) -> None:
+        for v in self._index_values(doc):
+            hk = self._hash_key(v)
+            bucket = self._hash.get(hk)
+            if bucket is not None:
+                bucket.discard(position)
+                if not bucket:
+                    del self._hash[hk]
+            key = _Key(v)
+            lo = bisect.bisect_left(self._keys, key)
+            hi = bisect.bisect_right(self._keys, key, lo=lo)
+            for i in range(lo, hi):
+                if self._positions[i] == position:
+                    del self._keys[i]
+                    del self._positions[i]
+                    self._entry_count -= 1
+                    break
+
+    @staticmethod
+    def _hash_key(value: Any) -> Any:
+        if _hashable(value):
+            return (type_rank(value), value)
+        if value is MISSING:
+            return ("__missing__",)
+        # Unhashable (dict/list) keys hash by their repr bucket; equality
+        # still verified by the matcher afterwards.
+        return ("__repr__", repr(value))
+
+    def lookup_eq(self, value: Any) -> Set[int]:
+        """Positions whose indexed value equals ``value``.
+
+        A ``None`` probe also returns documents missing the field entirely,
+        matching the query language's null semantics.
+        """
+        out = set(self._hash.get(self._hash_key(value), set()))
+        if value is None:
+            out |= self._hash.get(self._hash_key(MISSING), set())
+        return out
+
+    def lookup_in(self, values: Iterable[Any]) -> Set[int]:
+        out: Set[int] = set()
+        for v in values:
+            out |= self.lookup_eq(v)
+        return out
+
+    def lookup_range(
+        self,
+        gt: Any = MISSING,
+        gte: Any = MISSING,
+        lt: Any = MISSING,
+        lte: Any = MISSING,
+    ) -> Set[int]:
+        """Positions within a (type-bracketed) range."""
+        lo = 0
+        hi = len(self._keys)
+        if gte is not MISSING:
+            lo = bisect.bisect_left(self._keys, _Key(gte))
+        elif gt is not MISSING:
+            lo = bisect.bisect_right(self._keys, _Key(gt))
+        if lte is not MISSING:
+            hi = bisect.bisect_right(self._keys, _Key(lte))
+        elif lt is not MISSING:
+            hi = bisect.bisect_left(self._keys, _Key(lt))
+        if lo >= hi:
+            return set()
+        # Type bracketing: exclude entries of a different type class than
+        # the bound(s) supplied.
+        bound = next(v for v in (gte, gt, lte, lt) if v is not MISSING)
+        want_rank = type_rank(bound)
+        return {
+            self._positions[i]
+            for i in range(lo, hi)
+            if type_rank(self._keys[i].value) == want_rank
+        }
+
+    def scan_sorted(self, reverse: bool = False) -> List[int]:
+        """All positions in index-key order (for index-assisted sorts)."""
+        return list(reversed(self._positions)) if reverse else list(self._positions)
+
+
+class QueryPlan:
+    """Explain-style record of how a query was (or would be) executed."""
+
+    __slots__ = ("kind", "index_name", "candidates_examined")
+
+    def __init__(self, kind: str, index_name: Optional[str], candidates: int):
+        self.kind = kind  # "COLLSCAN" | "IXSCAN"
+        self.index_name = index_name
+        self.candidates_examined = candidates
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.kind,
+            "index": self.index_name,
+            "docsExamined": self.candidates_examined,
+        }
+
+    def __repr__(self) -> str:
+        return f"QueryPlan({self.kind}, index={self.index_name}, examined={self.candidates_examined})"
+
+
+_RANGE_OPS = {"$gt", "$gte", "$lt", "$lte"}
+
+
+class IndexManager:
+    """Owns a collection's indexes and plans index-assisted queries."""
+
+    def __init__(self) -> None:
+        self._indexes: Dict[str, Index] = {}
+
+    def create(self, field: str, unique: bool = False, name: Optional[str] = None) -> Index:
+        index = Index(field, unique=unique, name=name)
+        self._indexes[index.name] = index
+        return index
+
+    def drop(self, name: str) -> None:
+        self._indexes.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._indexes)
+
+    def all(self) -> List[Index]:
+        return list(self._indexes.values())
+
+    def for_field(self, field: str) -> Optional[Index]:
+        for index in self._indexes.values():
+            if index.field == field:
+                return index
+        return None
+
+    def add_document(self, position: int, doc: Mapping[str, Any]) -> None:
+        added: List[Index] = []
+        try:
+            for index in self._indexes.values():
+                index.add(position, doc)
+                added.append(index)
+        except DuplicateKeyError:
+            for index in added:
+                index.remove(position, doc)
+            raise
+
+    def remove_document(self, position: int, doc: Mapping[str, Any]) -> None:
+        for index in self._indexes.values():
+            index.remove(position, doc)
+
+    def plan(self, query: Mapping[str, Any]) -> Optional[Tuple[Index, Set[int]]]:
+        """Pick a usable index for ``query``; return candidate positions.
+
+        Strategy: among top-level field clauses with an index, prefer
+        equality probes, then ``$in``, then ranges; pick the one returning
+        the fewest candidates.  Logical operators and $where force a scan.
+        """
+        best: Optional[Tuple[Index, Set[int]]] = None
+        for field, condition in query.items():
+            if field.startswith("$"):
+                continue
+            index = self.for_field(field)
+            if index is None:
+                continue
+            candidates = self._probe(index, condition)
+            if candidates is None:
+                continue
+            if best is None or len(candidates) < len(best[1]):
+                best = (index, candidates)
+        return best
+
+    @staticmethod
+    def _probe(index: Index, condition: Any) -> Optional[Set[int]]:
+        if isinstance(condition, Mapping) and any(
+            str(k).startswith("$") for k in condition
+        ):
+            ops = set(condition)
+            if "$eq" in ops:
+                return index.lookup_eq(condition["$eq"])
+            if "$in" in ops and isinstance(condition["$in"], list):
+                return index.lookup_in(condition["$in"])
+            if ops & _RANGE_OPS and not (ops - _RANGE_OPS - {"$ne", "$exists"}):
+                bounds = {
+                    op.lstrip("$"): condition[op] for op in ops & _RANGE_OPS
+                }
+                return index.lookup_range(
+                    gt=bounds.get("gt", MISSING),
+                    gte=bounds.get("gte", MISSING),
+                    lt=bounds.get("lt", MISSING),
+                    lte=bounds.get("lte", MISSING),
+                )
+            if "$all" in ops and isinstance(condition["$all"], list) and condition["$all"]:
+                members = condition["$all"]
+                if all(not isinstance(m, Mapping) for m in members):
+                    sets = [index.lookup_eq(m) for m in members]
+                    out = sets[0]
+                    for s in sets[1:]:
+                        out &= s
+                    return out
+            return None
+        if isinstance(condition, Mapping):
+            return index.lookup_eq(condition)
+        if hasattr(condition, "search"):  # regex — not index-assisted
+            return None
+        return index.lookup_eq(condition)

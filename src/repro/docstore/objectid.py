@@ -1,0 +1,139 @@
+"""MongoDB-style ObjectIds.
+
+An ObjectId is a 12-byte identifier: a 4-byte timestamp, a 5-byte random
+machine/process token, and a 3-byte monotonically increasing counter. The
+layout matters for the reproduction because the paper's task collections rely
+on insertion-ordered ids (``_id`` sorts roughly by creation time), and the
+workflow engine uses ids as stable references between the ``engines`` and
+``tasks`` collections.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+import struct
+import threading
+import time
+
+__all__ = ["ObjectId"]
+
+# Module-level counter shared by all ObjectIds in this process, like the
+# mongo drivers do.  Seeded randomly so two processes do not collide.
+_COUNTER_LOCK = threading.Lock()
+_COUNTER = int.from_bytes(os.urandom(3), "big")
+_MACHINE_TOKEN = os.urandom(5)
+
+
+def _next_counter() -> int:
+    global _COUNTER
+    with _COUNTER_LOCK:
+        _COUNTER = (_COUNTER + 1) % 0xFFFFFF
+        return _COUNTER
+
+
+class ObjectId:
+    """A 12-byte, sortable-by-time unique document identifier.
+
+    Instances are immutable, hashable, and totally ordered by their byte
+    representation (hence roughly by generation time).
+
+    Parameters
+    ----------
+    oid:
+        Optional existing id: another ``ObjectId``, a 24-character hex
+        string, or 12 raw bytes.  When omitted a fresh id is generated.
+    """
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, oid: "ObjectId | str | bytes | None" = None):
+        if oid is None:
+            self._bytes = self._generate()
+        elif isinstance(oid, ObjectId):
+            self._bytes = oid._bytes
+        elif isinstance(oid, bytes):
+            if len(oid) != 12:
+                raise ValueError(f"ObjectId bytes must have length 12, got {len(oid)}")
+            self._bytes = oid
+        elif isinstance(oid, str):
+            if len(oid) != 24:
+                raise ValueError(f"ObjectId hex string must have length 24, got {len(oid)!r}")
+            try:
+                self._bytes = binascii.unhexlify(oid)
+            except (binascii.Error, ValueError) as exc:
+                raise ValueError(f"invalid ObjectId hex: {oid!r}") from exc
+        else:
+            raise TypeError(f"cannot construct ObjectId from {type(oid).__name__}")
+
+    @staticmethod
+    def _generate() -> bytes:
+        ts = struct.pack(">I", int(time.time()) & 0xFFFFFFFF)
+        counter = struct.pack(">I", _next_counter())[1:]  # low 3 bytes
+        return ts + _MACHINE_TOKEN + counter
+
+    @classmethod
+    def from_timestamp(cls, timestamp: float) -> "ObjectId":
+        """Create an id whose embedded time is ``timestamp`` (for range scans)."""
+        ts = struct.pack(">I", int(timestamp) & 0xFFFFFFFF)
+        return cls(ts + b"\x00" * 8)
+
+    @classmethod
+    def is_valid(cls, value: object) -> bool:
+        """Return True if ``value`` could be converted into an ObjectId."""
+        try:
+            cls(value)  # type: ignore[arg-type]
+            return True
+        except (TypeError, ValueError):
+            return False
+
+    @property
+    def binary(self) -> bytes:
+        return self._bytes
+
+    @property
+    def generation_time(self) -> float:
+        """Unix timestamp embedded in the id (second resolution)."""
+        return float(struct.unpack(">I", self._bytes[:4])[0])
+
+    def hex(self) -> str:
+        return binascii.hexlify(self._bytes).decode("ascii")
+
+    def __str__(self) -> str:
+        return self.hex()
+
+    def __repr__(self) -> str:
+        return f"ObjectId('{self.hex()}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes == other._bytes
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes != other._bytes
+        return NotImplemented
+
+    def __lt__(self, other: "ObjectId") -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes < other._bytes
+        return NotImplemented
+
+    def __le__(self, other: "ObjectId") -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes <= other._bytes
+        return NotImplemented
+
+    def __gt__(self, other: "ObjectId") -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes > other._bytes
+        return NotImplemented
+
+    def __ge__(self, other: "ObjectId") -> bool:
+        if isinstance(other, ObjectId):
+            return self._bytes >= other._bytes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bytes)

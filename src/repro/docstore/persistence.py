@@ -1,0 +1,178 @@
+"""Durability: JSON snapshots plus an append-only journal.
+
+MongoDB persists collections to disk and journals writes; the Materials
+Project additionally needs backups/replication of the core database
+(§IV-C1).  We reproduce the same recovery model at laptop scale:
+
+* ``snapshot()`` writes every collection to ``<dir>/<db>/<coll>.jsonl``
+  (one extended-JSON document per line) plus a manifest, then truncates
+  the journal.
+* every insert/update/delete is appended to ``<dir>/journal.jsonl``.
+* on startup, ``recover()`` loads the latest snapshot and replays the
+  journal on top, so a crash between snapshots loses nothing that was
+  acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict
+
+from ..errors import DocstoreError
+from .documents import document_from_json, document_to_json
+
+__all__ = ["PersistenceManager"]
+
+_MANIFEST = "manifest.json"
+_JOURNAL = "journal.jsonl"
+
+
+class PersistenceManager:
+    """Binds a :class:`~repro.docstore.database.DocumentStore` to a directory."""
+
+    def __init__(self, store: Any, directory: str):
+        self.store = store
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._journal_path = os.path.join(directory, _JOURNAL)
+        self._journal_lock = threading.Lock()
+        self._journal_fh = None
+        self._recovering = False
+
+    # -- journalling --------------------------------------------------------
+
+    def watch_database(self, db: Any) -> None:
+        """Attach journal listeners to every (current and future) collection."""
+        original_get = db.get_collection
+
+        def wrapped_get(name: str, create: bool = True):
+            coll = original_get(name, create)
+            if not getattr(coll, "_journaled", False):
+                coll._journaled = True
+                coll.add_change_listener(
+                    lambda op, payload, _db=db.name: self._journal_write(
+                        _db, op, payload
+                    )
+                )
+            return coll
+
+        db.get_collection = wrapped_get  # type: ignore[method-assign]
+
+    def _journal_write(self, db_name: str, op: str, payload: dict) -> None:
+        if self._recovering:
+            return
+        record = {"db": db_name, "op": op, "payload": payload}
+        line = document_to_json(record)
+        with self._journal_lock:
+            if self._journal_fh is None:
+                self._journal_fh = open(self._journal_path, "a", encoding="utf-8")
+            self._journal_fh.write(line + "\n")
+            self._journal_fh.flush()
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Write all databases to disk and truncate the journal."""
+        manifest: Dict[str, Any] = {"databases": {}}
+        for db_name in self.store.list_database_names():
+            db = self.store.get_database(db_name)
+            db_dir = os.path.join(self.directory, db_name)
+            os.makedirs(db_dir, exist_ok=True)
+            coll_entries = {}
+            for coll_name in db.list_collection_names():
+                coll = db.get_collection(coll_name)
+                path = os.path.join(db_dir, f"{coll_name}.jsonl")
+                tmp = path + ".tmp"
+                docs = coll.all_documents()
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for doc in docs:
+                        fh.write(document_to_json(doc) + "\n")
+                os.replace(tmp, path)
+                coll_entries[coll_name] = {
+                    "count": len(docs),
+                    "indexes": coll.index_information(),
+                }
+            manifest["databases"][db_name] = coll_entries
+        tmp_manifest = os.path.join(self.directory, _MANIFEST + ".tmp")
+        with open(tmp_manifest, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        os.replace(tmp_manifest, os.path.join(self.directory, _MANIFEST))
+        with self._journal_lock:
+            if self._journal_fh is not None:
+                self._journal_fh.close()
+                self._journal_fh = None
+            open(self._journal_path, "w").close()
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> None:
+        """Load the latest snapshot, then replay the journal on top."""
+        manifest_path = os.path.join(self.directory, _MANIFEST)
+        self._recovering = True
+        try:
+            if os.path.exists(manifest_path):
+                with open(manifest_path, encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+                for db_name, colls in manifest.get("databases", {}).items():
+                    db = self.store.get_database(db_name)
+                    self.watch_database(db)
+                    for coll_name, meta in colls.items():
+                        coll = db.get_collection(coll_name)
+                        path = os.path.join(
+                            self.directory, db_name, f"{coll_name}.jsonl"
+                        )
+                        if os.path.exists(path):
+                            with open(path, encoding="utf-8") as fh:
+                                for line in fh:
+                                    line = line.strip()
+                                    if line:
+                                        coll._insert(
+                                            document_from_json(line), _notify=False
+                                        )
+                        for ix_name, ix in meta.get("indexes", {}).items():
+                            if ix_name not in coll.index_information():
+                                coll.create_index(
+                                    ix["field"], unique=ix["unique"], name=ix_name
+                                )
+            if os.path.exists(self._journal_path):
+                self._replay_journal()
+        finally:
+            self._recovering = False
+
+    def _replay_journal(self) -> None:
+        with open(self._journal_path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = document_from_json(line)
+                except (ValueError, DocstoreError):
+                    # Torn final write after a crash: stop replay there.
+                    break
+                self._apply_journal_record(record)
+
+    def _apply_journal_record(self, record: dict) -> None:
+        db = self.store.get_database(record["db"])
+        op = record["op"]
+        payload = record["payload"]
+        coll = db.get_collection(payload["ns"])
+        if op == "insert":
+            doc = payload["doc"]
+            existing = coll.find_one({"_id": doc["_id"]})
+            if existing is None:
+                coll._insert(doc, _notify=False)
+        elif op == "update":
+            coll.replace_one({"_id": payload["_id"]}, payload["doc"], upsert=True)
+        elif op == "delete":
+            coll.delete_one({"_id": payload["_id"]})
+        elif op == "drop":
+            coll.drop()
+
+    def close(self) -> None:
+        with self._journal_lock:
+            if self._journal_fh is not None:
+                self._journal_fh.close()
+                self._journal_fh = None

@@ -1,0 +1,133 @@
+"""Forwarding proxy between HPC worker nodes and the datastore server.
+
+Reproduces §IV-A2: "most HPC systems are configured such that the internal
+worker nodes are not allowed to communicate outside the system. Thus, we had
+to use a proxy to have our tasks communicate with the MongoDB Server."
+
+The proxy listens on its own TCP port, forwards each JSON-line request to
+the upstream :class:`~repro.docstore.server.DatastoreServer`, and relays the
+response.  It counts traffic and adds a configurable forwarding latency so
+the proxy-overhead benchmark (bench_proxy_numa) can quantify the cost of the
+extra hop.  Combined with :mod:`repro.hpc.network`, worker-node clients are
+*only* permitted to open connections to the proxy.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Optional
+
+from .server import RemoteClient
+
+__all__ = ["DatastoreProxy"]
+
+
+class _ProxyHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        proxy: "DatastoreProxy" = self.server.proxy  # type: ignore[attr-defined]
+        upstream = socket.create_connection(
+            (proxy.upstream_host, proxy.upstream_port), timeout=30.0
+        )
+        upstream_file = upstream.makefile("rb")
+        try:
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    break
+                if proxy.forward_latency_s > 0:
+                    time.sleep(proxy.forward_latency_s)
+                upstream.sendall(line)
+                response = upstream_file.readline()
+                if not response:
+                    break
+                proxy._count(len(line), len(response))
+                self.wfile.write(response)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            upstream_file.close()
+            upstream.close()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class DatastoreProxy:
+    """TCP proxy relaying the JSON-line wire protocol to an upstream server.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        Address of the real :class:`DatastoreServer`.
+    forward_latency_s:
+        Artificial one-way forwarding delay, modelling the extra network hop
+        between the compute-node network and the database host.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        forward_latency_s: float = 0.0,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.forward_latency_s = forward_latency_s
+        self._tcp = _ThreadingTCPServer((host, port), _ProxyHandler)
+        self._tcp.proxy = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.requests_forwarded = 0
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    def _count(self, up: int, down: int) -> None:
+        with self._lock:
+            self.requests_forwarded += 1
+            self.bytes_up += up
+            self.bytes_down += down
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    @property
+    def address(self) -> tuple:
+        return self._tcp.server_address
+
+    def start(self) -> "DatastoreProxy":
+        self._thread = threading.Thread(target=self._tcp.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "DatastoreProxy":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def client(self) -> RemoteClient:
+        """Open a client connection through this proxy."""
+        return RemoteClient("127.0.0.1", self.port)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "requests_forwarded": self.requests_forwarded,
+                "bytes_up": self.bytes_up,
+                "bytes_down": self.bytes_down,
+            }

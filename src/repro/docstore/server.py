@@ -1,0 +1,333 @@
+"""Socket wire protocol: datastore server and client.
+
+HPC worker nodes in the paper "are not allowed to communicate outside the
+system. Thus, we had to use a proxy to have our tasks communicate with the
+MongoDB Server" (§IV-A2).  To reproduce that topology we expose the document
+store over a real TCP socket speaking newline-delimited extended JSON, with
+a :class:`RemoteClient` mirroring the in-process API, and a forwarding
+:class:`~repro.docstore.proxy.DatastoreProxy` that is the only route allowed
+from simulated worker nodes.
+
+The protocol is a JSON request/response pair per line::
+
+    {"op": "find", "db": "mp", "coll": "tasks", "query": {...}, ...}
+    {"ok": true, "result": [...]}
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, List, Mapping, Optional
+
+from ..errors import DocstoreError, WireProtocolError
+from .database import DocumentStore
+from .documents import document_from_json, document_to_json
+
+__all__ = ["DatastoreServer", "RemoteClient", "RemoteCollection"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "DatastoreServer" = self.server.datastore_server  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                break
+            try:
+                request = document_from_json(line.decode("utf-8"))
+                response = server.dispatch(request)
+            except Exception as exc:  # noqa: BLE001 - wire boundary
+                response = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+            payload = document_to_json(response) + "\n"
+            try:
+                self.wfile.write(payload.encode("utf-8"))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                break
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class DatastoreServer:
+    """Serves a :class:`DocumentStore` over TCP (one JSON doc per line)."""
+
+    def __init__(self, store: Optional[DocumentStore] = None, host: str = "127.0.0.1", port: int = 0):
+        self.store = store or DocumentStore()
+        self._tcp = _ThreadingTCPServer((host, port), _Handler)
+        self._tcp.datastore_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self.requests_served = 0
+        self._stats_lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple:
+        return self._tcp.server_address
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    def start(self) -> "DatastoreServer":
+        self._thread = threading.Thread(target=self._tcp.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "DatastoreServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- request dispatch -------------------------------------------------
+
+    def dispatch(self, request: Mapping[str, Any]) -> dict:
+        """Execute one wire request against the store."""
+        if not isinstance(request, Mapping) or "op" not in request:
+            raise WireProtocolError("request must be a document with an 'op'")
+        with self._stats_lock:
+            self.requests_served += 1
+        op = request["op"]
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "list_databases":
+            return {"ok": True, "result": self.store.list_database_names()}
+        db_name = request.get("db")
+        if not isinstance(db_name, str):
+            raise WireProtocolError("request missing 'db'")
+        db = self.store.get_database(db_name)
+        if op == "list_collections":
+            return {"ok": True, "result": db.list_collection_names()}
+        coll_name = request.get("coll")
+        if not isinstance(coll_name, str):
+            raise WireProtocolError("request missing 'coll'")
+        coll = db.get_collection(coll_name)
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise WireProtocolError(f"unknown wire op {op!r}")
+        return {"ok": True, "result": handler(coll, request)}
+
+    @staticmethod
+    def _op_insert_one(coll: Any, req: Mapping[str, Any]) -> Any:
+        return {"inserted_id": coll.insert_one(req["document"]).inserted_id}
+
+    @staticmethod
+    def _op_insert_many(coll: Any, req: Mapping[str, Any]) -> Any:
+        return {"inserted_ids": coll.insert_many(req["documents"]).inserted_ids}
+
+    @staticmethod
+    def _op_find(coll: Any, req: Mapping[str, Any]) -> Any:
+        cursor = coll.find(req.get("query") or {}, req.get("projection"))
+        if req.get("sort"):
+            cursor = cursor.sort([(f, d) for f, d in req["sort"]])
+        if req.get("skip"):
+            cursor = cursor.skip(req["skip"])
+        if req.get("limit"):
+            cursor = cursor.limit(req["limit"])
+        return cursor.to_list()
+
+    @staticmethod
+    def _op_find_one(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.find_one(req.get("query") or {}, req.get("projection"))
+
+    @staticmethod
+    def _op_count(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.count_documents(req.get("query") or {})
+
+    @staticmethod
+    def _op_distinct(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.distinct(req["field"], req.get("query"))
+
+    @staticmethod
+    def _op_update_one(coll: Any, req: Mapping[str, Any]) -> Any:
+        r = coll.update_one(req["query"], req["update"], upsert=req.get("upsert", False))
+        return {
+            "matched_count": r.matched_count,
+            "modified_count": r.modified_count,
+            "upserted_id": r.upserted_id,
+        }
+
+    @staticmethod
+    def _op_update_many(coll: Any, req: Mapping[str, Any]) -> Any:
+        r = coll.update_many(req["query"], req["update"], upsert=req.get("upsert", False))
+        return {"matched_count": r.matched_count, "modified_count": r.modified_count}
+
+    @staticmethod
+    def _op_find_one_and_update(coll: Any, req: Mapping[str, Any]) -> Any:
+        sort = [(f, d) for f, d in req["sort"]] if req.get("sort") else None
+        return coll.find_one_and_update(
+            req["query"],
+            req["update"],
+            sort=sort,
+            return_document=req.get("return_document", "before"),
+            upsert=req.get("upsert", False),
+        )
+
+    @staticmethod
+    def _op_delete_one(coll: Any, req: Mapping[str, Any]) -> Any:
+        return {"deleted_count": coll.delete_one(req["query"]).deleted_count}
+
+    @staticmethod
+    def _op_delete_many(coll: Any, req: Mapping[str, Any]) -> Any:
+        return {"deleted_count": coll.delete_many(req.get("query") or {}).deleted_count}
+
+    @staticmethod
+    def _op_aggregate(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.aggregate(req["pipeline"])
+
+    @staticmethod
+    def _op_create_index(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.create_index(req["field"], unique=req.get("unique", False))
+
+    @staticmethod
+    def _op_stats(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.stats()
+
+
+class RemoteCollection:
+    """Client-side handle mirroring the in-process Collection API subset."""
+
+    def __init__(self, client: "RemoteClient", db: str, name: str):
+        self._client = client
+        self._db = db
+        self.name = name
+
+    def _call(self, op: str, **kwargs: Any) -> Any:
+        return self._client.request({"op": op, "db": self._db, "coll": self.name, **kwargs})
+
+    def insert_one(self, document: Mapping[str, Any]) -> Any:
+        return self._call("insert_one", document=dict(document))
+
+    def insert_many(self, documents: List[Mapping[str, Any]]) -> Any:
+        return self._call("insert_many", documents=[dict(d) for d in documents])
+
+    def find(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        projection: Optional[Mapping[str, Any]] = None,
+        sort: Optional[List[tuple]] = None,
+        skip: int = 0,
+        limit: int = 0,
+    ) -> List[dict]:
+        return self._call(
+            "find",
+            query=query or {},
+            projection=projection,
+            sort=[list(p) for p in sort] if sort else None,
+            skip=skip,
+            limit=limit,
+        )
+
+    def find_one(self, query=None, projection=None) -> Optional[dict]:
+        return self._call("find_one", query=query or {}, projection=projection)
+
+    def count_documents(self, query=None) -> int:
+        return self._call("count", query=query or {})
+
+    def distinct(self, field: str, query=None) -> List[Any]:
+        return self._call("distinct", field=field, query=query)
+
+    def update_one(self, query, update, upsert=False) -> dict:
+        return self._call("update_one", query=query, update=update, upsert=upsert)
+
+    def update_many(self, query, update, upsert=False) -> dict:
+        return self._call("update_many", query=query, update=update, upsert=upsert)
+
+    def find_one_and_update(
+        self, query, update, sort=None, return_document="before", upsert=False
+    ) -> Optional[dict]:
+        return self._call(
+            "find_one_and_update",
+            query=query,
+            update=update,
+            sort=[list(p) for p in sort] if sort else None,
+            return_document=return_document,
+            upsert=upsert,
+        )
+
+    def delete_one(self, query) -> dict:
+        return self._call("delete_one", query=query)
+
+    def delete_many(self, query=None) -> dict:
+        return self._call("delete_many", query=query or {})
+
+    def aggregate(self, pipeline: List[Mapping[str, Any]]) -> List[dict]:
+        return self._call("aggregate", pipeline=pipeline)
+
+    def create_index(self, field: str, unique: bool = False) -> str:
+        return self._call("create_index", field=field, unique=unique)
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+
+class _RemoteDatabase:
+    def __init__(self, client: "RemoteClient", name: str):
+        self._client = client
+        self.name = name
+
+    def __getitem__(self, coll: str) -> RemoteCollection:
+        return RemoteCollection(self._client, self.name, coll)
+
+    def get_collection(self, coll: str) -> RemoteCollection:
+        return self[coll]
+
+    def list_collection_names(self) -> List[str]:
+        return self._client.request({"op": "list_collections", "db": self.name})
+
+
+class RemoteClient:
+    """TCP client for :class:`DatastoreServer` (or the proxy)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def __getitem__(self, db: str) -> _RemoteDatabase:
+        return _RemoteDatabase(self, db)
+
+    def get_database(self, db: str) -> _RemoteDatabase:
+        return _RemoteDatabase(self, db)
+
+    def request(self, request: Mapping[str, Any]) -> Any:
+        """Send one request document, return the unwrapped result."""
+        payload = (document_to_json(request) + "\n").encode("utf-8")
+        with self._lock:
+            self._sock.sendall(payload)
+            line = self._rfile.readline()
+        if not line:
+            raise WireProtocolError("connection closed by server")
+        response = document_from_json(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise DocstoreError(
+                f"remote error {response.get('error')}: {response.get('message')}"
+            )
+        return response.get("result")
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}) == "pong"
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

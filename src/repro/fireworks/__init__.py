@@ -1,0 +1,57 @@
+"""``repro.fireworks`` — the workflow engine (FireWorks analog, §III-C).
+
+Fireworks carry a Stage (job spec dict), a Fuse (release condition +
+Mongo-atomic-syntax overrides), an Analyzer (re-runs / detours / aborts) and
+a Binder (duplicate detection).  The LaunchPad persists all state in the
+``engines`` and ``tasks`` collections of the document store; Rockets claim
+READY jobs with classad-style queries and run them through FakeVASP.
+"""
+
+from .model import (
+    Analyzer,
+    Binder,
+    Firework,
+    Fuse,
+    FW_STATES,
+    OutputConditionFuse,
+    Stage,
+    Workflow,
+    component_from_spec,
+    register_component,
+)
+from .launchpad import LaunchPad
+from .launcher import Assembler, Rocket
+from .analyzers import VaspAnalyzer
+from .dupefinder import VaspBinder, vasp_firework, vasp_stage
+from .iteration import (
+    BisectionSearch,
+    GeneticSearch,
+    IterationResult,
+    LinearScan,
+    run_iteration,
+)
+
+__all__ = [
+    "Analyzer",
+    "Binder",
+    "Firework",
+    "Fuse",
+    "FW_STATES",
+    "OutputConditionFuse",
+    "Stage",
+    "Workflow",
+    "component_from_spec",
+    "register_component",
+    "LaunchPad",
+    "Assembler",
+    "Rocket",
+    "VaspAnalyzer",
+    "VaspBinder",
+    "vasp_firework",
+    "vasp_stage",
+    "BisectionSearch",
+    "GeneticSearch",
+    "IterationResult",
+    "LinearScan",
+    "run_iteration",
+]

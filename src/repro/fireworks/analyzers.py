@@ -1,0 +1,114 @@
+"""Analyzers: the post-run logic for re-runs, detours, and aborts.
+
+§III-C3: "to perform **re-runs** with jobs that have failed due to
+insufficient walltime, the Analyzer can create a new Firework that is a copy
+of the failed job but with a longer walltime.  To handle **detours**, the
+Analyzer can terminate a workflow, or create an entirely new workflow based
+on the result of the job."
+
+:class:`VaspAnalyzer` maps the FakeVASP failure taxonomy onto those
+strategies:
+
+* ``WALLTIME`` / ``OOM`` → **re-run** with resources scaled up
+  (``walltime ×2`` / ``memory ×2``), bounded by the LaunchPad launch limit;
+* ``SCF`` → **detour**: first soften the mixing (``AMIX × 0.5``), then
+  switch ``ALGO`` Fast → Normal → All; after the escalation ladder is
+  exhausted, **abort** and flag the workflow for manual intervention;
+* success → **complete** with the reduced task document (the analyzer also
+  performs the §III-B parse-and-reduce of the raw run directory when one
+  exists).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from .model import Analyzer, register_component
+
+__all__ = ["VaspAnalyzer"]
+
+_ALGO_LADDER = ["Fast", "Normal", "All"]
+
+
+@register_component
+class VaspAnalyzer(Analyzer):
+    """Failure-aware analyzer for FakeVASP runs."""
+
+    def __init__(self, walltime_factor: float = 2.0, memory_factor: float = 2.0,
+                 amix_factor: float = 0.5, max_detours: int = 4):
+        self.walltime_factor = float(walltime_factor)
+        self.memory_factor = float(memory_factor)
+        self.amix_factor = float(amix_factor)
+        self.max_detours = int(max_detours)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "walltime_factor": self.walltime_factor,
+            "memory_factor": self.memory_factor,
+            "amix_factor": self.amix_factor,
+            "max_detours": self.max_detours,
+        }
+
+    def analyze(self, fw_doc: Mapping[str, Any],
+                outcome: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        status = outcome.get("status")
+        if status == "COMPLETED":
+            return [{"action": "complete", "task": dict(outcome)}]
+
+        kind = outcome.get("error_kind")
+        spec = fw_doc.get("spec", {})
+
+        if kind == "WALLTIME":
+            current = spec.get("resources", {}).get("walltime_s", 6 * 3600.0)
+            return [{
+                "action": "rerun",
+                "overrides": {"$set": {
+                    "resources.walltime_s": current * self.walltime_factor,
+                }},
+            }]
+
+        if kind == "OOM":
+            current = spec.get("resources", {}).get("memory_mb", 4096.0)
+            return [{
+                "action": "rerun",
+                "overrides": {"$set": {
+                    "resources.memory_mb": current * self.memory_factor,
+                }},
+            }]
+
+        if kind == "SCF":
+            detours = fw_doc.get("detours", 0)
+            if detours >= self.max_detours:
+                return [{
+                    "action": "abort",
+                    "reason": f"SCF still failing after {detours} detours",
+                }]
+            incar = spec.get("incar", {})
+            amix = incar.get("AMIX", 0.4)
+            algo = incar.get("ALGO", "Fast")
+            nelm = incar.get("NELM", 60)
+            # Gentler mixing converges more slowly, so every detour also
+            # raises the iteration budget.
+            new_nelm = min(1000, nelm * 2)
+            if amix > 0.2:
+                overrides = {"$set": {
+                    "incar.AMIX": max(0.1, amix * self.amix_factor),
+                    "incar.NELM": new_nelm,
+                }}
+            else:
+                idx = _ALGO_LADDER.index(algo) if algo in _ALGO_LADDER else 0
+                if idx + 1 < len(_ALGO_LADDER):
+                    overrides = {"$set": {"incar.ALGO": _ALGO_LADDER[idx + 1],
+                                          "incar.AMIX": 0.3,
+                                          "incar.NELM": new_nelm}}
+                else:
+                    return [{
+                        "action": "abort",
+                        "reason": "SCF failing on the gentlest algorithm",
+                    }]
+            return [{"action": "detour", "overrides": overrides}]
+
+        return [{
+            "action": "abort",
+            "reason": outcome.get("error_message", f"unknown failure {kind!r}"),
+        }]

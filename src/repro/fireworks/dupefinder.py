@@ -1,0 +1,76 @@
+"""Duplicate detection helpers: VASP-flavoured Binders and spec builders.
+
+§III-C3: "Duplicates may arise from two users simply submitting the same
+thing, or from a job that was specified dynamically during the running of a
+workflow ... By defining appropriate Binders, the FireWorks code allows
+workflows to be idempotent and be submitted without regard to prior history
+of the project."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..matgen.structure import Structure
+from .model import Binder, Firework, register_component
+from .analyzers import VaspAnalyzer
+
+__all__ = ["VaspBinder", "vasp_stage", "vasp_firework"]
+
+
+@register_component
+class VaspBinder(Binder):
+    """Structure hash + functional — the paper's example Binder exactly."""
+
+    def __init__(self, fields=None):
+        super().__init__(fields or ["structure_hash", "functional"])
+
+
+def vasp_stage(
+    structure: Structure,
+    mps_id: Optional[str] = None,
+    functional: str = "GGA",
+    incar: Optional[Mapping[str, Any]] = None,
+    walltime_s: float = 6 * 3600.0,
+    memory_mb: float = 4096.0,
+    priority: int = 0,
+) -> Dict[str, Any]:
+    """A canonical FakeVASP Stage dict with queryable derived fields.
+
+    The derived ``elements``/``nelectrons`` fields are what make classad-
+    style resource matching possible (the §III-B2 example query).
+    """
+    return {
+        "code": "fake_vasp",
+        "functional": functional,
+        "structure": structure.as_dict(),
+        "structure_hash": structure.structure_hash(),
+        "mps_id": mps_id,
+        "formula": structure.reduced_formula,
+        "elements": structure.elements,
+        "nelectrons": structure.nelectrons,
+        "nsites": structure.num_sites,
+        "incar": dict(incar or {"ENCUT": 520, "AMIX": 0.4, "ALGO": "Fast",
+                                "NELM": 60, "EDIFF": 1e-5}),
+        "resources": {"walltime_s": walltime_s, "memory_mb": memory_mb,
+                      "cores": 24},
+        "priority": priority,
+    }
+
+
+def vasp_firework(
+    structure: Structure,
+    mps_id: Optional[str] = None,
+    name: Optional[str] = None,
+    parents=None,
+    **stage_kwargs: Any,
+) -> Firework:
+    """A ready-to-submit Firework: VASP stage + VaspAnalyzer + VaspBinder."""
+    spec = vasp_stage(structure, mps_id=mps_id, **stage_kwargs)
+    return Firework(
+        spec,
+        name=name or f"vasp-{structure.reduced_formula}",
+        analyzer=VaspAnalyzer(),
+        binder=VaspBinder(),
+        parents=parents,
+    )

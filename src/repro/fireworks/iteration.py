@@ -1,0 +1,206 @@
+"""Iteration strategies for convergence studies (§III-C3 **Iteration**).
+
+"Some calculations require iterative runs of the same job, with incrementing
+input parameters, until a condition is met.  In general, the number of
+iterations required is not known in advance.  More sophisticated search
+algorithms than simple linear increments (e.g., genetic algorithms) may be
+required."
+
+Three strategies over a common protocol — each proposes parameter dicts,
+receives scores, and decides when the loop is done:
+
+* :class:`LinearScan` — the paper's "simple linear increments" (e.g. raise
+  ENCUT by 100 eV until the energy change drops below a threshold);
+* :class:`BisectionSearch` — find a parameter threshold by bisection;
+* :class:`GeneticSearch` — the paper's "genetic algorithms" case, a small
+  deterministic GA over a bounded parameter box.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import WorkflowError
+
+__all__ = ["IterationResult", "LinearScan", "BisectionSearch", "GeneticSearch",
+           "run_iteration"]
+
+Evaluator = Callable[[Dict[str, Any]], float]
+
+
+class IterationResult:
+    """Outcome of an iterative study: history + the accepted parameters."""
+
+    def __init__(self, converged: bool, best_params: Dict[str, Any],
+                 best_value: float, history: List[Tuple[Dict[str, Any], float]]):
+        self.converged = converged
+        self.best_params = best_params
+        self.best_value = best_value
+        self.history = history
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.history)
+
+
+class LinearScan:
+    """Increment one parameter until successive values agree within tol."""
+
+    def __init__(self, param: str, start: float, step: float,
+                 tolerance: float, max_iterations: int = 20):
+        if step <= 0 or tolerance <= 0 or max_iterations < 2:
+            raise WorkflowError("invalid linear scan configuration")
+        self.param = param
+        self.start = float(start)
+        self.step = float(step)
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+
+    def run(self, evaluate: Evaluator,
+            base_params: Optional[Dict[str, Any]] = None) -> IterationResult:
+        base = dict(base_params or {})
+        history: List[Tuple[Dict[str, Any], float]] = []
+        previous: Optional[float] = None
+        for i in range(self.max_iterations):
+            params = dict(base, **{self.param: self.start + i * self.step})
+            value = evaluate(params)
+            history.append((params, value))
+            if previous is not None and abs(value - previous) < self.tolerance:
+                return IterationResult(True, params, value, history)
+            previous = value
+        best_params, best_value = history[-1]
+        return IterationResult(False, best_params, best_value, history)
+
+
+class BisectionSearch:
+    """Find the smallest parameter value whose result crosses a threshold."""
+
+    def __init__(self, param: str, lo: float, hi: float,
+                 predicate: Callable[[float], bool],
+                 resolution: float, max_iterations: int = 40):
+        if hi <= lo or resolution <= 0:
+            raise WorkflowError("invalid bisection configuration")
+        self.param = param
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.predicate = predicate
+        self.resolution = float(resolution)
+        self.max_iterations = int(max_iterations)
+
+    def run(self, evaluate: Evaluator,
+            base_params: Optional[Dict[str, Any]] = None) -> IterationResult:
+        base = dict(base_params or {})
+        history: List[Tuple[Dict[str, Any], float]] = []
+        lo, hi = self.lo, self.hi
+
+        def probe(x: float) -> Tuple[float, bool]:
+            params = dict(base, **{self.param: x})
+            value = evaluate(params)
+            history.append((params, value))
+            return value, self.predicate(value)
+
+        _, ok_hi = probe(hi)
+        if not ok_hi:
+            return IterationResult(False, history[-1][0], history[-1][1], history)
+        value_lo, ok_lo = probe(lo)
+        if ok_lo:
+            return IterationResult(True, history[-1][0], value_lo, history)
+        for _ in range(self.max_iterations):
+            if hi - lo <= self.resolution:
+                break
+            mid = 0.5 * (lo + hi)
+            _, ok = probe(mid)
+            if ok:
+                hi = mid
+            else:
+                lo = mid
+        params = dict(base, **{self.param: hi})
+        value = evaluate(params)
+        history.append((params, value))
+        return IterationResult(True, params, value, history)
+
+
+class GeneticSearch:
+    """Deterministic small-population GA minimizing the evaluator.
+
+    Parameters are bounded floats: ``bounds = {"AMIX": (0.05, 0.9), ...}``.
+    Tournament selection, blend crossover, Gaussian mutation; fixed seed for
+    reproducibility.
+    """
+
+    def __init__(self, bounds: Dict[str, Tuple[float, float]],
+                 population: int = 12, generations: int = 10,
+                 mutation_sigma: float = 0.15, seed: int = 42,
+                 target: Optional[float] = None):
+        if not bounds:
+            raise WorkflowError("GA needs at least one bounded parameter")
+        for name, (lo, hi) in bounds.items():
+            if hi <= lo:
+                raise WorkflowError(f"empty bounds for {name!r}")
+        if population < 4 or generations < 1:
+            raise WorkflowError("population >= 4 and generations >= 1 required")
+        self.bounds = dict(bounds)
+        self.population = int(population)
+        self.generations = int(generations)
+        self.mutation_sigma = float(mutation_sigma)
+        self.seed = int(seed)
+        self.target = target
+
+    def _clip(self, name: str, x: float) -> float:
+        lo, hi = self.bounds[name]
+        return min(hi, max(lo, x))
+
+    def run(self, evaluate: Evaluator,
+            base_params: Optional[Dict[str, Any]] = None) -> IterationResult:
+        rng = random.Random(self.seed)
+        base = dict(base_params or {})
+        names = sorted(self.bounds)
+        history: List[Tuple[Dict[str, Any], float]] = []
+
+        def make(genes: Dict[str, float]) -> Tuple[Dict[str, Any], float]:
+            params = dict(base, **genes)
+            value = evaluate(params)
+            history.append((params, value))
+            return params, value
+
+        pop: List[Tuple[Dict[str, float], float]] = []
+        for _ in range(self.population):
+            genes = {
+                n: rng.uniform(*self.bounds[n]) for n in names
+            }
+            _, value = make(genes)
+            pop.append((genes, value))
+
+        for _gen in range(self.generations):
+            pop.sort(key=lambda gv: gv[1])
+            if self.target is not None and pop[0][1] <= self.target:
+                break
+            survivors = pop[: max(2, self.population // 2)]
+            children: List[Tuple[Dict[str, float], float]] = []
+            while len(survivors) + len(children) < self.population:
+                pa = min(rng.sample(survivors, 2), key=lambda gv: gv[1])[0]
+                pb = min(rng.sample(survivors, 2), key=lambda gv: gv[1])[0]
+                alpha = rng.random()
+                genes = {}
+                for n in names:
+                    blended = alpha * pa[n] + (1 - alpha) * pb[n]
+                    span = self.bounds[n][1] - self.bounds[n][0]
+                    mutated = blended + rng.gauss(0, self.mutation_sigma * span)
+                    genes[n] = self._clip(n, mutated)
+                _, value = make(genes)
+                children.append((genes, value))
+            pop = survivors + children
+
+        pop.sort(key=lambda gv: gv[1])
+        best_genes, best_value = pop[0]
+        converged = self.target is None or best_value <= self.target
+        return IterationResult(
+            converged, dict(base, **best_genes), best_value, history
+        )
+
+
+def run_iteration(strategy, evaluate: Evaluator,
+                  base_params: Optional[Dict[str, Any]] = None) -> IterationResult:
+    """Uniform entry point over the three strategies."""
+    return strategy.run(evaluate, base_params)

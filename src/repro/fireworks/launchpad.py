@@ -1,0 +1,281 @@
+"""The LaunchPad: workflow state in the ``engines`` and ``tasks`` collections.
+
+§III-B2: "We store all the execution state in two database collections:
+engines and tasks.  The engines collection contains jobs that are waiting to
+be run, running, and completed ... Jobs can be selected using MongoDB
+queries on the inputs, which provides mechanism for matching types of jobs
+to types of resources that resembles Condor classads."
+
+The LaunchPad owns every state transition:
+
+* :meth:`add_workflow` inserts Firework docs, applying Binder duplicate
+  detection ("replace the execution of duplicate jobs with a pointer to the
+  previous result");
+* :meth:`checkout_firework` atomically claims a READY job matching a
+  classad-style resource query (the document store's
+  ``find_one_and_update`` is the queue-pop);
+* :meth:`apply_actions` consumes Analyzer actions — complete / rerun /
+  detour / abort — updating both collections and releasing children whose
+  Fuses become satisfied.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..docstore.database import Database
+from ..errors import WorkflowError
+from .model import Workflow, component_from_spec
+
+__all__ = ["LaunchPad"]
+
+#: Maximum automatic resubmissions of one Firework before giving up.
+DEFAULT_MAX_LAUNCHES = 5
+
+
+class LaunchPad:
+    """State manager bound to a datastore database."""
+
+    def __init__(self, database: Database, max_launches: int = DEFAULT_MAX_LAUNCHES):
+        self.db = database
+        self.engines = database.get_collection("engines")
+        self.tasks = database.get_collection("tasks")
+        self.max_launches = max_launches
+        # The queries the launcher runs constantly: index them.
+        self.engines.create_index("state")
+        self.engines.create_index("fw_id")
+        self.engines.create_index("binder_key")
+        self.tasks.create_index("fw_id")
+        self.tasks.create_index("binder_key")
+
+    # -- workflow intake ------------------------------------------------------
+
+    def add_workflow(self, workflow: Workflow) -> Dict[str, Any]:
+        """Insert a workflow; returns intake stats including dedup hits."""
+        added = 0
+        duplicates = 0
+        for fw in workflow.fireworks:
+            doc = fw.to_doc(workflow.workflow_id)
+            if doc["binder_key"] is not None:
+                previous = self._find_previous_result(doc["binder_key"])
+                if previous is not None:
+                    # Idempotent submission: point at the existing result.
+                    doc["state"] = "COMPLETED"
+                    doc["duplicate_of"] = previous["_id"]
+                    doc["task_id"] = previous.get("task_id")
+                    duplicates += 1
+                    self.engines.insert_one(doc)
+                    continue
+            added += 1
+            self.engines.insert_one(doc)
+        # Newly added roots may immediately release children of completed
+        # duplicates.
+        self._release_ready(workflow.workflow_id)
+        return {
+            "workflow_id": workflow.workflow_id,
+            "added": added,
+            "duplicates": duplicates,
+        }
+
+    def _find_previous_result(self, binder_key: str) -> Optional[dict]:
+        """Pointer info for an existing run with this key, or None.
+
+        Returns ``{"_id": <engine or task id>, "task_id": <task id or
+        None>}`` — the task id is None when the duplicate is still in
+        flight (queued/running), in which case the pointer resolves once
+        the original completes.
+        """
+        task = self.tasks.find_one(
+            {"binder_key": binder_key, "state": "COMPLETED"}
+        )
+        if task is not None:
+            return {"_id": task["_id"], "task_id": task["_id"]}
+        engine = self.engines.find_one(
+            {"binder_key": binder_key, "state": {"$in": ["COMPLETED", "RUNNING",
+                                                          "READY", "WAITING"]}}
+        )
+        if engine is not None:
+            return {"_id": engine["_id"], "task_id": engine.get("task_id")}
+        return None
+
+    # -- claiming --------------------------------------------------------------
+
+    def checkout_firework(
+        self,
+        resource_query: Optional[Mapping[str, Any]] = None,
+        worker: str = "worker",
+    ) -> Optional[dict]:
+        """Atomically claim one READY Firework matching ``resource_query``.
+
+        The query operates on the job's *inputs* directly (classad-style),
+        e.g. ``{"spec.elements": {"$all": ["Li", "O"]},
+        "spec.nelectrons": {"$lte": 200}}``.
+        """
+        query = {"state": "READY"}
+        if resource_query:
+            query.update(resource_query)
+        return self.engines.find_one_and_update(
+            query,
+            {"$set": {"state": "RUNNING", "worker": worker,
+                      "checkout_time": time.time()},
+             "$inc": {"launches": 1}},
+            sort=[("spec.priority", -1), ("fw_id", 1)],
+            return_document="after",
+        )
+
+    # -- fuse evaluation ----------------------------------------------------------
+
+    def _parent_tasks(self, fw_doc: Mapping[str, Any]) -> List[dict]:
+        parents = fw_doc.get("parents", [])
+        if not parents:
+            return []
+        out = []
+        for pid in parents:
+            parent_engine = self.engines.find_one({"fw_id": pid})
+            if parent_engine is None:
+                continue
+            task = None
+            if parent_engine.get("task_id") is not None:
+                task = self.tasks.find_one({"_id": parent_engine["task_id"]})
+            out.append(task or {"state": parent_engine.get("state")})
+        return out
+
+    def _release_ready(self, workflow_id: Optional[str] = None) -> int:
+        """Flip WAITING Fireworks whose Fuses are satisfied to READY."""
+        query: Dict[str, Any] = {"state": "WAITING"}
+        if workflow_id is not None:
+            query["workflow_id"] = workflow_id
+        released = 0
+        for fw_doc in self.engines.find(query):
+            fuse = component_from_spec(fw_doc.get("fuse"))
+            parent_tasks = self._parent_tasks(fw_doc)
+            if fuse.is_ready(fw_doc, parent_tasks):
+                overrides = fuse.compute_overrides(parent_tasks)
+                update: Dict[str, Any] = {"$set": {"state": "READY"}}
+                if overrides:
+                    # Record and apply the Fuse's modification "within the
+                    # FireWorks database for later analysis" (§III-C2).
+                    from .model import Stage
+
+                    new_spec = Stage(fw_doc["spec"]).apply_overrides(overrides)
+                    update["$set"]["spec"] = dict(new_spec)
+                    update["$set"]["fuse_overrides_applied"] = overrides
+                r = self.engines.update_one(
+                    {"fw_id": fw_doc["fw_id"], "state": "WAITING"}, update
+                )
+                released += r.modified_count
+        return released
+
+    def approve(self, fw_id: int) -> None:
+        """User approval for approval-gated Fuses."""
+        self.engines.update_one({"fw_id": fw_id}, {"$set": {"approved": True}})
+        self._release_ready()
+
+    # -- analyzer actions ------------------------------------------------------------
+
+    def apply_actions(self, fw_doc: Mapping[str, Any],
+                      actions: Sequence[Mapping[str, Any]]) -> List[str]:
+        """Consume Analyzer actions for a just-run Firework."""
+        applied = []
+        for action in actions:
+            kind = action.get("action")
+            if kind == "complete":
+                self._complete(fw_doc, action["task"])
+            elif kind == "rerun":
+                self._resubmit(fw_doc, action.get("overrides") or {},
+                               bump="launches_requeued")
+            elif kind == "detour":
+                self._resubmit(fw_doc, action.get("overrides") or {},
+                               bump="detours")
+            elif kind == "abort":
+                self._abort(fw_doc, action.get("reason", ""))
+            else:
+                raise WorkflowError(f"unknown analyzer action {kind!r}")
+            applied.append(kind)
+        return applied
+
+    def _complete(self, fw_doc: Mapping[str, Any], task: Mapping[str, Any]) -> None:
+        task_doc = dict(task)
+        task_doc.update(
+            {
+                "fw_id": fw_doc["fw_id"],
+                "workflow_id": fw_doc.get("workflow_id"),
+                "binder_key": fw_doc.get("binder_key"),
+                "state": "COMPLETED",
+                "spec": fw_doc.get("spec"),
+                "completed_at": time.time(),
+            }
+        )
+        task_id = self.tasks.insert_one(task_doc).inserted_id
+        self.engines.update_one(
+            {"fw_id": fw_doc["fw_id"]},
+            {"$set": {"state": "COMPLETED", "task_id": task_id}},
+        )
+        self._release_ready(fw_doc.get("workflow_id"))
+
+    def _resubmit(self, fw_doc: Mapping[str, Any], overrides: Mapping[str, Any],
+                  bump: str) -> None:
+        if fw_doc.get("launches", 0) >= self.max_launches:
+            self._abort(
+                fw_doc,
+                f"max launches ({self.max_launches}) exhausted",
+            )
+            return
+        from .model import Stage
+
+        new_spec = Stage(fw_doc["spec"]).apply_overrides(overrides)
+        self.engines.update_one(
+            {"fw_id": fw_doc["fw_id"]},
+            {
+                "$set": {"state": "READY", "spec": dict(new_spec)},
+                "$inc": {bump: 1},
+                "$push": {"resubmit_history": {
+                    "overrides": dict(overrides), "at": time.time(),
+                }},
+            },
+        )
+
+    def _abort(self, fw_doc: Mapping[str, Any], reason: str) -> None:
+        """Fizzle the Firework and mark the workflow for manual intervention."""
+        self.engines.update_one(
+            {"fw_id": fw_doc["fw_id"]},
+            {"$set": {"state": "FIZZLED", "fizzle_reason": reason}},
+        )
+        wf_id = fw_doc.get("workflow_id")
+        if wf_id is not None:
+            self.engines.update_many(
+                {"workflow_id": wf_id, "state": {"$in": ["WAITING", "READY"]}},
+                {"$set": {"state": "DEFUSED"}},
+            )
+            self.db.get_collection("workflows_flagged").update_one(
+                {"workflow_id": wf_id},
+                {"$set": {"needs_manual_intervention": True,
+                          "reason": reason, "at": time.time()}},
+                upsert=True,
+            )
+
+    # -- introspection -----------------------------------------------------------------
+
+    def fw_state(self, fw_id: int) -> Optional[str]:
+        doc = self.engines.find_one({"fw_id": fw_id}, {"state": 1})
+        return doc["state"] if doc else None
+
+    def workflow_states(self, workflow_id: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for doc in self.engines.find({"workflow_id": workflow_id}, {"state": 1}):
+            counts[doc["state"]] = counts.get(doc["state"], 0) + 1
+        return counts
+
+    def workflow_complete(self, workflow_id: str) -> bool:
+        states = self.workflow_states(workflow_id)
+        return set(states) == {"COMPLETED"} if states else False
+
+    def flagged_workflows(self) -> List[dict]:
+        return self.db.get_collection("workflows_flagged").find(
+            {"needs_manual_intervention": True}
+        ).to_list()
+
+    def stats(self) -> dict:
+        pipeline = [{"$group": {"_id": "$state", "n": {"$sum": 1}}}]
+        return {row["_id"]: row["n"] for row in self.engines.aggregate(pipeline)}

@@ -1,0 +1,302 @@
+"""FireWorks object model: Firework, Stage, Fuse, Analyzer, Binder, Workflow.
+
+§III-C2 verbatim: "A *Firework* represents one step in a workflow, and can
+consist of several sub-components ... Each job ... is specified as a
+dictionary of runtime parameters (*Stage*) that are later translated into
+input files on a compute node by a component called the *Assembler* ...
+A *Fuse* object is embedded within each Firework and is capable of
+overriding input parameters prior to execution, based on the output state of
+any parent jobs.  The parameters to override are specified as a Python dict
+that is similar to Mongo atomic update syntax."
+
+All components serialize to JSON documents (they live in the ``engines``
+collection), so dynamic Python behaviour is reconstructed through a type
+registry: a component document is ``{"_type": "<registered name>",
+"params": {...}}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Type
+
+from ..errors import WorkflowError
+from ..docstore.updates import apply_update
+
+__all__ = [
+    "Stage",
+    "Fuse",
+    "Analyzer",
+    "Binder",
+    "Firework",
+    "Workflow",
+    "register_component",
+    "component_from_spec",
+    "FW_STATES",
+]
+
+#: Firework lifecycle states.
+FW_STATES = ("WAITING", "READY", "RUNNING", "COMPLETED", "FIZZLED", "DEFUSED")
+
+_COMPONENT_REGISTRY: Dict[str, Type] = {}
+
+
+def register_component(cls: Type) -> Type:
+    """Class decorator adding a component type to the serialization registry."""
+    _COMPONENT_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def component_from_spec(spec: Optional[Mapping[str, Any]]):
+    """Rebuild a registered component from its ``{"_type", "params"}`` doc."""
+    if spec is None:
+        return None
+    name = spec.get("_type")
+    cls = _COMPONENT_REGISTRY.get(name)
+    if cls is None:
+        raise WorkflowError(f"unknown component type {name!r}")
+    return cls(**spec.get("params", {}))
+
+
+class _Component:
+    """Base: components serialize as registry name + constructor params."""
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    def to_spec(self) -> Dict[str, Any]:
+        return {"_type": type(self).__name__, "params": self.params()}
+
+
+class Stage(dict):
+    """The job specification blueprint: a plain dict of runtime parameters.
+
+    Conventional keys for a FakeVASP stage: ``structure`` (crystal dict),
+    ``incar`` (SCF parameters), ``resources`` (walltime/memory), ``code``
+    and ``functional``.  Being a dict, it stores and queries directly as a
+    JSON document in the engines collection — the property the paper calls
+    out.
+    """
+
+    def apply_overrides(self, overrides: Mapping[str, Any]) -> "Stage":
+        """Apply Mongo-atomic-syntax overrides, returning a new Stage."""
+        from ..docstore.documents import deep_copy_doc
+
+        new = Stage(deep_copy_doc(dict(self)))
+        if overrides:
+            apply_update(new, overrides)
+        return new
+
+
+@register_component
+class Fuse(_Component):
+    """Release condition + parameter overrides for a Firework.
+
+    The base Fuse releases when all parents are COMPLETED and applies a
+    static override document.  Subclasses add output-dependent conditions
+    ("the parent jobs have some specific output value") and approval gates.
+    """
+
+    def __init__(self, overrides: Optional[Dict[str, Any]] = None,
+                 requires_approval: bool = False):
+        self.overrides = dict(overrides or {})
+        self.requires_approval = bool(requires_approval)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "overrides": self.overrides,
+            "requires_approval": self.requires_approval,
+        }
+
+    def is_ready(self, fw_doc: Mapping[str, Any],
+                 parent_tasks: Sequence[Mapping[str, Any]]) -> bool:
+        """May this Firework be released, given its parents' task docs?"""
+        if self.requires_approval and not fw_doc.get("approved", False):
+            return False
+        n_parents = len(fw_doc.get("parents", []))
+        done = [t for t in parent_tasks if t.get("state") == "COMPLETED"]
+        return len(done) >= n_parents
+
+    def compute_overrides(
+        self, parent_tasks: Sequence[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Override document (Mongo atomic syntax) to apply to the Stage."""
+        return dict(self.overrides)
+
+
+@register_component
+class OutputConditionFuse(Fuse):
+    """Releases only when a parent output field satisfies a query.
+
+    ``condition`` is a Mongo query evaluated against every parent task doc;
+    all parents must match.  Example: release the bandstructure step only if
+    the relaxation converged below some energy.
+    """
+
+    def __init__(self, condition: Optional[Dict[str, Any]] = None,
+                 overrides: Optional[Dict[str, Any]] = None,
+                 requires_approval: bool = False):
+        super().__init__(overrides, requires_approval)
+        self.condition = dict(condition or {})
+
+    def params(self) -> Dict[str, Any]:
+        base = super().params()
+        base["condition"] = self.condition
+        return base
+
+    def is_ready(self, fw_doc, parent_tasks) -> bool:
+        if not super().is_ready(fw_doc, parent_tasks):
+            return False
+        if not self.condition:
+            return True
+        from ..docstore.matching import compile_query
+
+        matcher = compile_query(self.condition)
+        return all(matcher.matches(t) for t in parent_tasks)
+
+
+@register_component
+class Analyzer(_Component):
+    """Post-run logic: inspect the outcome, emit follow-up actions.
+
+    ``analyze`` returns a list of action documents consumed by the
+    LaunchPad:
+
+    * ``{"action": "complete", "task": {...}}`` — store the (reduced) task
+    * ``{"action": "rerun", "overrides": {...}}`` — resubmit with more
+      resources (the paper's **re-runs**)
+    * ``{"action": "detour", "overrides": {...}}`` — resubmit with changed
+      input parameters (the paper's **detours**)
+    * ``{"action": "abort", "reason": "..."}`` — fizzle the workflow and
+      mark it for manual intervention
+    """
+
+    def analyze(self, fw_doc: Mapping[str, Any],
+                outcome: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        if outcome.get("status") == "COMPLETED":
+            return [{"action": "complete", "task": dict(outcome)}]
+        return [{"action": "abort",
+                 "reason": outcome.get("error_message", "unknown failure")}]
+
+
+@register_component
+class Binder(_Component):
+    """Uniqueness definition for duplicate detection (§III-C3).
+
+    "In the case of VASP runs, a Binder may contain a reference to a
+    crystal structure ID and the type of functional."  The key is computed
+    from selected Stage fields; two Fireworks with equal keys are duplicates
+    and the second becomes a pointer to the first's result.
+    """
+
+    def __init__(self, fields: Optional[List[str]] = None):
+        self.fields = list(fields or ["structure_hash", "functional"])
+
+    def params(self) -> Dict[str, Any]:
+        return {"fields": self.fields}
+
+    def key(self, spec: Mapping[str, Any]) -> str:
+        from ..docstore.documents import get_path, MISSING
+
+        parts = []
+        for field in self.fields:
+            value = get_path(spec, field)
+            parts.append(f"{field}={'<missing>' if value is MISSING else value}")
+        return "|".join(parts)
+
+
+_FW_IDS = itertools.count(1)
+
+
+class Firework:
+    """One step of a workflow: spec + fuse + analyzer + binder + parents."""
+
+    def __init__(
+        self,
+        spec: Mapping[str, Any],
+        name: Optional[str] = None,
+        fuse: Optional[Fuse] = None,
+        analyzer: Optional[Analyzer] = None,
+        binder: Optional[Binder] = None,
+        parents: Optional[Sequence["Firework"]] = None,
+    ):
+        self.fw_id = next(_FW_IDS)
+        self.name = name or f"fw-{self.fw_id}"
+        self.spec = Stage(spec)
+        self.fuse = fuse or Fuse()
+        self.analyzer = analyzer or Analyzer()
+        self.binder = binder
+        self.parents: List[Firework] = list(parents or [])
+
+    def to_doc(self, workflow_id: Optional[str] = None) -> Dict[str, Any]:
+        """The engines-collection document for this Firework."""
+        gated = self.parents or getattr(self.fuse, "requires_approval", False)
+        state = "WAITING" if gated else "READY"
+        return {
+            "fw_id": self.fw_id,
+            "name": self.name,
+            "workflow_id": workflow_id,
+            "state": state,
+            "spec": dict(self.spec),
+            "fuse": self.fuse.to_spec(),
+            "analyzer": self.analyzer.to_spec(),
+            "binder": self.binder.to_spec() if self.binder else None,
+            "binder_key": self.binder.key(self.spec) if self.binder else None,
+            "parents": [p.fw_id for p in self.parents],
+            "launches": 0,
+            "detours": 0,
+            "approved": False,
+        }
+
+    def __repr__(self) -> str:
+        return f"Firework({self.name}, id={self.fw_id})"
+
+
+class Workflow:
+    """A DAG of Fireworks (edges implied by each Firework's parents)."""
+
+    _WF_IDS = itertools.count(1)
+
+    def __init__(self, fireworks: Sequence[Firework], name: Optional[str] = None):
+        if not fireworks:
+            raise WorkflowError("workflow needs at least one firework")
+        self.workflow_id = f"wf-{next(self._WF_IDS)}"
+        self.name = name or self.workflow_id
+        self.fireworks = list(fireworks)
+        ids = {fw.fw_id for fw in self.fireworks}
+        for fw in self.fireworks:
+            for parent in fw.parents:
+                if parent.fw_id not in ids:
+                    raise WorkflowError(
+                        f"{fw.name} has parent outside the workflow"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        # Kahn's algorithm over the parent edges.
+        indegree = {fw.fw_id: len(fw.parents) for fw in self.fireworks}
+        children: Dict[int, List[int]] = {fw.fw_id: [] for fw in self.fireworks}
+        for fw in self.fireworks:
+            for parent in fw.parents:
+                children[parent.fw_id].append(fw.fw_id)
+        frontier = [fid for fid, deg in indegree.items() if deg == 0]
+        seen = 0
+        while frontier:
+            fid = frontier.pop()
+            seen += 1
+            for child in children[fid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    frontier.append(child)
+        if seen != len(self.fireworks):
+            raise WorkflowError("workflow graph has a cycle")
+
+    def roots(self) -> List[Firework]:
+        return [fw for fw in self.fireworks if not fw.parents]
+
+    def leaves(self) -> List[Firework]:
+        parent_ids = {p.fw_id for fw in self.fireworks for p in fw.parents}
+        return [fw for fw in self.fireworks if fw.fw_id not in parent_ids]
+
+    def __len__(self) -> int:
+        return len(self.fireworks)

@@ -1,0 +1,28 @@
+"""``repro.hpc`` — discrete-event HPC environment simulator.
+
+Models everything §IV-A of the paper identifies as an HPC-side challenge:
+the PBS-like batch queue with per-user limits and advance reservations
+(:mod:`.batch`), task farming (:mod:`.taskfarm`), worker-node network policy
+(:mod:`.network`), and NUMA memory placement (:mod:`.numa`) — all advancing
+a simulated clock (:mod:`.simclock`) over a cluster model (:mod:`.cluster`).
+"""
+
+from .simclock import SimClock
+from .cluster import Cluster, Node
+from .batch import BatchJob, BatchQueue, Reservation
+from .taskfarm import FarmTask, TaskFarm
+from .network import NetworkPolicy
+from .numa import NUMAModel
+
+__all__ = [
+    "SimClock",
+    "Cluster",
+    "Node",
+    "BatchJob",
+    "BatchQueue",
+    "Reservation",
+    "FarmTask",
+    "TaskFarm",
+    "NetworkPolicy",
+    "NUMAModel",
+]

@@ -1,0 +1,240 @@
+"""PBS-like batch queue with per-user limits, reservations, walltime kills.
+
+§IV-A1: "Most HPC systems allow only a handful of queued jobs per user ...
+for many of the high throughput workloads like the Materials Project, there
+are thousands of small jobs.  In the MP, we worked with NERSC to get
+advanced reservations that temporarily suspended these limits."
+
+The model: FIFO-with-priority scheduling over a :class:`Cluster`, a hard
+``max_queued_per_user`` enforced at submission (raising
+:class:`~repro.errors.QueueLimitExceeded`), advance reservations that (a)
+exempt their owner from the queue limit inside the reservation window and
+(b) reserve cores, and walltime enforcement that kills jobs whose actual
+runtime exceeds their request — the trigger for the workflow engine's
+re-run logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..errors import HPCError, QueueLimitExceeded
+from .cluster import Cluster
+from .simclock import SimClock
+
+__all__ = ["BatchJob", "Reservation", "BatchQueue"]
+
+_JOB_IDS = itertools.count(1)
+
+
+class BatchJob:
+    """One batch submission.
+
+    ``work`` is either a number (simulated runtime in seconds) or a callable
+    ``work(job) -> float`` evaluated at start time (so task farms can decide
+    their contents when they launch).
+    """
+
+    def __init__(
+        self,
+        user: str,
+        cores: int,
+        walltime_request_s: float,
+        work: "float | Callable[[BatchJob], float]",
+        priority: int = 0,
+        name: Optional[str] = None,
+    ):
+        if cores < 1 or walltime_request_s <= 0:
+            raise HPCError("invalid job geometry")
+        self.job_id = next(_JOB_IDS)
+        self.user = user
+        self.cores = cores
+        self.walltime_request_s = float(walltime_request_s)
+        self.work = work
+        self.priority = int(priority)
+        self.name = name or f"job-{self.job_id}"
+        self.state = "QUEUED"  # QUEUED | RUNNING | COMPLETED | KILLED_WALLTIME
+        self.submit_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.actual_runtime_s: Optional[float] = None
+        self._allocation = None
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        if self.start_time is None or self.submit_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def __repr__(self) -> str:
+        return f"BatchJob({self.name}, user={self.user}, state={self.state})"
+
+
+class Reservation:
+    """An advance reservation: cores held for one user over a time window."""
+
+    def __init__(self, user: str, start: float, end: float, cores: int):
+        if end <= start or cores < 1:
+            raise HPCError("invalid reservation window")
+        self.user = user
+        self.start = float(start)
+        self.end = float(end)
+        self.cores = int(cores)
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+class BatchQueue:
+    """The PBS-like scheduler bound to a cluster and a sim clock."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        clock: Optional[SimClock] = None,
+        max_queued_per_user: int = 8,
+        backfill: bool = True,
+    ):
+        self.cluster = cluster
+        self.clock = clock or SimClock()
+        self.max_queued_per_user = max_queued_per_user
+        #: With backfill (default), later queued jobs may start around a
+        #: blocked head-of-queue job; strict FIFO (backfill=False) waits.
+        self.backfill = backfill
+        self._queue: List[BatchJob] = []
+        self._running: List[BatchJob] = []
+        self.history: List[BatchJob] = []
+        self.reservations: List[Reservation] = []
+        self.rejections = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def _user_load(self, user: str) -> int:
+        return sum(1 for j in self._queue if j.user == user) + sum(
+            1 for j in self._running if j.user == user
+        )
+
+    def _has_reservation(self, user: str) -> bool:
+        t = self.clock.now
+        return any(r.user == user and r.active_at(t) for r in self.reservations)
+
+    def submit(self, job: BatchJob) -> BatchJob:
+        """Submit a job; per-user queue limits apply unless reserved."""
+        if not self._has_reservation(job.user):
+            if self._user_load(job.user) >= self.max_queued_per_user:
+                self.rejections += 1
+                raise QueueLimitExceeded(
+                    f"user {job.user!r} already has "
+                    f"{self._user_load(job.user)} jobs "
+                    f"(limit {self.max_queued_per_user})"
+                )
+        job.state = "QUEUED"
+        job.submit_time = self.clock.now
+        self._queue.append(job)
+        self._try_schedule()
+        return job
+
+    def add_reservation(self, reservation: Reservation) -> None:
+        self.reservations.append(reservation)
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _reserved_cores_now(self, for_user: Optional[str]) -> int:
+        """Cores held by active reservations not belonging to ``for_user``."""
+        t = self.clock.now
+        return sum(
+            r.cores
+            for r in self.reservations
+            if r.active_at(t) and r.user != for_user
+        )
+
+    def _try_schedule(self) -> None:
+        """Start queued jobs in priority-then-FIFO order.
+
+        With backfill, a blocked job is skipped and later jobs may start;
+        in strict-FIFO mode scheduling stops at the first blocked job (the
+        classic utilization cost the backfill ablation measures).
+        """
+        self._queue.sort(key=lambda j: (-j.priority, j.submit_time, j.job_id))
+        progress = True
+        while progress:
+            progress = False
+            for job in list(self._queue):
+                held = self._reserved_cores_now(job.user)
+                available = self.cluster.free_compute_cores - held
+                blocked = job.cores > available
+                allocation = None if blocked else self.cluster.try_allocate(
+                    job.cores
+                )
+                if allocation is None:
+                    if self.backfill:
+                        continue
+                    break  # strict FIFO: head of queue blocks everyone
+                self._start(job, allocation)
+                progress = True
+                break
+
+    def _start(self, job: BatchJob, allocation) -> None:
+        self._queue.remove(job)
+        self._running.append(job)
+        job.state = "RUNNING"
+        job.start_time = self.clock.now
+        job._allocation = allocation
+        runtime = job.work(job) if callable(job.work) else float(job.work)
+        job.actual_runtime_s = runtime
+        if runtime > job.walltime_request_s:
+            # Killed at the walltime limit; the work is lost.
+            self.clock.schedule_in(
+                job.walltime_request_s, lambda j=job: self._finish(j, killed=True)
+            )
+        else:
+            self.clock.schedule_in(runtime, lambda j=job: self._finish(j, killed=False))
+
+    def _finish(self, job: BatchJob, killed: bool) -> None:
+        job.state = "KILLED_WALLTIME" if killed else "COMPLETED"
+        job.end_time = self.clock.now
+        self._running.remove(job)
+        self.history.append(job)
+        self.cluster.release(job._allocation)
+        job._allocation = None
+        self._try_schedule()
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def queued_jobs(self) -> List[BatchJob]:
+        return list(self._queue)
+
+    @property
+    def running_jobs(self) -> List[BatchJob]:
+        return list(self._running)
+
+    def run_until_idle(self) -> None:
+        """Advance the clock until queue and running set are empty."""
+        guard = 0
+        while self._queue or self._running:
+            if not self.clock.step():
+                if self._queue and not self._running:
+                    raise HPCError(
+                        "jobs stuck in queue with no events pending "
+                        "(cluster too small for some job?)"
+                    )
+                break
+            guard += 1
+            if guard > 10_000_000:
+                raise HPCError("scheduler livelock")
+
+    def stats(self) -> dict:
+        done = [j for j in self.history if j.state == "COMPLETED"]
+        killed = [j for j in self.history if j.state == "KILLED_WALLTIME"]
+        waits = [j.queue_wait_s for j in self.history if j.queue_wait_s is not None]
+        return {
+            "completed": len(done),
+            "killed_walltime": len(killed),
+            "rejections": self.rejections,
+            "mean_queue_wait_s": sum(waits) / len(waits) if waits else 0.0,
+            "makespan_s": max((j.end_time or 0.0) for j in self.history)
+            if self.history
+            else 0.0,
+        }

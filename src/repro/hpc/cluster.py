@@ -1,0 +1,148 @@
+"""Cluster hardware model: nodes, cores, memory, NUMA domains.
+
+A minimal but honest model of the machines the paper ran on (NERSC Hopper
+class): homogeneous nodes with a fixed core count, per-node memory split
+over NUMA domains, and a network policy class (compute nodes cannot reach
+external services — see :mod:`repro.hpc.network`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import HPCError
+
+__all__ = ["Node", "Cluster"]
+
+
+class Node:
+    """One compute node."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 24,
+        memory_mb: float = 32768.0,
+        numa_domains: int = 4,
+        node_class: str = "compute",
+    ):
+        if cores < 1 or memory_mb <= 0 or numa_domains < 1:
+            raise HPCError("invalid node geometry")
+        if cores % numa_domains != 0:
+            raise HPCError("cores must divide evenly across NUMA domains")
+        self.name = name
+        self.cores = cores
+        self.memory_mb = memory_mb
+        self.numa_domains = numa_domains
+        self.node_class = node_class  # "compute" | "login" | "midrange"
+        self.cores_in_use = 0
+
+    @property
+    def cores_free(self) -> int:
+        return self.cores - self.cores_in_use
+
+    @property
+    def memory_per_domain_mb(self) -> float:
+        return self.memory_mb / self.numa_domains
+
+    def allocate(self, cores: int) -> None:
+        if cores > self.cores_free:
+            raise HPCError(
+                f"node {self.name}: requested {cores} cores, "
+                f"{self.cores_free} free"
+            )
+        self.cores_in_use += cores
+
+    def release(self, cores: int) -> None:
+        if cores > self.cores_in_use:
+            raise HPCError(f"node {self.name}: releasing more cores than in use")
+        self.cores_in_use -= cores
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.name}, {self.cores_free}/{self.cores} cores free, "
+            f"{self.node_class})"
+        )
+
+
+class Cluster:
+    """A set of nodes with simple first-fit core allocation."""
+
+    def __init__(self, nodes: List[Node]):
+        if not nodes:
+            raise HPCError("cluster needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise HPCError("duplicate node names")
+        self.nodes = list(nodes)
+
+    @classmethod
+    def build(
+        cls,
+        n_compute: int = 8,
+        cores_per_node: int = 24,
+        memory_mb: float = 32768.0,
+        numa_domains: int = 4,
+        n_midrange: int = 1,
+    ) -> "Cluster":
+        """Convenience factory: N compute nodes + login + midrange nodes."""
+        nodes = [
+            Node(f"c{i:03d}", cores_per_node, memory_mb, numa_domains, "compute")
+            for i in range(n_compute)
+        ]
+        nodes.append(Node("login01", cores_per_node, memory_mb, numa_domains, "login"))
+        for i in range(n_midrange):
+            nodes.append(
+                Node(f"mid{i:02d}", cores_per_node, memory_mb, numa_domains,
+                     "midrange")
+            )
+        return cls(nodes)
+
+    @property
+    def compute_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.node_class == "compute"]
+
+    @property
+    def total_compute_cores(self) -> int:
+        return sum(n.cores for n in self.compute_nodes)
+
+    @property
+    def free_compute_cores(self) -> int:
+        return sum(n.cores_free for n in self.compute_nodes)
+
+    def node(self, name: str) -> Node:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise HPCError(f"unknown node {name!r}")
+
+    def try_allocate(self, cores: int) -> Optional[List[tuple]]:
+        """First-fit allocation of ``cores`` across compute nodes.
+
+        Returns ``[(node, cores_taken), ...]`` or None if insufficient.
+        The allocation is applied when successful.
+        """
+        if cores < 1:
+            raise HPCError("must request at least one core")
+        plan: List[tuple] = []
+        remaining = cores
+        for node in self.compute_nodes:
+            if remaining == 0:
+                break
+            take = min(node.cores_free, remaining)
+            if take > 0:
+                plan.append((node, take))
+                remaining -= take
+        if remaining > 0:
+            return None
+        for node, take in plan:
+            node.allocate(take)
+        return plan
+
+    def release(self, plan: List[tuple]) -> None:
+        for node, take in plan:
+            node.release(take)
+
+    def utilization(self) -> float:
+        total = self.total_compute_cores
+        return (total - self.free_compute_cores) / total if total else 0.0

@@ -1,0 +1,95 @@
+"""Network connectivity policy: why the proxy exists.
+
+§IV-A2: "most HPC systems are configured such that the internal worker nodes
+are not allowed to communicate outside the system.  Thus, we had to use a
+proxy to have our tasks communicate with the MongoDB Server."
+
+The policy classifies hosts (compute / login / midrange / external) and
+answers "may A open a connection to B?".  Compute nodes may talk only to
+in-system hosts — the login/midrange nodes where the proxy runs — never to
+the external database host.  :meth:`NetworkPolicy.connect` enforces this for
+real socket connections, returning a
+:class:`~repro.docstore.server.RemoteClient` only when the route is legal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import NetworkPolicyError
+
+__all__ = ["NetworkPolicy"]
+
+_CLASSES = ("compute", "login", "midrange", "external")
+
+
+class NetworkPolicy:
+    """Host classification + connection admission."""
+
+    def __init__(self) -> None:
+        self._hosts: Dict[str, str] = {}
+        self.denied_attempts = 0
+        self.allowed_attempts = 0
+
+    def register(self, hostname: str, host_class: str) -> None:
+        if host_class not in _CLASSES:
+            raise NetworkPolicyError(f"unknown host class {host_class!r}")
+        self._hosts[hostname] = host_class
+
+    def register_cluster(self, cluster) -> None:
+        """Register every node of a :class:`~repro.hpc.cluster.Cluster`."""
+        for node in cluster.nodes:
+            self.register(node.name, node.node_class)
+
+    def host_class(self, hostname: str) -> str:
+        cls = self._hosts.get(hostname)
+        if cls is None:
+            raise NetworkPolicyError(f"unknown host {hostname!r}")
+        return cls
+
+    def allowed(self, src: str, dst: str) -> bool:
+        """May ``src`` open a TCP connection to ``dst``?
+
+        Rules (mirroring a typical HPC center):
+        * compute → compute/login/midrange: allowed (in-system fabric)
+        * compute → external: DENIED (the paper's constraint)
+        * login/midrange → anywhere: allowed (they are the gateways)
+        * external → login: allowed (users ssh in); external → compute: denied
+        """
+        s = self.host_class(src)
+        d = self.host_class(dst)
+        if s == "compute":
+            return d in ("compute", "login", "midrange")
+        if s in ("login", "midrange"):
+            return True
+        if s == "external":
+            return d in ("login", "external")
+        return False
+
+    def check(self, src: str, dst: str) -> None:
+        """Raise :class:`NetworkPolicyError` when the route is forbidden."""
+        if not self.allowed(src, dst):
+            self.denied_attempts += 1
+            raise NetworkPolicyError(
+                f"{src} ({self.host_class(src)}) may not connect to "
+                f"{dst} ({self.host_class(dst)})"
+            )
+        self.allowed_attempts += 1
+
+    def connect(self, src: str, dst: str, address: tuple):
+        """Open a datastore client connection if the policy allows it.
+
+        ``address`` is the actual ``(ip, port)`` of the server or proxy; the
+        policy works on logical host names, the socket on real addresses.
+        """
+        from ..docstore.server import RemoteClient
+
+        self.check(src, dst)
+        return RemoteClient(address[0], address[1])
+
+    def stats(self) -> dict:
+        return {
+            "hosts": len(self._hosts),
+            "allowed_attempts": self.allowed_attempts,
+            "denied_attempts": self.denied_attempts,
+        }

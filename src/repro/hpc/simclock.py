@@ -1,0 +1,72 @@
+"""Discrete-event simulation clock.
+
+The HPC layer never sleeps: batch queues, job runtimes, and reservations all
+advance a simulated clock so a "week" of cluster time runs in milliseconds.
+Events are ``(time, sequence, callback)`` triples in a heap; ties break by
+insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from ..errors import HPCError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """An event-driven simulated clock."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now - 1e-12:
+            raise HPCError(
+                f"cannot schedule event in the past ({when} < {self._now})"
+            )
+        heapq.heappush(self._events, (when, next(self._seq), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise HPCError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Process the next event; returns False if none remain."""
+        if not self._events:
+            return False
+        when, _seq, callback = heapq.heappop(self._events)
+        self._now = when
+        callback()
+        return True
+
+    def run_until(self, when: float) -> None:
+        """Process events up to (and including) simulated time ``when``."""
+        while self._events and self._events[0][0] <= when:
+            self.step()
+        self._now = max(self._now, when)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; returns the number of events processed."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise HPCError(f"event cascade exceeded {max_events} events")
+        return count
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._events)

@@ -1,0 +1,21 @@
+"""``repro.mapreduce`` — the Python MapReduce framework (§IV-B2, §IV-C2).
+
+One job spec (:class:`MapReduceJob`), three data paths: the single-threaded
+:class:`LocalExecutor` (MongoDB's built-in MR analog), the multi-process
+:class:`ParallelExecutor` (the Hadoop analog), and :class:`StagedStore`
+(pre-staging collection data to partitioned files, the HDFS analog).
+"""
+
+from .core import MapReduceJob, MRResult, partition_for_key
+from .local import LocalExecutor
+from .parallel import ParallelExecutor
+from .staging import StagedStore
+
+__all__ = [
+    "MapReduceJob",
+    "MRResult",
+    "partition_for_key",
+    "LocalExecutor",
+    "ParallelExecutor",
+    "StagedStore",
+]

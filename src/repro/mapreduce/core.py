@@ -1,0 +1,81 @@
+"""MapReduce job specification shared by all executors.
+
+§IV-B2 / §IV-C2: the Materials Project uses "a simple custom MapReduce
+framework written in Python" for V&V and analytics, and found that
+Hadoop-style execution "can be several times faster than the built-in
+MongoDB MapReduce framework" (which runs in a single-threaded Javascript
+engine).  This package reproduces the comparison: one job definition, two
+executors (:mod:`.local` single-threaded, :mod:`.parallel` multi-process
+with partitioned shuffle).
+
+A job is four functions:
+
+* ``mapper(doc) -> iterable[(key, value)]``
+* ``combiner(key, values) -> value`` (optional, associative pre-reduce)
+* ``reducer(key, values) -> value``
+* ``finalize(key, value) -> value`` (optional)
+
+For the process-based executor the functions must be picklable (defined at
+module level), like any real distributed framework requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = ["MapReduceJob", "MRResult", "partition_for_key"]
+
+Mapper = Callable[[dict], Iterable[Tuple[Any, Any]]]
+Reducer = Callable[[Any, List[Any]], Any]
+Finalizer = Callable[[Any, Any], Any]
+
+
+class MapReduceJob:
+    """An executor-independent MapReduce job."""
+
+    def __init__(
+        self,
+        mapper: Mapper,
+        reducer: Reducer,
+        combiner: Optional[Reducer] = None,
+        finalize: Optional[Finalizer] = None,
+        name: str = "mr-job",
+    ):
+        if not callable(mapper) or not callable(reducer):
+            raise ReproError("mapper and reducer must be callables")
+        self.mapper = mapper
+        self.reducer = reducer
+        self.combiner = combiner
+        self.finalize = finalize
+        self.name = name
+
+
+class MRResult:
+    """Rows plus execution metadata, comparable across executors."""
+
+    def __init__(self, rows: List[dict], executor: str, wall_time_s: float,
+                 counts: dict):
+        self.rows = rows
+        self.executor = executor
+        self.wall_time_s = wall_time_s
+        self.counts = counts
+
+    def sorted_rows(self) -> List[dict]:
+        """Rows in deterministic key order for cross-executor comparison."""
+        return sorted(self.rows, key=lambda r: repr(r["_id"]))
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def partition_for_key(key: Any, n_partitions: int) -> int:
+    """Stable partition assignment (shared by shuffle and staging)."""
+    import hashlib
+
+    payload = repr(key).encode()
+    return int.from_bytes(hashlib.md5(payload).digest()[:4], "big") % n_partitions

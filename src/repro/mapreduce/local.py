@@ -1,0 +1,53 @@
+"""Single-threaded MapReduce executor — the MongoDB-built-in analog.
+
+"MongoDB's built-in MapReduce functionality is severely limited by
+implementation within a single-threaded Javascript engine" (§IV-C2).  This
+executor is the honest model of that limitation: one thread, one pass, no
+partitioning.  It is the correctness reference the parallel executor is
+compared against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List
+
+from .core import MapReduceJob, MRResult
+
+__all__ = ["LocalExecutor"]
+
+
+class LocalExecutor:
+    """Runs a job sequentially in the calling thread."""
+
+    name = "local-single-thread"
+
+    def run(self, job: MapReduceJob, documents: Iterable[dict]) -> MRResult:
+        t0 = time.perf_counter()
+        groups: dict = {}
+        key_objects: dict = {}
+        n_input = 0
+        n_emit = 0
+        for doc in documents:
+            n_input += 1
+            for key, value in job.mapper(doc):
+                n_emit += 1
+                ck = repr(key)
+                groups.setdefault(ck, []).append(value)
+                key_objects.setdefault(ck, key)
+        rows: List[dict] = []
+        for ck, values in groups.items():
+            key = key_objects[ck]
+            if job.combiner is not None and len(values) > 1:
+                values = [job.combiner(key, values)]
+            out = values[0] if len(values) == 1 else job.reducer(key, values)
+            if job.finalize is not None:
+                out = job.finalize(key, out)
+            rows.append({"_id": key, "value": out})
+        elapsed = time.perf_counter() - t0
+        return MRResult(
+            rows,
+            executor=self.name,
+            wall_time_s=elapsed,
+            counts={"input": n_input, "emit": n_emit, "output": len(rows)},
+        )

@@ -1,0 +1,84 @@
+"""``repro.matgen`` — the materials object model and analysis library.
+
+The pymatgen analog (§III-D3): "a Python object model for materials data
+along with a well-tested set of structure and thermodynamic analysis tools".
+Public surface: elements/compositions/lattices/structures, the MPS JSON
+format, structure prototypes, phase diagrams, battery electrode analysis,
+XRD patterns, band structures, and DOS.
+"""
+
+from .elements import Element, ELEMENTS, element
+from .composition import Composition
+from .lattice import Lattice
+from .structure import Site, Structure
+from .prototypes import PROTOTYPES, make_prototype, prototype_names
+from .mps import MPSRecord, mps_from_structure, structure_from_mps, validate_mps
+from .phasediagram import PDEntry, PhaseDiagram
+from .battery import (
+    ConversionElectrode,
+    FARADAY_MAH_PER_MOL,
+    InsertionElectrode,
+    VoltagePair,
+)
+from .xrd import CU_KA_WAVELENGTH, XRDCalculator, XRDPattern
+from .bandstructure import BandStructure, KPath, compute_band_structure
+from .dos import DensityOfStates, compute_dos
+from .cif import (
+    read_cif_file,
+    structure_from_cif,
+    structure_to_cif,
+    write_cif_file,
+)
+from .diffusion import DiffusionEstimate, estimate_diffusion, rate_class
+from .symmetry import SymmetryFinder, SymmetryOperation, lattice_system
+from .vaspio import (
+    read_poscar_file,
+    structure_from_poscar,
+    structure_to_poscar,
+    write_poscar_file,
+)
+
+__all__ = [
+    "Element",
+    "ELEMENTS",
+    "element",
+    "Composition",
+    "Lattice",
+    "Site",
+    "Structure",
+    "PROTOTYPES",
+    "make_prototype",
+    "prototype_names",
+    "MPSRecord",
+    "mps_from_structure",
+    "structure_from_mps",
+    "validate_mps",
+    "PDEntry",
+    "PhaseDiagram",
+    "ConversionElectrode",
+    "FARADAY_MAH_PER_MOL",
+    "InsertionElectrode",
+    "VoltagePair",
+    "CU_KA_WAVELENGTH",
+    "XRDCalculator",
+    "XRDPattern",
+    "BandStructure",
+    "KPath",
+    "compute_band_structure",
+    "DensityOfStates",
+    "compute_dos",
+    "read_cif_file",
+    "structure_from_cif",
+    "structure_to_cif",
+    "write_cif_file",
+    "DiffusionEstimate",
+    "estimate_diffusion",
+    "rate_class",
+    "SymmetryFinder",
+    "SymmetryOperation",
+    "lattice_system",
+    "read_poscar_file",
+    "structure_from_poscar",
+    "structure_to_poscar",
+    "write_poscar_file",
+]

@@ -1,0 +1,215 @@
+"""Electronic band structures (the paper's "3,000 bandstructures").
+
+The pseudo-DFT engine produces bands from a nearest-neighbour tight-binding
+model on the crystal: one band per (site, orbital) with dispersion set by a
+hopping integral that decays with bond length, plus an on-site term from
+electronegativity.  That yields genuinely structure-dependent band gaps,
+bandwidths, and k-resolved extrema — everything the Web UI visualizes and
+the materials builder stores.
+
+The container mirrors pymatgen's BandStructureSymmLine at the fidelity the
+paper's pipeline needs: energies on a symmetry k-path, Fermi level, gap
+analysis (direct/indirect), and JSON round-tripping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MatgenError
+from .structure import Structure
+
+__all__ = ["KPath", "BandStructure", "compute_band_structure"]
+
+#: Conventional k-path for a (pseudo-)cubic cell, in fractional reciprocal coords.
+_CUBIC_PATH: List[Tuple[str, Tuple[float, float, float]]] = [
+    ("Γ", (0.0, 0.0, 0.0)),
+    ("X", (0.5, 0.0, 0.0)),
+    ("M", (0.5, 0.5, 0.0)),
+    ("Γ", (0.0, 0.0, 0.0)),
+    ("R", (0.5, 0.5, 0.5)),
+]
+
+
+class KPath:
+    """A piecewise-linear path through the Brillouin zone."""
+
+    def __init__(
+        self,
+        vertices: Optional[Sequence[Tuple[str, Tuple[float, float, float]]]] = None,
+        points_per_segment: int = 20,
+    ):
+        self.vertices = list(vertices or _CUBIC_PATH)
+        if len(self.vertices) < 2:
+            raise MatgenError("k-path needs at least two vertices")
+        if points_per_segment < 2:
+            raise MatgenError("points_per_segment must be >= 2")
+        self.points_per_segment = points_per_segment
+
+    @property
+    def labels(self) -> List[str]:
+        return [label for label, _ in self.vertices]
+
+    def kpoints(self) -> Tuple[np.ndarray, List[Optional[str]]]:
+        """Sampled k-points plus a label list (None off the vertices)."""
+        pts: List[np.ndarray] = []
+        labels: List[Optional[str]] = []
+        for (la, va), (lb, vb) in zip(self.vertices, self.vertices[1:]):
+            seg = np.linspace(va, vb, self.points_per_segment, endpoint=False)
+            for i, k in enumerate(seg):
+                pts.append(k)
+                labels.append(la if i == 0 else None)
+        pts.append(np.asarray(self.vertices[-1][1], dtype=float))
+        labels.append(self.vertices[-1][0])
+        return np.array(pts), labels
+
+
+class BandStructure:
+    """Band energies along a k-path, with gap analysis."""
+
+    def __init__(
+        self,
+        kpoints: np.ndarray,
+        bands: np.ndarray,
+        fermi_level: float,
+        labels: Optional[List[Optional[str]]] = None,
+        formula: str = "",
+    ):
+        bands = np.asarray(bands, dtype=float)
+        kpoints = np.asarray(kpoints, dtype=float)
+        if bands.ndim != 2 or bands.shape[1] != len(kpoints):
+            raise MatgenError(
+                f"bands must be (n_bands, n_kpoints); got {bands.shape} "
+                f"for {len(kpoints)} k-points"
+            )
+        self.kpoints = kpoints
+        self.bands = bands
+        self.fermi_level = float(fermi_level)
+        self.labels = labels or [None] * len(kpoints)
+        self.formula = formula
+
+    @property
+    def n_bands(self) -> int:
+        return self.bands.shape[0]
+
+    @property
+    def vbm(self) -> Optional[dict]:
+        """Valence-band maximum: highest energy below the Fermi level."""
+        below = self.bands[self.bands <= self.fermi_level + 1e-12]
+        if below.size == 0:
+            return None
+        e = float(below.max())
+        band, k = np.argwhere(self.bands == below.max())[0]
+        return {"energy": e, "band": int(band), "kpoint_index": int(k)}
+
+    @property
+    def cbm(self) -> Optional[dict]:
+        """Conduction-band minimum: lowest energy above the Fermi level."""
+        above = self.bands[self.bands > self.fermi_level + 1e-12]
+        if above.size == 0:
+            return None
+        e = float(above.min())
+        band, k = np.argwhere(self.bands == above.min())[0]
+        return {"energy": e, "band": int(band), "kpoint_index": int(k)}
+
+    @property
+    def is_metal(self) -> bool:
+        """Metallic if any single band crosses the Fermi level."""
+        crosses = (self.bands.min(axis=1) < self.fermi_level) & (
+            self.bands.max(axis=1) > self.fermi_level
+        )
+        return bool(crosses.any())
+
+    @property
+    def band_gap(self) -> float:
+        """Fundamental gap in eV (0 for metals)."""
+        if self.is_metal:
+            return 0.0
+        vbm, cbm = self.vbm, self.cbm
+        if vbm is None or cbm is None:
+            return 0.0
+        return max(0.0, cbm["energy"] - vbm["energy"])
+
+    @property
+    def is_gap_direct(self) -> bool:
+        if self.is_metal or self.band_gap == 0.0:
+            return False
+        return self.vbm["kpoint_index"] == self.cbm["kpoint_index"]
+
+    def get_band_gap_summary(self) -> dict:
+        return {
+            "band_gap": self.band_gap,
+            "is_metal": self.is_metal,
+            "is_direct": self.is_gap_direct,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "formula": self.formula,
+            "kpoints": self.kpoints.tolist(),
+            "bands": self.bands.tolist(),
+            "fermi_level": self.fermi_level,
+            "labels": self.labels,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BandStructure":
+        return cls(
+            np.array(d["kpoints"]),
+            np.array(d["bands"]),
+            d["fermi_level"],
+            d.get("labels"),
+            d.get("formula", ""),
+        )
+
+
+def compute_band_structure(
+    structure: Structure,
+    kpath: Optional[KPath] = None,
+    hopping_prefactor: float = 2.0,
+    gap_scale: float = 2.2,
+) -> BandStructure:
+    """Tight-binding-flavoured band structure of ``structure``.
+
+    One band per site.  On-site energies come from electronegativity
+    (χ above/below the structure mean → anion/cation bands split by an
+    ionicity-scaled offset), hoppings decay exponentially with the
+    shortest bond length.  The Fermi level is placed mid-gap between the
+    lowest N_occupied bands, where occupation is half the sites (one
+    "frontier orbital" each) — a cartoon, but a deterministic one whose
+    gap grows with ionicity exactly like real oxides vs. alloys.
+    """
+    kpath = kpath or KPath()
+    kpoints, labels = kpath.kpoints()
+
+    chis = np.array([s.element.chi for s in structure.sites])
+    chi_mean = float(chis.mean())
+    ionicity = float(chis.max() - chis.min())
+    onsite = (chis - chi_mean) * gap_scale * -1.0  # anions sink, cations rise
+
+    bond = structure.min_bond_length()
+    t = hopping_prefactor * math.exp(-bond / 2.5)
+
+    lattice = structure.lattice
+    recip = lattice.reciprocal_lattice().matrix / (2 * math.pi)
+    n_sites = structure.num_sites
+    bands = np.zeros((n_sites, len(kpoints)))
+    # Simple-cubic-like dispersion per band (cosine in each reciprocal dir),
+    # scaled by the hopping; band index ordering by on-site energy.
+    order = np.argsort(onsite)
+    for row, site_idx in enumerate(order):
+        eps = onsite[site_idx]
+        phase = 2 * math.pi * kpoints  # fractional k
+        disp = -2.0 * t * np.cos(phase).sum(axis=1)
+        bands[row] = eps + disp / 3.0
+
+    n_occ = max(1, n_sites // 2)
+    e_occ_max = bands[:n_occ].max()
+    e_unocc_min = bands[n_occ:].min() if n_occ < n_sites else e_occ_max
+    fermi = 0.5 * (e_occ_max + e_unocc_min)
+    return BandStructure(
+        kpoints, bands, fermi, labels, formula=structure.reduced_formula
+    )

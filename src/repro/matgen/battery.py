@@ -1,0 +1,282 @@
+"""Battery electrode analysis: voltages and capacities (paper Fig. 1).
+
+Figure 1 of the paper plots "potential battery materials screened by the
+Materials Project as a function of predicted voltage and capacity".  The
+two properties come straight from computed total energies:
+
+* the average intercalation voltage between a charged host ``H`` and a
+  discharged alkali-inserted phase ``A_x H`` is
+  ``V = -[E(A_xH) - E(H) - x * E(A)] / x`` (in volts, energies in eV,
+  single-electron alkali ions), Aydinol et al.'s classic formula;
+* the gravimetric capacity is ``C = x * F / (3.6 * M)`` in mAh/g with
+  ``M`` the molar mass of the discharged electrode.
+
+We support multi-step intercalation (a sequence of phases at increasing
+alkali content → voltage profile and step pairs) and conversion electrodes
+(voltage from the reaction energy against the phase-diagram hull).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import MatgenError
+from .composition import Composition
+from .elements import Element
+from .phasediagram import PDEntry, PhaseDiagram
+
+__all__ = ["VoltagePair", "InsertionElectrode", "ConversionElectrode",
+           "FARADAY_MAH_PER_MOL"]
+
+#: Faraday constant expressed in mAh/mol (96485 C/mol / 3.6 C per mAh).
+FARADAY_MAH_PER_MOL = 96485.0 / 3.6
+
+
+class VoltagePair:
+    """One step of a voltage profile: charged and discharged end points."""
+
+    __slots__ = ("charged", "discharged", "working_ion", "voltage",
+                 "capacity_grav", "x_charged", "x_discharged")
+
+    def __init__(
+        self,
+        charged: PDEntry,
+        discharged: PDEntry,
+        working_ion: Element,
+        ion_reference_epa: float,
+    ):
+        self.charged = charged
+        self.discharged = discharged
+        self.working_ion = working_ion
+        # Normalize both entries per formula unit of the ion-free framework.
+        frame_c, x_c = _split_framework(charged.composition, working_ion)
+        frame_d, x_d = _split_framework(discharged.composition, working_ion)
+        if not frame_c.almost_equals(frame_d, rtol=1e-4):
+            raise MatgenError(
+                f"framework mismatch: {frame_c.formula} vs {frame_d.formula}"
+            )
+        if x_d <= x_c:
+            raise MatgenError(
+                "discharged phase must contain more working ion than charged"
+            )
+        # Scale energies to one framework formula unit.
+        scale_c = 1.0 / _framework_units(charged.composition, working_ion, frame_c)
+        scale_d = 1.0 / _framework_units(discharged.composition, working_ion, frame_d)
+        e_c = charged.energy * scale_c
+        e_d = discharged.energy * scale_d
+        dx = x_d - x_c
+        self.x_charged = x_c
+        self.x_discharged = x_d
+        self.voltage = -(e_d - e_c - dx * ion_reference_epa) / dx
+        mass_d = (frame_d + Composition({working_ion: x_d})).weight
+        self.capacity_grav = dx * FARADAY_MAH_PER_MOL / mass_d
+
+    @property
+    def specific_energy(self) -> float:
+        """Gravimetric energy density in Wh/kg."""
+        return self.voltage * self.capacity_grav
+
+    def __repr__(self) -> str:
+        return (
+            f"VoltagePair({self.charged.composition.reduced_formula} -> "
+            f"{self.discharged.composition.reduced_formula}, "
+            f"V={self.voltage:.2f}, C={self.capacity_grav:.0f} mAh/g)"
+        )
+
+
+def _split_framework(
+    comp: Composition, ion: Element
+) -> Tuple[Composition, float]:
+    """Separate ``comp`` into (framework per f.u., ion count per framework f.u.)."""
+    amounts = {el: amt for el, amt in comp.items() if el != ion}
+    if not amounts:
+        raise MatgenError(f"{comp} is pure working ion")
+    frame = Composition(amounts).reduced_composition()
+    units = _framework_units(comp, ion, frame)
+    x = comp[ion] / units
+    return frame, x
+
+
+def _framework_units(comp: Composition, ion: Element, frame: Composition) -> float:
+    """How many framework formula units ``comp`` contains."""
+    el = frame.elements[0]
+    return comp[el] / frame[el]
+
+
+class InsertionElectrode:
+    """A family of phases sharing a host framework at varying ion content.
+
+    Entries are sorted by ion fraction; adjacent (in ion content) pairs
+    whose voltage profile is monotonically decreasing form the usable
+    voltage steps, as in pymatgen's InsertionElectrode.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[PDEntry],
+        working_ion: str,
+        ion_reference_epa: float,
+    ):
+        if len(entries) < 2:
+            raise MatgenError("need at least charged + discharged entries")
+        self.working_ion = Element(working_ion)
+        self.ion_reference_epa = float(ion_reference_epa)
+        frames = set()
+        keyed = []
+        for entry in entries:
+            frame, x = _split_framework(entry.composition, self.working_ion)
+            frames.add(frame.formula)
+            keyed.append((x, entry))
+        if len(frames) != 1:
+            raise MatgenError(f"entries span multiple frameworks: {sorted(frames)}")
+        keyed.sort(key=lambda t: t[0])
+        self._keyed = keyed
+        self.framework = Composition(frames.pop())
+        self.voltage_pairs = self._build_pairs()
+
+    def _build_pairs(self) -> List[VoltagePair]:
+        pairs = []
+        for (x0, e0), (x1, e1) in zip(self._keyed, self._keyed[1:]):
+            if x1 - x0 < 1e-8:
+                continue
+            pairs.append(
+                VoltagePair(e0, e1, self.working_ion, self.ion_reference_epa)
+            )
+        if not pairs:
+            raise MatgenError("no voltage steps found")
+        return pairs
+
+    @property
+    def average_voltage(self) -> float:
+        """Capacity-weighted mean voltage over all steps."""
+        total_cap = sum(p.capacity_grav for p in self.voltage_pairs)
+        return sum(p.voltage * p.capacity_grav for p in self.voltage_pairs) / total_cap
+
+    @property
+    def max_voltage(self) -> float:
+        return max(p.voltage for p in self.voltage_pairs)
+
+    @property
+    def min_voltage(self) -> float:
+        return min(p.voltage for p in self.voltage_pairs)
+
+    @property
+    def capacity_grav(self) -> float:
+        """Total gravimetric capacity (mAh/g of fully discharged electrode)."""
+        x_min = self._keyed[0][0]
+        x_max = self._keyed[-1][0]
+        mass = (self.framework + Composition({self.working_ion: x_max})).weight
+        return (x_max - x_min) * FARADAY_MAH_PER_MOL / mass
+
+    @property
+    def specific_energy(self) -> float:
+        return self.average_voltage * self.capacity_grav
+
+    def get_summary_dict(self) -> dict:
+        """The document shape stored in the ``batteries`` collection."""
+        return {
+            "battery_type": "intercalation",
+            "working_ion": self.working_ion.symbol,
+            "framework": self.framework.reduced_formula,
+            "average_voltage": self.average_voltage,
+            "max_voltage": self.max_voltage,
+            "min_voltage": self.min_voltage,
+            "capacity_grav": self.capacity_grav,
+            "specific_energy": self.specific_energy,
+            "n_steps": len(self.voltage_pairs),
+            "steps": [
+                {
+                    "voltage": p.voltage,
+                    "capacity_grav": p.capacity_grav,
+                    "charged": p.charged.composition.reduced_formula,
+                    "discharged": p.discharged.composition.reduced_formula,
+                }
+                for p in self.voltage_pairs
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InsertionElectrode({self.framework.reduced_formula}, "
+            f"{self.working_ion.symbol}, V={self.average_voltage:.2f}, "
+            f"C={self.capacity_grav:.0f} mAh/g)"
+        )
+
+
+class ConversionElectrode:
+    """A conversion electrode: the ion reacts the host into new phases.
+
+    The voltage comes from the reaction energy of ``x A + Host →
+    decomposition products`` evaluated on the phase-diagram hull of the
+    combined chemical system (paper: "14,000 conversion batteries").
+    """
+
+    def __init__(
+        self,
+        host: PDEntry,
+        pd: PhaseDiagram,
+        working_ion: str,
+        x_max: float = 1.0,
+        n_steps: int = 4,
+    ):
+        self.host = host
+        self.pd = pd
+        self.working_ion = Element(working_ion)
+        if self.working_ion not in {el for el in pd.elements}:
+            raise MatgenError(
+                f"phase diagram lacks working ion {working_ion}"
+            )
+        self.ion_reference_epa = pd.el_refs[self.working_ion].energy_per_atom
+        self.x_max = float(x_max)
+        self.n_steps = int(n_steps)
+        self.profile = self._build_profile()
+
+    def _reacted_energy_pfu(self, x: float) -> float:
+        """Hull energy (eV) of host + x working ions, per host formula unit."""
+        comp = self.host.composition + Composition({self.working_ion: x})
+        hull_form_epa = self.pd.get_hull_energy_per_atom(comp)
+        # Convert formation e/atom back to total energy via elemental refs.
+        ref = sum(
+            comp[el] * self.pd.el_refs[el].energy_per_atom
+            for el in comp.elements
+        )
+        return hull_form_epa * comp.num_atoms + ref
+
+    def _build_profile(self) -> List[dict]:
+        xs = [self.x_max * (i + 1) / self.n_steps for i in range(self.n_steps)]
+        profile = []
+        e_prev = self._host_energy()
+        x_prev = 0.0
+        for x in xs:
+            e_x = self._reacted_energy_pfu(x)
+            dx = x - x_prev
+            voltage = -(e_x - e_prev - dx * self.ion_reference_epa) / dx
+            mass = (
+                self.host.composition + Composition({self.working_ion: x})
+            ).weight
+            capacity = x * FARADAY_MAH_PER_MOL / mass
+            profile.append({"x": x, "voltage": voltage, "capacity_grav": capacity})
+            e_prev, x_prev = e_x, x
+        return profile
+
+    def _host_energy(self) -> float:
+        return self.host.energy
+
+    @property
+    def average_voltage(self) -> float:
+        return sum(p["voltage"] for p in self.profile) / len(self.profile)
+
+    @property
+    def capacity_grav(self) -> float:
+        return self.profile[-1]["capacity_grav"]
+
+    def get_summary_dict(self) -> dict:
+        return {
+            "battery_type": "conversion",
+            "working_ion": self.working_ion.symbol,
+            "host": self.host.composition.reduced_formula,
+            "average_voltage": self.average_voltage,
+            "capacity_grav": self.capacity_grav,
+            "x_max": self.x_max,
+            "profile": list(self.profile),
+        }

@@ -1,0 +1,183 @@
+"""CIF import/export — the field's standard crystal interchange format.
+
+§III-D3: "The pymatgen library can import and export data from a number of
+existing formats."  The Crystallographic Information File is *the* format
+experimentalists exchange, so the reproduction speaks it too: a P1 writer
+(every site explicit, no symmetry reduction — standard practice for
+computed structures) and a reader covering the subset such files use:
+``data_`` blocks, cell parameters, and an ``atom_site`` loop with either
+``type_symbol`` or ``label`` columns, quoted values, and comments.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MatgenError
+from .elements import Element
+from .lattice import Lattice
+from .structure import Structure
+
+__all__ = ["structure_to_cif", "structure_from_cif", "read_cif_file",
+           "write_cif_file"]
+
+
+def structure_to_cif(structure: Structure, data_name: Optional[str] = None) -> str:
+    """Render a structure as a P1 CIF block."""
+    a, b, c, alpha, beta, gamma = structure.lattice.parameters
+    name = data_name or structure.reduced_formula
+    lines = [
+        f"data_{name}",
+        f"_chemical_formula_structural   {structure.reduced_formula}",
+        f"_chemical_formula_sum          '{structure.composition.formula}'",
+        f"_cell_length_a     {a:.6f}",
+        f"_cell_length_b     {b:.6f}",
+        f"_cell_length_c     {c:.6f}",
+        f"_cell_angle_alpha  {alpha:.6f}",
+        f"_cell_angle_beta   {beta:.6f}",
+        f"_cell_angle_gamma  {gamma:.6f}",
+        f"_cell_volume       {structure.volume:.6f}",
+        "_symmetry_space_group_name_H-M  'P 1'",
+        "_symmetry_Int_Tables_number     1",
+        "loop_",
+        " _atom_site_type_symbol",
+        " _atom_site_label",
+        " _atom_site_occupancy",
+        " _atom_site_fract_x",
+        " _atom_site_fract_y",
+        " _atom_site_fract_z",
+    ]
+    counters: Dict[str, int] = {}
+    for site in structure.sites:
+        symbol = site.element.symbol
+        counters[symbol] = counters.get(symbol, 0) + 1
+        x, y, z = site.frac_coords
+        lines.append(
+            f" {symbol}  {symbol}{counters[symbol]}  1.0  "
+            f"{x:.6f}  {y:.6f}  {z:.6f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+_NUMERIC = re.compile(r"^[-+]?\d*\.?\d+(\(\d+\))?$")
+
+
+def _parse_value(token: str) -> float:
+    """CIF numbers may carry an uncertainty suffix like 5.431(2)."""
+    match = _NUMERIC.match(token)
+    if not match:
+        raise MatgenError(f"not a CIF number: {token!r}")
+    return float(token.split("(")[0])
+
+
+def _strip_symbol(label: str) -> str:
+    """'Fe2+' / 'Fe1' / 'FE' → 'Fe'."""
+    match = re.match(r"([A-Za-z]{1,2})", label)
+    if not match:
+        raise MatgenError(f"cannot extract element from {label!r}")
+    raw = match.group(1)
+    candidate = raw[0].upper() + raw[1:].lower()
+    try:
+        Element(candidate)
+        return candidate
+    except MatgenError:
+        # Single-letter fallback: 'CL1' -> 'C' failed? try first letter.
+        single = raw[0].upper()
+        Element(single)
+        return single
+
+
+def structure_from_cif(text: str) -> Structure:
+    """Parse the first data block of a CIF document."""
+    cell: Dict[str, float] = {}
+    loop_columns: List[str] = []
+    rows: List[List[str]] = []
+    in_loop_header = False
+    in_atom_loop = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("_cell_"):
+            in_atom_loop = in_loop_header = False
+            parts = line.split()
+            if len(parts) >= 2:
+                try:
+                    cell[parts[0].lower()] = _parse_value(parts[1])
+                except MatgenError:
+                    pass
+            continue
+        if lowered == "loop_":
+            in_loop_header = True
+            in_atom_loop = False
+            loop_columns = []
+            continue
+        if in_loop_header and lowered.startswith("_"):
+            loop_columns.append(lowered)
+            continue
+        if in_loop_header:
+            in_loop_header = False
+            in_atom_loop = any("_atom_site" in c for c in loop_columns)
+        if lowered.startswith("_") or lowered.startswith("data_"):
+            in_atom_loop = False
+            continue
+        if in_atom_loop:
+            tokens = shlex.split(line)
+            if len(tokens) == len(loop_columns):
+                rows.append(tokens)
+
+    required = ["_cell_length_a", "_cell_length_b", "_cell_length_c",
+                "_cell_angle_alpha", "_cell_angle_beta", "_cell_angle_gamma"]
+    missing = [k for k in required if k not in cell]
+    if missing:
+        raise MatgenError(f"CIF missing cell parameters: {missing}")
+    lattice = Lattice.from_parameters(
+        cell["_cell_length_a"], cell["_cell_length_b"], cell["_cell_length_c"],
+        cell["_cell_angle_alpha"], cell["_cell_angle_beta"],
+        cell["_cell_angle_gamma"],
+    )
+
+    if not rows:
+        raise MatgenError("CIF has no atom_site loop")
+
+    def col(name: str) -> Optional[int]:
+        for i, c in enumerate(loop_columns):
+            if c == name:
+                return i
+        return None
+
+    i_type = col("_atom_site_type_symbol")
+    i_label = col("_atom_site_label")
+    i_x = col("_atom_site_fract_x")
+    i_y = col("_atom_site_fract_y")
+    i_z = col("_atom_site_fract_z")
+    if i_x is None or i_y is None or i_z is None:
+        raise MatgenError("CIF atom loop lacks fractional coordinates")
+    if i_type is None and i_label is None:
+        raise MatgenError("CIF atom loop lacks element information")
+
+    species: List[str] = []
+    coords: List[Tuple[float, float, float]] = []
+    for row in rows:
+        source = row[i_type] if i_type is not None else row[i_label]
+        species.append(_strip_symbol(source))
+        coords.append((
+            _parse_value(row[i_x]),
+            _parse_value(row[i_y]),
+            _parse_value(row[i_z]),
+        ))
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def write_cif_file(structure: Structure, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(structure_to_cif(structure))
+
+
+def read_cif_file(path: str) -> Structure:
+    with open(path, encoding="utf-8") as fh:
+        return structure_from_cif(fh.read())

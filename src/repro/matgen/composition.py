@@ -1,0 +1,285 @@
+"""Chemical compositions: formula parsing, reduction, and derived quantities.
+
+Compositions are the join key of the whole datastore: the Materials API
+resolves ``/rest/v1/materials/Fe2O3/...`` by parsed formula, the workflow
+engine matches jobs on ``elements`` and ``nelectrons`` fields derived here,
+and the phase-diagram builder works in fractional composition space.
+
+Supports nested parentheses (``Li(CoO2)2``), fractional amounts from
+reduction, pretty/reduced/alphabetical/anonymous formula forms, and
+chemical-system strings (``"Fe-Li-O-P"``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterator, List, Mapping, Union
+
+from ..errors import CompositionError
+from .elements import Element
+
+__all__ = ["Composition"]
+
+_TOKEN = re.compile(r"([A-Z][a-z]?)(\d*\.?\d*)|(\()|(\))(\d*\.?\d*)")
+
+
+def _gcd_float(values: List[float], tol: float = 1e-8) -> float:
+    """Greatest common (floating) divisor of positive amounts."""
+    from math import gcd
+
+    # Scale to integers when possible.
+    ints = []
+    for v in values:
+        r = round(v)
+        if abs(v - r) > tol or r == 0:
+            return 1.0
+        ints.append(int(r))
+    g = ints[0]
+    for i in ints[1:]:
+        g = gcd(g, i)
+    return float(g)
+
+
+class Composition(Mapping[Element, float]):
+    """An immutable mapping of :class:`Element` to amount.
+
+    Construct from a formula string, a dict, or keyword amounts::
+
+        Composition("LiFePO4")
+        Composition({"Fe": 2, "O": 3})
+        Composition(Fe=2, O=3)
+    """
+
+    def __init__(
+        self,
+        formula: Union[str, Mapping, None] = None,
+        **kwargs: float,
+    ):
+        amounts: Dict[Element, float] = {}
+        if isinstance(formula, str):
+            for sym, amt in self._parse(formula).items():
+                amounts[Element(sym)] = amounts.get(Element(sym), 0.0) + amt
+        elif isinstance(formula, Composition):
+            amounts.update(formula._amounts)
+        elif isinstance(formula, Mapping):
+            for key, amt in formula.items():
+                el = key if isinstance(key, Element) else Element(str(key))
+                amounts[el] = amounts.get(el, 0.0) + float(amt)
+        elif formula is not None:
+            raise CompositionError(
+                f"cannot build composition from {type(formula).__name__}"
+            )
+        for sym, amt in kwargs.items():
+            el = Element(sym)
+            amounts[el] = amounts.get(el, 0.0) + float(amt)
+        amounts = {el: amt for el, amt in amounts.items() if abs(amt) > 1e-12}
+        if not amounts:
+            raise CompositionError("empty composition")
+        if any(amt < 0 for amt in amounts.values()):
+            raise CompositionError("negative amounts are not allowed")
+        self._amounts: Dict[Element, float] = dict(
+            sorted(amounts.items(), key=lambda kv: kv[0].Z)
+        )
+
+    # -- parsing ------------------------------------------------------------
+
+    @staticmethod
+    def _parse(formula: str) -> Dict[str, float]:
+        formula = formula.strip()
+        if not formula:
+            raise CompositionError("empty formula")
+        pos = 0
+        stack: List[Dict[str, float]] = [{}]
+
+        while pos < len(formula):
+            ch = formula[pos]
+            if ch == "(":
+                stack.append({})
+                pos += 1
+            elif ch == ")":
+                pos += 1
+                m = re.match(r"\d*\.?\d*", formula[pos:])
+                mult_text = m.group(0) if m else ""
+                pos += len(mult_text)
+                mult = float(mult_text) if mult_text else 1.0
+                if len(stack) < 2:
+                    raise CompositionError(f"unbalanced ')' in {formula!r}")
+                group = stack.pop()
+                for sym, amt in group.items():
+                    stack[-1][sym] = stack[-1].get(sym, 0.0) + amt * mult
+            else:
+                m = re.match(r"([A-Z][a-z]?)(\d*\.?\d*)", formula[pos:])
+                if not m or not m.group(1):
+                    raise CompositionError(
+                        f"cannot parse formula {formula!r} at position {pos}"
+                    )
+                sym = m.group(1)
+                Element(sym)  # validates the symbol
+                amt = float(m.group(2)) if m.group(2) else 1.0
+                stack[-1][sym] = stack[-1].get(sym, 0.0) + amt
+                pos += m.end()
+        if len(stack) != 1:
+            raise CompositionError(f"unbalanced '(' in {formula!r}")
+        return stack[0]
+
+    # -- mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: Union[Element, str]) -> float:
+        el = key if isinstance(key, Element) else Element(str(key))
+        return self._amounts.get(el, 0.0)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._amounts)
+
+    def __len__(self) -> int:
+        return len(self._amounts)
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, str):
+            try:
+                key = Element(key)
+            except CompositionError:
+                return False
+        return key in self._amounts
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def elements(self) -> List[Element]:
+        """Elements present, ordered by atomic number."""
+        return list(self._amounts)
+
+    @property
+    def num_atoms(self) -> float:
+        return sum(self._amounts.values())
+
+    @property
+    def weight(self) -> float:
+        """Molar mass in g/mol."""
+        return sum(el.atomic_mass * amt for el, amt in self._amounts.items())
+
+    @property
+    def nelectrons(self) -> float:
+        """Total electron count — the field the paper's job queries filter on."""
+        return sum(el.Z * amt for el, amt in self._amounts.items())
+
+    @property
+    def is_element(self) -> bool:
+        return len(self._amounts) == 1
+
+    @property
+    def chemical_system(self) -> str:
+        """Dash-joined sorted symbols, e.g. ``"Fe-Li-O-P"``."""
+        return "-".join(sorted(el.symbol for el in self._amounts))
+
+    def get_atomic_fraction(self, el: Union[Element, str]) -> float:
+        return self[el] / self.num_atoms
+
+    def fractional_composition(self) -> "Composition":
+        """Composition normalized to one atom total."""
+        n = self.num_atoms
+        return Composition({el: amt / n for el, amt in self._amounts.items()})
+
+    # -- formula renderings ------------------------------------------------------
+
+    @staticmethod
+    def _fmt_amount(amt: float) -> str:
+        if abs(amt - 1.0) < 1e-8:
+            return ""
+        if abs(amt - round(amt)) < 1e-8:
+            return str(int(round(amt)))
+        return f"{amt:g}"
+
+    @property
+    def formula(self) -> str:
+        """Electronegativity-ordered formula with explicit amounts."""
+        ordered = sorted(
+            self._amounts.items(), key=lambda kv: (kv[0].chi, kv[0].symbol)
+        )
+        return "".join(f"{el.symbol}{self._fmt_amount(amt)}" for el, amt in ordered)
+
+    @property
+    def alphabetical_formula(self) -> str:
+        ordered = sorted(self._amounts.items(), key=lambda kv: kv[0].symbol)
+        return "".join(f"{el.symbol}{self._fmt_amount(amt)}" for el, amt in ordered)
+
+    @property
+    def reduced_formula(self) -> str:
+        """Formula divided by the GCD of (integer) amounts: Fe4O6 → Fe2O3."""
+        return self.reduced_composition().formula
+
+    def reduced_composition(self) -> "Composition":
+        g = _gcd_float(list(self._amounts.values()))
+        if g <= 1.0:
+            return self
+        return Composition({el: amt / g for el, amt in self._amounts.items()})
+
+    @property
+    def anonymized_formula(self) -> str:
+        """Amount pattern with anonymous letters: LiFePO4 → ABCD4."""
+        reduced = self.reduced_composition()
+        amounts = sorted(reduced._amounts.values())
+        letters = "ABCDEFGHIJ"
+        return "".join(
+            f"{letters[i]}{self._fmt_amount(amt)}" for i, amt in enumerate(amounts)
+        )
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def __add__(self, other: "Composition") -> "Composition":
+        out = dict(self._amounts)
+        for el, amt in other._amounts.items():
+            out[el] = out.get(el, 0.0) + amt
+        return Composition(out)
+
+    def __sub__(self, other: "Composition") -> "Composition":
+        out = dict(self._amounts)
+        for el, amt in other._amounts.items():
+            new = out.get(el, 0.0) - amt
+            if new < -1e-9:
+                raise CompositionError(
+                    f"subtraction makes {el.symbol} negative"
+                )
+            out[el] = new
+        return Composition({el: a for el, a in out.items() if a > 1e-9})
+
+    def __mul__(self, factor: float) -> "Composition":
+        if factor <= 0:
+            raise CompositionError("multiplication factor must be positive")
+        return Composition({el: amt * factor for el, amt in self._amounts.items()})
+
+    __rmul__ = __mul__
+
+    # -- identity ---------------------------------------------------------------
+
+    def almost_equals(self, other: "Composition", rtol: float = 1e-6) -> bool:
+        if set(self._amounts) != set(other._amounts):
+            return False
+        return all(
+            math.isclose(amt, other._amounts[el], rel_tol=rtol, abs_tol=1e-9)
+            for el, amt in self._amounts.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Composition):
+            return NotImplemented
+        return self.almost_equals(other)
+
+    def __hash__(self) -> int:
+        return hash(self.chemical_system)
+
+    def __repr__(self) -> str:
+        return f"Composition({self.formula!r})"
+
+    def __str__(self) -> str:
+        return self.formula
+
+    # -- serialization -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, float]:
+        return {el.symbol: amt for el, amt in self._amounts.items()}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, float]) -> "Composition":
+        return cls(d)

@@ -1,0 +1,88 @@
+"""Densities of states derived from band structures.
+
+A DOS is the Gaussian-smeared histogram of band energies.  It feeds the Web
+UI property panels and gives the V&V layer a second, independent route to
+the band gap (consistency rule: gap from DOS ≈ gap from bands).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import MatgenError
+from .bandstructure import BandStructure
+
+__all__ = ["DensityOfStates", "compute_dos"]
+
+
+class DensityOfStates:
+    """Energy grid + states/eV, with Fermi level and gap extraction."""
+
+    def __init__(self, energies: np.ndarray, densities: np.ndarray, fermi_level: float):
+        energies = np.asarray(energies, dtype=float)
+        densities = np.asarray(densities, dtype=float)
+        if energies.shape != densities.shape:
+            raise MatgenError("energies and densities must have the same shape")
+        if np.any(densities < -1e-12):
+            raise MatgenError("densities must be non-negative")
+        self.energies = energies
+        self.densities = densities
+        self.fermi_level = float(fermi_level)
+
+    def get_gap(self, tol: float = 1e-3) -> float:
+        """Band gap: width of the zero-density window containing E_F."""
+        occupied = self.energies[
+            (self.densities > tol) & (self.energies <= self.fermi_level)
+        ]
+        empty = self.energies[
+            (self.densities > tol) & (self.energies > self.fermi_level)
+        ]
+        if occupied.size == 0 or empty.size == 0:
+            return 0.0
+        gap = float(empty.min() - occupied.max())
+        return max(0.0, gap)
+
+    @property
+    def is_metal(self) -> bool:
+        """Metallic if the DOS at the Fermi level is significant."""
+        idx = int(np.argmin(np.abs(self.energies - self.fermi_level)))
+        return bool(self.densities[idx] > 1e-2 * self.densities.max())
+
+    def states_in_window(self, lo: float, hi: float) -> float:
+        """Integrated states between two energies (trapezoidal)."""
+        mask = (self.energies >= lo) & (self.energies <= hi)
+        if mask.sum() < 2:
+            return 0.0
+        return float(np.trapezoid(self.densities[mask], self.energies[mask]))
+
+    def as_dict(self) -> dict:
+        return {
+            "energies": self.energies.tolist(),
+            "densities": self.densities.tolist(),
+            "fermi_level": self.fermi_level,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DensityOfStates":
+        return cls(np.array(d["energies"]), np.array(d["densities"]), d["fermi_level"])
+
+
+def compute_dos(
+    band_structure: BandStructure,
+    sigma: float = 0.08,
+    n_points: int = 400,
+    window: Optional[Tuple[float, float]] = None,
+) -> DensityOfStates:
+    """Gaussian-smeared DOS from a band structure."""
+    if sigma <= 0:
+        raise MatgenError("smearing sigma must be positive")
+    flat = band_structure.bands.ravel()
+    lo, hi = window or (flat.min() - 5 * sigma, flat.max() + 5 * sigma)
+    grid = np.linspace(lo, hi, n_points)
+    # Sum of normalized Gaussians centered at each eigenvalue.
+    diffs = grid[None, :] - flat[:, None]
+    dos = np.exp(-0.5 * (diffs / sigma) ** 2).sum(axis=0)
+    dos /= sigma * np.sqrt(2 * np.pi) * len(band_structure.kpoints)
+    return DensityOfStates(grid, dos, band_structure.fermi_level)

@@ -1,0 +1,218 @@
+"""Periodic-table data and the :class:`Element` type.
+
+The analysis library needs real elemental data for everything downstream:
+composition mass/electron counts (the paper's ``nelectrons`` job-matching
+queries), electronegativity-driven formation-energy estimates in the
+pseudo-DFT engine, ionic radii for structure prototypes, and X-ray
+scattering proxies.  Values are standard tabulated data (IUPAC masses,
+Pauling electronegativities, Shannon-ish radii in Å); elements rarely used
+in inorganic oxides carry approximate radii, which is fine for the synthetic
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CompositionError
+
+__all__ = ["Element", "ELEMENTS", "element"]
+
+# symbol: (Z, name, atomic_mass, electronegativity, atomic_radius_A,
+#          common_oxidation_states)
+_DATA: Dict[str, Tuple[int, str, float, Optional[float], float, Tuple[int, ...]]] = {
+    "H":  (1, "Hydrogen", 1.008, 2.20, 0.53, (1, -1)),
+    "He": (2, "Helium", 4.0026, None, 0.31, ()),
+    "Li": (3, "Lithium", 6.94, 0.98, 1.67, (1,)),
+    "Be": (4, "Beryllium", 9.0122, 1.57, 1.12, (2,)),
+    "B":  (5, "Boron", 10.81, 2.04, 0.87, (3,)),
+    "C":  (6, "Carbon", 12.011, 2.55, 0.67, (4, -4, 2)),
+    "N":  (7, "Nitrogen", 14.007, 3.04, 0.56, (-3, 3, 5)),
+    "O":  (8, "Oxygen", 15.999, 3.44, 0.48, (-2,)),
+    "F":  (9, "Fluorine", 18.998, 3.98, 0.42, (-1,)),
+    "Ne": (10, "Neon", 20.180, None, 0.38, ()),
+    "Na": (11, "Sodium", 22.990, 0.93, 1.90, (1,)),
+    "Mg": (12, "Magnesium", 24.305, 1.31, 1.45, (2,)),
+    "Al": (13, "Aluminium", 26.982, 1.61, 1.18, (3,)),
+    "Si": (14, "Silicon", 28.085, 1.90, 1.11, (4, -4)),
+    "P":  (15, "Phosphorus", 30.974, 2.19, 0.98, (5, 3, -3)),
+    "S":  (16, "Sulfur", 32.06, 2.58, 0.88, (-2, 4, 6)),
+    "Cl": (17, "Chlorine", 35.45, 3.16, 0.79, (-1, 5, 7)),
+    "Ar": (18, "Argon", 39.948, None, 0.71, ()),
+    "K":  (19, "Potassium", 39.098, 0.82, 2.43, (1,)),
+    "Ca": (20, "Calcium", 40.078, 1.00, 1.94, (2,)),
+    "Sc": (21, "Scandium", 44.956, 1.36, 1.84, (3,)),
+    "Ti": (22, "Titanium", 47.867, 1.54, 1.76, (4, 3, 2)),
+    "V":  (23, "Vanadium", 50.942, 1.63, 1.71, (5, 4, 3, 2)),
+    "Cr": (24, "Chromium", 51.996, 1.66, 1.66, (3, 6, 2)),
+    "Mn": (25, "Manganese", 54.938, 1.55, 1.61, (2, 3, 4, 7)),
+    "Fe": (26, "Iron", 55.845, 1.83, 1.56, (2, 3)),
+    "Co": (27, "Cobalt", 58.933, 1.88, 1.52, (2, 3)),
+    "Ni": (28, "Nickel", 58.693, 1.91, 1.49, (2, 3)),
+    "Cu": (29, "Copper", 63.546, 1.90, 1.45, (2, 1)),
+    "Zn": (30, "Zinc", 65.38, 1.65, 1.42, (2,)),
+    "Ga": (31, "Gallium", 69.723, 1.81, 1.36, (3,)),
+    "Ge": (32, "Germanium", 72.630, 2.01, 1.25, (4, 2)),
+    "As": (33, "Arsenic", 74.922, 2.18, 1.14, (-3, 3, 5)),
+    "Se": (34, "Selenium", 78.971, 2.55, 1.03, (-2, 4, 6)),
+    "Br": (35, "Bromine", 79.904, 2.96, 0.94, (-1, 5)),
+    "Kr": (36, "Krypton", 83.798, 3.00, 0.88, ()),
+    "Rb": (37, "Rubidium", 85.468, 0.82, 2.65, (1,)),
+    "Sr": (38, "Strontium", 87.62, 0.95, 2.19, (2,)),
+    "Y":  (39, "Yttrium", 88.906, 1.22, 2.12, (3,)),
+    "Zr": (40, "Zirconium", 91.224, 1.33, 2.06, (4,)),
+    "Nb": (41, "Niobium", 92.906, 1.60, 1.98, (5, 3)),
+    "Mo": (42, "Molybdenum", 95.95, 2.16, 1.90, (6, 4)),
+    "Tc": (43, "Technetium", 98.0, 1.90, 1.83, (7, 4)),
+    "Ru": (44, "Ruthenium", 101.07, 2.20, 1.78, (3, 4)),
+    "Rh": (45, "Rhodium", 102.91, 2.28, 1.73, (3,)),
+    "Pd": (46, "Palladium", 106.42, 2.20, 1.69, (2, 4)),
+    "Ag": (47, "Silver", 107.87, 1.93, 1.65, (1,)),
+    "Cd": (48, "Cadmium", 112.41, 1.69, 1.61, (2,)),
+    "In": (49, "Indium", 114.82, 1.78, 1.56, (3,)),
+    "Sn": (50, "Tin", 118.71, 1.96, 1.45, (4, 2)),
+    "Sb": (51, "Antimony", 121.76, 2.05, 1.33, (3, 5, -3)),
+    "Te": (52, "Tellurium", 127.60, 2.10, 1.23, (-2, 4, 6)),
+    "I":  (53, "Iodine", 126.90, 2.66, 1.15, (-1, 5, 7)),
+    "Xe": (54, "Xenon", 131.29, 2.60, 1.08, ()),
+    "Cs": (55, "Caesium", 132.91, 0.79, 2.98, (1,)),
+    "Ba": (56, "Barium", 137.33, 0.89, 2.53, (2,)),
+    "La": (57, "Lanthanum", 138.91, 1.10, 2.26, (3,)),
+    "Ce": (58, "Cerium", 140.12, 1.12, 2.10, (3, 4)),
+    "Pr": (59, "Praseodymium", 140.91, 1.13, 2.47, (3,)),
+    "Nd": (60, "Neodymium", 144.24, 1.14, 2.06, (3,)),
+    "Pm": (61, "Promethium", 145.0, 1.13, 2.05, (3,)),
+    "Sm": (62, "Samarium", 150.36, 1.17, 2.38, (3, 2)),
+    "Eu": (63, "Europium", 151.96, 1.20, 2.31, (3, 2)),
+    "Gd": (64, "Gadolinium", 157.25, 1.20, 2.33, (3,)),
+    "Tb": (65, "Terbium", 158.93, 1.20, 2.25, (3,)),
+    "Dy": (66, "Dysprosium", 162.50, 1.22, 2.28, (3,)),
+    "Ho": (67, "Holmium", 164.93, 1.23, 2.26, (3,)),
+    "Er": (68, "Erbium", 167.26, 1.24, 2.26, (3,)),
+    "Tm": (69, "Thulium", 168.93, 1.25, 2.22, (3,)),
+    "Yb": (70, "Ytterbium", 173.05, 1.10, 2.22, (3, 2)),
+    "Lu": (71, "Lutetium", 174.97, 1.27, 2.17, (3,)),
+    "Hf": (72, "Hafnium", 178.49, 1.30, 2.08, (4,)),
+    "Ta": (73, "Tantalum", 180.95, 1.50, 2.00, (5,)),
+    "W":  (74, "Tungsten", 183.84, 2.36, 1.93, (6, 4)),
+    "Re": (75, "Rhenium", 186.21, 1.90, 1.88, (7, 4)),
+    "Os": (76, "Osmium", 190.23, 2.20, 1.85, (4,)),
+    "Ir": (77, "Iridium", 192.22, 2.20, 1.80, (4, 3)),
+    "Pt": (78, "Platinum", 195.08, 2.28, 1.77, (2, 4)),
+    "Au": (79, "Gold", 196.97, 2.54, 1.74, (3, 1)),
+    "Hg": (80, "Mercury", 200.59, 2.00, 1.71, (2, 1)),
+    "Tl": (81, "Thallium", 204.38, 1.62, 1.56, (1, 3)),
+    "Pb": (82, "Lead", 207.2, 2.33, 1.54, (2, 4)),
+    "Bi": (83, "Bismuth", 208.98, 2.02, 1.43, (3, 5)),
+    "Po": (84, "Polonium", 209.0, 2.00, 1.35, (4, 2)),
+    "At": (85, "Astatine", 210.0, 2.20, 1.27, (-1,)),
+    "Rn": (86, "Radon", 222.0, None, 1.20, ()),
+    "Fr": (87, "Francium", 223.0, 0.70, 3.48, (1,)),
+    "Ra": (88, "Radium", 226.0, 0.90, 2.83, (2,)),
+    "Ac": (89, "Actinium", 227.0, 1.10, 2.60, (3,)),
+    "Th": (90, "Thorium", 232.04, 1.30, 2.37, (4,)),
+    "Pa": (91, "Protactinium", 231.04, 1.50, 2.43, (5, 4)),
+    "U":  (92, "Uranium", 238.03, 1.38, 2.40, (6, 4)),
+}
+
+
+class Element:
+    """A chemical element with tabulated physical data.
+
+    Instances are interned: ``Element("Fe") is Element("Fe")``.  Ordering is
+    by atomic number, matching pymatgen's convention, and electronegativity
+    ordering is available for formula canonicalization.
+    """
+
+    _cache: Dict[str, "Element"] = {}
+
+    __slots__ = (
+        "symbol",
+        "Z",
+        "name",
+        "atomic_mass",
+        "electronegativity",
+        "atomic_radius",
+        "oxidation_states",
+    )
+
+    def __new__(cls, symbol: str) -> "Element":
+        cached = cls._cache.get(symbol)
+        if cached is not None:
+            return cached
+        if symbol not in _DATA:
+            raise CompositionError(f"unknown element symbol {symbol!r}")
+        self = super().__new__(cls)
+        z, name, mass, chi, radius, oxi = _DATA[symbol]
+        object.__setattr__(self, "symbol", symbol)
+        object.__setattr__(self, "Z", z)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "atomic_mass", mass)
+        object.__setattr__(self, "electronegativity", chi)
+        object.__setattr__(self, "atomic_radius", radius)
+        object.__setattr__(self, "oxidation_states", oxi)
+        cls._cache[symbol] = self
+        return self
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Element instances are immutable")
+
+    @property
+    def chi(self) -> float:
+        """Electronegativity, with a neutral default for noble gases."""
+        return self.electronegativity if self.electronegativity is not None else 0.0
+
+    @property
+    def is_metal(self) -> bool:
+        """Crude metal classification used by the energy model."""
+        nonmetals = {
+            "H", "He", "C", "N", "O", "F", "Ne", "P", "S", "Cl", "Ar",
+            "Se", "Br", "Kr", "I", "Xe", "At", "Rn", "B", "Si", "Ge",
+            "As", "Sb", "Te",
+        }
+        return self.symbol not in nonmetals
+
+    @property
+    def is_alkali(self) -> bool:
+        return self.symbol in {"Li", "Na", "K", "Rb", "Cs", "Fr"}
+
+    @property
+    def is_transition_metal(self) -> bool:
+        return (21 <= self.Z <= 30) or (39 <= self.Z <= 48) or (72 <= self.Z <= 80)
+
+    @property
+    def max_oxidation_state(self) -> int:
+        return max(self.oxidation_states) if self.oxidation_states else 0
+
+    @property
+    def min_oxidation_state(self) -> int:
+        return min(self.oxidation_states) if self.oxidation_states else 0
+
+    def __repr__(self) -> str:
+        return f"Element({self.symbol})"
+
+    def __str__(self) -> str:
+        return self.symbol
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Element):
+            return self.symbol == other.symbol
+        return NotImplemented
+
+    def __lt__(self, other: "Element") -> bool:
+        return self.Z < other.Z
+
+    def __hash__(self) -> int:
+        return hash(self.symbol)
+
+    def __reduce__(self):
+        return (Element, (self.symbol,))
+
+
+def element(symbol: str) -> Element:
+    """Convenience constructor: ``element("Fe")``."""
+    return Element(symbol)
+
+
+#: All known elements, ordered by atomic number.
+ELEMENTS: List[Element] = [Element(sym) for sym in _DATA]

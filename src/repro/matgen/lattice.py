@@ -1,0 +1,234 @@
+"""Crystal lattices: 3×3 cell matrices with periodic geometry helpers.
+
+Provides the geometric substrate for structures, XRD (via ``d_hkl`` plane
+spacings and the reciprocal lattice) and periodic distances (via
+minimum-image displacement).  All heavy math is vectorized numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StructureError
+
+__all__ = ["Lattice"]
+
+
+class Lattice:
+    """A 3D Bravais lattice defined by a row-vector cell matrix."""
+
+    __slots__ = ("_matrix", "_inv")
+
+    def __init__(self, matrix: Sequence[Sequence[float]]):
+        m = np.asarray(matrix, dtype=float)
+        if m.shape != (3, 3):
+            raise StructureError(f"lattice matrix must be 3x3, got {m.shape}")
+        if abs(np.linalg.det(m)) < 1e-10:
+            raise StructureError("lattice matrix is singular")
+        self._matrix = m
+        self._inv = np.linalg.inv(m)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_parameters(
+        cls,
+        a: float,
+        b: float,
+        c: float,
+        alpha: float,
+        beta: float,
+        gamma: float,
+    ) -> "Lattice":
+        """Build from lengths (Å) and angles (degrees)."""
+        if min(a, b, c) <= 0:
+            raise StructureError("lattice lengths must be positive")
+        alpha_r, beta_r, gamma_r = map(math.radians, (alpha, beta, gamma))
+        val = (math.cos(alpha_r) * math.cos(beta_r) - math.cos(gamma_r)) / (
+            math.sin(alpha_r) * math.sin(beta_r)
+        )
+        val = max(-1.0, min(1.0, val))
+        gamma_star = math.acos(val)
+        v_a = [a * math.sin(beta_r), 0.0, a * math.cos(beta_r)]
+        v_b = [
+            -b * math.sin(alpha_r) * math.cos(gamma_star),
+            b * math.sin(alpha_r) * math.sin(gamma_star),
+            b * math.cos(alpha_r),
+        ]
+        v_c = [0.0, 0.0, c]
+        return cls([v_a, v_b, v_c])
+
+    @classmethod
+    def cubic(cls, a: float) -> "Lattice":
+        return cls([[a, 0, 0], [0, a, 0], [0, 0, a]])
+
+    @classmethod
+    def tetragonal(cls, a: float, c: float) -> "Lattice":
+        return cls([[a, 0, 0], [0, a, 0], [0, 0, c]])
+
+    @classmethod
+    def orthorhombic(cls, a: float, b: float, c: float) -> "Lattice":
+        return cls([[a, 0, 0], [0, b, 0], [0, 0, c]])
+
+    @classmethod
+    def hexagonal(cls, a: float, c: float) -> "Lattice":
+        return cls.from_parameters(a, a, c, 90.0, 90.0, 120.0)
+
+    @classmethod
+    def rhombohedral(cls, a: float, alpha: float) -> "Lattice":
+        return cls.from_parameters(a, a, a, alpha, alpha, alpha)
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    @property
+    def lengths(self) -> Tuple[float, float, float]:
+        return tuple(float(x) for x in np.linalg.norm(self._matrix, axis=1))
+
+    @property
+    def angles(self) -> Tuple[float, float, float]:
+        """(alpha, beta, gamma) in degrees."""
+        m = self._matrix
+        lengths = np.linalg.norm(m, axis=1)
+        out = []
+        for i, j in ((1, 2), (0, 2), (0, 1)):
+            cos = np.dot(m[i], m[j]) / (lengths[i] * lengths[j])
+            out.append(math.degrees(math.acos(max(-1.0, min(1.0, cos)))))
+        return tuple(out)  # type: ignore[return-value]
+
+    @property
+    def a(self) -> float:
+        return self.lengths[0]
+
+    @property
+    def b(self) -> float:
+        return self.lengths[1]
+
+    @property
+    def c(self) -> float:
+        return self.lengths[2]
+
+    @property
+    def volume(self) -> float:
+        """Cell volume in Å³."""
+        return float(abs(np.linalg.det(self._matrix)))
+
+    @property
+    def parameters(self) -> Tuple[float, float, float, float, float, float]:
+        return self.lengths + self.angles
+
+    def reciprocal_lattice(self) -> "Lattice":
+        """Reciprocal lattice including the 2π factor."""
+        return Lattice(2 * math.pi * self._inv.T)
+
+    # -- coordinate transforms -----------------------------------------------------
+
+    def cartesian(self, frac_coords: Sequence[float]) -> np.ndarray:
+        """Fractional → cartesian (Å)."""
+        return np.asarray(frac_coords, dtype=float) @ self._matrix
+
+    def fractional(self, cart_coords: Sequence[float]) -> np.ndarray:
+        """Cartesian (Å) → fractional."""
+        return np.asarray(cart_coords, dtype=float) @ self._inv
+
+    # -- periodic geometry ------------------------------------------------------------
+
+    def distance(
+        self, frac_a: Sequence[float], frac_b: Sequence[float]
+    ) -> float:
+        """Minimum-image distance between two fractional coordinates."""
+        return float(self.distance_and_image(frac_a, frac_b)[0])
+
+    def distance_and_image(
+        self, frac_a: Sequence[float], frac_b: Sequence[float]
+    ) -> Tuple[float, np.ndarray]:
+        """Shortest distance and the lattice image achieving it.
+
+        Searches the 27 neighbouring images, which is exact for cells that
+        are not extremely skewed (all our prototypes qualify).
+        """
+        fa = np.asarray(frac_a, dtype=float)
+        fb = np.asarray(frac_b, dtype=float)
+        delta = fb - fa
+        delta -= np.round(delta)
+        shifts = np.array(
+            [[i, j, k] for i in (-1, 0, 1) for j in (-1, 0, 1) for k in (-1, 0, 1)]
+        )
+        candidates = (delta + shifts) @ self._matrix
+        d2 = np.einsum("ij,ij->i", candidates, candidates)
+        best = int(np.argmin(d2))
+        return math.sqrt(float(d2[best])), shifts[best]
+
+    def d_hkl(self, hkl: Sequence[int]) -> float:
+        """Spacing of the (hkl) plane family — Bragg's law input for XRD."""
+        h = np.asarray(hkl, dtype=float)
+        if np.allclose(h, 0):
+            raise StructureError("hkl cannot be (0,0,0)")
+        g = h @ self._inv  # row of reciprocal (no 2π) matrix
+        return 1.0 / float(np.linalg.norm(g))
+
+    def get_points_in_sphere(
+        self,
+        frac_points: Sequence[Sequence[float]],
+        center_cart: Sequence[float],
+        r: float,
+    ) -> List[Tuple[int, float]]:
+        """All periodic images of ``frac_points`` within ``r`` of a center.
+
+        Returns ``(point_index, distance)`` pairs; used by coordination
+        analysis.  Brute-force over the image range implied by ``r``.
+        """
+        center = np.asarray(center_cart, dtype=float)
+        recip_lengths = np.linalg.norm(self._inv, axis=0)
+        nmax = np.ceil(r * recip_lengths + 1).astype(int)
+        out: List[Tuple[int, float]] = []
+        pts = np.asarray(frac_points, dtype=float)
+        images = [
+            np.array([i, j, k])
+            for i in range(-nmax[0], nmax[0] + 1)
+            for j in range(-nmax[1], nmax[1] + 1)
+            for k in range(-nmax[2], nmax[2] + 1)
+        ]
+        for img in images:
+            carts = (pts + img) @ self._matrix
+            dists = np.linalg.norm(carts - center, axis=1)
+            for idx in np.nonzero(dists <= r)[0]:
+                out.append((int(idx), float(dists[idx])))
+        return out
+
+    # -- identity -------------------------------------------------------------------------
+
+    def scale(self, new_volume: float) -> "Lattice":
+        """Isotropically rescale to a target volume."""
+        if new_volume <= 0:
+            raise StructureError("volume must be positive")
+        ratio = (new_volume / self.volume) ** (1.0 / 3.0)
+        return Lattice(self._matrix * ratio)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        return np.allclose(self._matrix, other._matrix, atol=1e-8)
+
+    def __hash__(self) -> int:
+        return hash(tuple(np.round(self._matrix, 8).ravel()))
+
+    def __repr__(self) -> str:
+        a, b, c, al, be, ga = self.parameters
+        return (
+            f"Lattice(a={a:.4f}, b={b:.4f}, c={c:.4f}, "
+            f"alpha={al:.2f}, beta={be:.2f}, gamma={ga:.2f})"
+        )
+
+    def as_dict(self) -> dict:
+        return {"matrix": self._matrix.tolist()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Lattice":
+        return cls(d["matrix"])

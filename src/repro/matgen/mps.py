@@ -1,0 +1,116 @@
+"""Materials Project Source (MPS) records — the paper's input JSON format.
+
+"The input data is our standard JSON representation of a crystal and its
+metadata, called Materials Project Source (MPS) ... Essential information
+that must be stored and accessed is standard physical characteristics
+(atomic masses, positions, etc.), and metadata indicating the source of the
+crystal." (§III-B1)
+
+An MPS record is a plain JSON document, so "import and export of the data is
+trivial" with the document store — exactly as the paper says.  The record
+carries: identity (``mps_id``), the crystal (lattice/sites), derived search
+fields (``elements``, ``nelectrons``, ``formula`` variants) the workflow
+engine queries on, and provenance metadata.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import MatgenError
+from .structure import Structure
+
+__all__ = ["MPSRecord", "mps_from_structure", "structure_from_mps", "validate_mps"]
+
+MPS_VERSION = 1
+
+_REQUIRED_FIELDS = ("mps_id", "mps_version", "crystal", "formula", "elements",
+                    "nelectrons", "nsites", "about")
+
+
+class MPSRecord(dict):
+    """An MPS document.  A dict subclass so it drops straight into the store."""
+
+    @property
+    def mps_id(self) -> str:
+        return self["mps_id"]
+
+    @property
+    def structure(self) -> Structure:
+        return structure_from_mps(self)
+
+
+def mps_from_structure(
+    structure: Structure,
+    mps_id: Optional[str] = None,
+    source: str = "synthetic-icsd",
+    created_by: str = "mp-core",
+    extra_metadata: Optional[Dict[str, Any]] = None,
+) -> MPSRecord:
+    """Serialize a structure (plus provenance) into an MPS record."""
+    comp = structure.composition
+    if mps_id is None:
+        mps_id = f"mps-{structure.structure_hash()[:12]}"
+    record = MPSRecord(
+        {
+            "mps_id": mps_id,
+            "mps_version": MPS_VERSION,
+            "crystal": structure.as_dict(),
+            "formula": structure.formula,
+            "reduced_formula": structure.reduced_formula,
+            "anonymized_formula": comp.anonymized_formula,
+            "chemical_system": structure.chemical_system,
+            "elements": structure.elements,
+            "nelements": len(structure.elements),
+            "nelectrons": comp.nelectrons,
+            "nsites": structure.num_sites,
+            "volume": structure.volume,
+            "density": structure.density,
+            "atomic_masses": {
+                el.symbol: el.atomic_mass for el in comp.elements
+            },
+            "structure_hash": structure.structure_hash(),
+            "about": {
+                "source": source,
+                "created_by": created_by,
+                "created_at": time.time(),
+                "metadata": dict(extra_metadata or {}),
+            },
+        }
+    )
+    return record
+
+
+def structure_from_mps(record: Dict[str, Any]) -> Structure:
+    """Rebuild the crystal structure from an MPS record."""
+    if "crystal" not in record:
+        raise MatgenError("MPS record has no 'crystal' field")
+    return Structure.from_dict(record["crystal"])
+
+
+def validate_mps(record: Dict[str, Any]) -> None:
+    """Raise :class:`MatgenError` unless ``record`` is a well-formed MPS doc.
+
+    Checks schema presence and internal consistency (the derived search
+    fields must agree with the embedded crystal) — this is one of the V&V
+    rules run continuously against the ``mps`` collection.
+    """
+    missing = [f for f in _REQUIRED_FIELDS if f not in record]
+    if missing:
+        raise MatgenError(f"MPS record missing fields: {missing}")
+    if record["mps_version"] != MPS_VERSION:
+        raise MatgenError(
+            f"unsupported mps_version {record['mps_version']!r}"
+        )
+    structure = structure_from_mps(record)
+    if record["nsites"] != structure.num_sites:
+        raise MatgenError(
+            f"nsites={record['nsites']} but crystal has {structure.num_sites}"
+        )
+    if sorted(record["elements"]) != structure.elements:
+        raise MatgenError("elements field disagrees with crystal")
+    if abs(record["nelectrons"] - structure.nelectrons) > 1e-6:
+        raise MatgenError("nelectrons field disagrees with crystal")
+    if not str(record["mps_id"]).startswith("mps-"):
+        raise MatgenError(f"malformed mps_id {record['mps_id']!r}")

@@ -1,0 +1,251 @@
+"""Thermodynamic phase diagrams: convex hulls over composition space.
+
+This is the workhorse analysis of the paper's discovery loop ("the user will
+analyze the data (e), using the open analytics platform pymatgen, to
+determine the stability ... of the new materials", §III-A).  Given computed
+total energies, we build the formation-energy convex hull of a chemical
+system, classify entries as stable/unstable, compute energy-above-hull, and
+find decomposition reactions.
+
+Energy-above-hull and decompositions are computed exactly with a linear
+program over all entries (minimize mixture energy at fixed composition),
+which is the textbook formulation and robust in any dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import MatgenError
+from .composition import Composition
+from .elements import Element
+
+__all__ = ["PDEntry", "PhaseDiagram"]
+
+
+class PDEntry:
+    """A composition with a total energy (eV for the formula as given)."""
+
+    __slots__ = ("composition", "energy", "entry_id", "attributes")
+
+    def __init__(
+        self,
+        composition: Union[Composition, str, Mapping],
+        energy: float,
+        entry_id: Optional[str] = None,
+        attributes: Optional[dict] = None,
+    ):
+        self.composition = (
+            composition
+            if isinstance(composition, Composition)
+            else Composition(composition)
+        )
+        self.energy = float(energy)
+        self.entry_id = entry_id
+        self.attributes = dict(attributes or {})
+
+    @property
+    def energy_per_atom(self) -> float:
+        return self.energy / self.composition.num_atoms
+
+    @property
+    def is_element(self) -> bool:
+        return self.composition.is_element
+
+    def __repr__(self) -> str:
+        return (
+            f"PDEntry({self.composition.reduced_formula}, "
+            f"e/atom={self.energy_per_atom:.4f})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "composition": self.composition.as_dict(),
+            "energy": self.energy,
+            "entry_id": self.entry_id,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PDEntry":
+        return cls(d["composition"], d["energy"], d.get("entry_id"),
+                   d.get("attributes"))
+
+
+class PhaseDiagram:
+    """Formation-energy convex hull of a chemical system.
+
+    Requires at least one entry for every pure element present (the
+    elemental references defining zero formation energy).
+    """
+
+    def __init__(self, entries: Sequence[PDEntry], tol: float = 1e-8):
+        if not entries:
+            raise MatgenError("phase diagram needs at least one entry")
+        self.entries = list(entries)
+        self.tol = tol
+        self.elements: List[Element] = sorted(
+            {el for e in entries for el in e.composition.elements}
+        )
+        self._el_refs = self._find_el_refs()
+        # Pre-compute composition fractions and formation energies per atom.
+        self._fracs = np.array(
+            [
+                [e.composition.get_atomic_fraction(el) for el in self.elements]
+                for e in self.entries
+            ]
+        )
+        self._form_epa = np.array(
+            [self.get_form_energy_per_atom(e) for e in self.entries]
+        )
+
+    def _find_el_refs(self) -> Dict[Element, PDEntry]:
+        refs: Dict[Element, PDEntry] = {}
+        for entry in self.entries:
+            if entry.is_element:
+                el = entry.composition.elements[0]
+                if el not in refs or entry.energy_per_atom < refs[el].energy_per_atom:
+                    refs[el] = entry
+        missing = [el.symbol for el in self.elements if el not in refs]
+        if missing:
+            raise MatgenError(
+                f"missing elemental reference entries for: {missing}"
+            )
+        return refs
+
+    @property
+    def el_refs(self) -> Dict[Element, PDEntry]:
+        """Lowest-energy pure-element entry per element."""
+        return dict(self._el_refs)
+
+    # -- formation energies ---------------------------------------------------
+
+    def get_form_energy(self, entry: PDEntry) -> float:
+        """Formation energy (eV) relative to elemental references."""
+        comp = entry.composition
+        ref = sum(
+            comp[el] * self._el_refs[el].energy_per_atom
+            for el in comp.elements
+        )
+        return entry.energy - ref
+
+    def get_form_energy_per_atom(self, entry: PDEntry) -> float:
+        return self.get_form_energy(entry) / entry.composition.num_atoms
+
+    # -- hull queries ----------------------------------------------------------------
+
+    def _hull_energy_and_mix(
+        self, composition: Composition
+    ) -> Tuple[float, List[Tuple[PDEntry, float]]]:
+        """LP: cheapest mixture of entries matching ``composition``.
+
+        Returns (hull formation energy per atom, [(entry, atom_fraction)]).
+        """
+        target = np.array(
+            [composition.get_atomic_fraction(el) for el in self.elements]
+        )
+        if any(
+            composition[el] > 0 and el not in self._el_refs
+            for el in composition.elements
+        ):
+            raise MatgenError(
+                f"composition {composition} outside the diagram's chemical system"
+            )
+        n = len(self.entries)
+        # Variables: atomic fraction drawn from each entry.
+        a_eq = np.vstack([self._fracs.T, np.ones(n)])
+        b_eq = np.concatenate([target, [1.0]])
+        result = linprog(
+            c=self._form_epa,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=[(0, None)] * n,
+            method="highs",
+        )
+        if not result.success:
+            raise MatgenError(
+                f"hull LP failed for {composition}: {result.message}"
+            )
+        mix = [
+            (self.entries[i], float(result.x[i]))
+            for i in range(n)
+            if result.x[i] > 1e-8
+        ]
+        return float(result.fun), mix
+
+    def get_hull_energy_per_atom(self, composition: Composition) -> float:
+        """Formation energy per atom of the hull at ``composition``."""
+        energy, _ = self._hull_energy_and_mix(composition)
+        return energy
+
+    def get_e_above_hull(self, entry: PDEntry) -> float:
+        """Energy above hull per atom (0 for stable phases)."""
+        hull = self.get_hull_energy_per_atom(entry.composition)
+        e = self.get_form_energy_per_atom(entry) - hull
+        return max(0.0, e) if e > -1e-7 else e
+
+    def get_decomposition(
+        self, composition: Composition
+    ) -> Dict[PDEntry, float]:
+        """Stable phases (and atomic fractions) the composition decomposes to."""
+        _, mix = self._hull_energy_and_mix(composition)
+        return {entry: frac for entry, frac in mix}
+
+    @property
+    def stable_entries(self) -> List[PDEntry]:
+        """Entries on the hull (e_above_hull ≈ 0), lowest energy per composition."""
+        # Keep only the lowest-energy entry at each reduced composition.
+        best: Dict[str, PDEntry] = {}
+        for entry in self.entries:
+            key = entry.composition.fractional_composition().formula
+            if key not in best or entry.energy_per_atom < best[key].energy_per_atom:
+                best[key] = entry
+        return [
+            e for e in best.values() if self.get_e_above_hull(e) < 1e-6
+        ]
+
+    @property
+    def unstable_entries(self) -> List[PDEntry]:
+        stable = set(id(e) for e in self.stable_entries)
+        return [e for e in self.entries if id(e) not in stable]
+
+    def is_stable(self, entry: PDEntry) -> bool:
+        return self.get_e_above_hull(entry) < 1e-6
+
+    # -- reaction energetics --------------------------------------------------------------
+
+    def get_reaction_energy(
+        self, reactants: Sequence[PDEntry], products: Sequence[PDEntry]
+    ) -> float:
+        """E(products) - E(reactants), requiring balanced compositions."""
+        lhs = reactants[0].composition
+        for r in reactants[1:]:
+            lhs = lhs + r.composition
+        rhs = products[0].composition
+        for p in products[1:]:
+            rhs = rhs + p.composition
+        if not lhs.almost_equals(rhs, rtol=1e-4):
+            raise MatgenError(
+                f"unbalanced reaction: {lhs.formula} -> {rhs.formula}"
+            )
+        return sum(p.energy for p in products) - sum(r.energy for r in reactants)
+
+    def summary(self) -> dict:
+        """Serializable overview used by the phase-diagram builder."""
+        stable = self.stable_entries
+        return {
+            # Sorted by symbol, matching Composition.chemical_system.
+            "chemical_system": "-".join(sorted(el.symbol for el in self.elements)),
+            "n_entries": len(self.entries),
+            "n_stable": len(stable),
+            "stable_formulas": sorted(
+                e.composition.reduced_formula for e in stable
+            ),
+            "el_refs": {
+                el.symbol: ref.energy_per_atom
+                for el, ref in self._el_refs.items()
+            },
+        }

@@ -1,0 +1,190 @@
+"""Crystal-structure prototypes used to generate the synthetic ICSD.
+
+The real Materials Project seeded its datastore from the ICSD (§III-B1).
+Offline, we generate structures from classic prototype lattices — rocksalt,
+CsCl, fluorite, zincblende, perovskite, spinel, olivine-like, layered
+AMO₂ — substituting elements and scaling the cell by tabulated atomic
+radii so geometries stay physically plausible (no overlapping atoms, sane
+densities).  That is everything the downstream code paths (dedup hashes,
+XRD, density, pseudo-DFT energies) actually consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import StructureError
+from .elements import Element
+from .lattice import Lattice
+from .structure import Structure
+
+__all__ = ["PROTOTYPES", "make_prototype", "prototype_names"]
+
+
+def _radius_sum(*symbols: str) -> float:
+    return sum(Element(s).atomic_radius for s in symbols)
+
+
+def rocksalt(a_el: str, b_el: str) -> Structure:
+    """AB rocksalt (NaCl type), conventional cubic cell, 4 formula units."""
+    a = 2.0 * _radius_sum(a_el, b_el) * 0.95
+    lattice = Lattice.cubic(a)
+    a_sites = [[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]]
+    b_sites = [[0.5, 0.5, 0.5], [0, 0, 0.5], [0, 0.5, 0], [0.5, 0, 0]]
+    species = [a_el] * 4 + [b_el] * 4
+    return Structure(lattice, species, a_sites + b_sites, validate_distances=False)
+
+
+def cscl(a_el: str, b_el: str) -> Structure:
+    """AB CsCl type, simple cubic with B at the body center."""
+    a = 2.0 * _radius_sum(a_el, b_el) / (3 ** 0.5) * 1.05
+    lattice = Lattice.cubic(a)
+    return Structure(
+        lattice, [a_el, b_el], [[0, 0, 0], [0.5, 0.5, 0.5]], validate_distances=False
+    )
+
+
+def fluorite(a_el: str, b_el: str) -> Structure:
+    """AB2 fluorite (CaF2 type), conventional cubic cell."""
+    a = 4.0 / (3 ** 0.5) * _radius_sum(a_el, b_el) * 1.02
+    lattice = Lattice.cubic(a)
+    a_sites = [[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]]
+    b_sites = [
+        [0.25, 0.25, 0.25], [0.75, 0.25, 0.25], [0.25, 0.75, 0.25], [0.25, 0.25, 0.75],
+        [0.75, 0.75, 0.25], [0.75, 0.25, 0.75], [0.25, 0.75, 0.75], [0.75, 0.75, 0.75],
+    ]
+    species = [a_el] * 4 + [b_el] * 8
+    return Structure(lattice, species, a_sites + b_sites, validate_distances=False)
+
+
+def zincblende(a_el: str, b_el: str) -> Structure:
+    """AB zincblende (sphalerite), conventional cubic cell."""
+    a = 4.0 / (3 ** 0.5) * _radius_sum(a_el, b_el) * 0.98
+    lattice = Lattice.cubic(a)
+    a_sites = [[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]]
+    b_sites = [[0.25, 0.25, 0.25], [0.75, 0.75, 0.25], [0.75, 0.25, 0.75], [0.25, 0.75, 0.75]]
+    species = [a_el] * 4 + [b_el] * 4
+    return Structure(lattice, species, a_sites + b_sites, validate_distances=False)
+
+
+def perovskite(a_el: str, b_el: str, x_el: str = "O") -> Structure:
+    """ABX3 cubic perovskite (CaTiO3 type)."""
+    a = 2.0 * _radius_sum(b_el, x_el) * 0.93
+    lattice = Lattice.cubic(a)
+    species = [a_el, b_el, x_el, x_el, x_el]
+    coords = [
+        [0, 0, 0],          # A corner
+        [0.5, 0.5, 0.5],    # B center
+        [0.5, 0.5, 0],      # X face centers
+        [0.5, 0, 0.5],
+        [0, 0.5, 0.5],
+    ]
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def spinel(a_el: str, b_el: str, x_el: str = "O") -> Structure:
+    """AB2X4 spinel-stoichiometry cell, one formula unit.
+
+    Not the true 56-atom Fd-3m arrangement — an idealized cubic cell with
+    the same stoichiometry, octahedral B and tetrahedral X environments,
+    and plausible bond lengths (~2 Å for oxides), which is the fidelity the
+    synthetic pipeline needs (see DESIGN.md substitutions).
+    """
+    a = 2.2 * _radius_sum(b_el, x_el)
+    lattice = Lattice.cubic(a)
+    species = [a_el, b_el, b_el] + [x_el] * 4
+    coords = [
+        [0.0, 0.0, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+        [0.25, 0.25, 0.25],
+        [0.75, 0.75, 0.25],
+        [0.75, 0.25, 0.75],
+        [0.25, 0.75, 0.75],
+    ]
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def olivine(a_el: str, m_el: str, t_el: str = "P", x_el: str = "O") -> Structure:
+    """AMTX4 olivine-like structure (LiFePO4 family), one formula unit.
+
+    Real olivine has 28 atoms (Pnma, 4 f.u.); we build a single-f.u.
+    orthorhombic analog with the same stoichiometry and plausible bond
+    lengths, sufficient for energies/XRD/dedup at synthetic-data fidelity.
+    """
+    scale = _radius_sum(m_el, x_el)
+    lattice = Lattice.orthorhombic(3.2 * scale, 2.0 * scale, 1.6 * scale)
+    species = [a_el, m_el, t_el] + [x_el] * 4
+    coords = [
+        [0.0, 0.0, 0.0],       # alkali channel site
+        [0.5, 0.25, 0.5],      # transition metal octahedron
+        [0.25, 0.75, 0.25],    # tetrahedral T site
+        [0.25, 0.55, 0.55],    # O around T/M
+        [0.45, 0.95, 0.20],
+        [0.70, 0.40, 0.25],
+        [0.60, 0.10, 0.80],
+    ]
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def layered_amo2(a_el: str, m_el: str, x_el: str = "O") -> Structure:
+    """AMO2 layered rock-salt derivative (alpha-NaFeO2 / LiCoO2 type)."""
+    a = 1.25 * _radius_sum(m_el, x_el)
+    c = 4.9 * _radius_sum(a_el, x_el) / 1.9
+    lattice = Lattice.hexagonal(a, c)
+    species = [a_el, m_el, x_el, x_el]
+    coords = [
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.5],
+        [1 / 3, 2 / 3, 0.25],
+        [2 / 3, 1 / 3, 0.75],
+    ]
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def bcc_element(el: str) -> Structure:
+    """Elemental body-centered cubic reference crystal."""
+    a = 4.0 / (3 ** 0.5) * Element(el).atomic_radius
+    lattice = Lattice.cubic(a)
+    return Structure(lattice, [el, el], [[0, 0, 0], [0.5, 0.5, 0.5]],
+                     validate_distances=False)
+
+
+def fcc_element(el: str) -> Structure:
+    """Elemental face-centered cubic reference crystal."""
+    a = 2.0 * (2 ** 0.5) * Element(el).atomic_radius
+    lattice = Lattice.cubic(a)
+    coords = [[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]]
+    return Structure(lattice, [el] * 4, coords, validate_distances=False)
+
+
+#: Registry: name -> (builder, arity) where arity is the number of element args.
+PROTOTYPES: Dict[str, tuple] = {
+    "rocksalt": (rocksalt, 2),
+    "cscl": (cscl, 2),
+    "fluorite": (fluorite, 2),
+    "zincblende": (zincblende, 2),
+    "perovskite": (perovskite, 2),
+    "spinel": (spinel, 2),
+    "olivine": (olivine, 2),
+    "layered": (layered_amo2, 2),
+    "bcc": (bcc_element, 1),
+    "fcc": (fcc_element, 1),
+}
+
+
+def prototype_names() -> List[str]:
+    return sorted(PROTOTYPES)
+
+
+def make_prototype(name: str, elements: Sequence[str]) -> Structure:
+    """Instantiate prototype ``name`` with the given element symbols."""
+    entry = PROTOTYPES.get(name)
+    if entry is None:
+        raise StructureError(f"unknown prototype {name!r}")
+    builder, arity = entry
+    if len(elements) != arity:
+        raise StructureError(
+            f"prototype {name!r} needs {arity} elements, got {len(elements)}"
+        )
+    return builder(*elements)

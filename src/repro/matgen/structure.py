@@ -1,0 +1,325 @@
+"""Crystal structures: a lattice plus periodic sites.
+
+The :class:`Structure` is the unit of data flowing through the whole
+pipeline: ICSD-like inputs serialize to MPS records, the Assembler turns a
+structure into pseudo-VASP input files, and builders compute XRD patterns,
+densities, and phase-diagram entries from it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import StructureError
+from .composition import Composition
+from .elements import Element
+from .lattice import Lattice
+
+__all__ = ["Site", "Structure"]
+
+_AVOGADRO = 6.02214076e23
+
+
+class Site:
+    """One atom at a fractional coordinate of a lattice."""
+
+    __slots__ = ("element", "frac_coords", "properties")
+
+    def __init__(
+        self,
+        element: Union[Element, str],
+        frac_coords: Sequence[float],
+        properties: Optional[dict] = None,
+    ):
+        self.element = element if isinstance(element, Element) else Element(element)
+        fc = np.asarray(frac_coords, dtype=float)
+        if fc.shape != (3,):
+            raise StructureError(f"frac_coords must have length 3, got {fc.shape}")
+        self.frac_coords = fc
+        self.properties = dict(properties or {})
+
+    @property
+    def species_string(self) -> str:
+        return self.element.symbol
+
+    def to_unit_cell(self) -> "Site":
+        """Copy with coordinates wrapped into [0, 1)."""
+        return Site(self.element, self.frac_coords % 1.0, self.properties)
+
+    def __repr__(self) -> str:
+        x, y, z = self.frac_coords
+        return f"Site({self.element.symbol} @ [{x:.4f}, {y:.4f}, {z:.4f}])"
+
+    def as_dict(self) -> dict:
+        return {
+            "element": self.element.symbol,
+            "frac_coords": [float(x) for x in self.frac_coords],
+            "properties": dict(self.properties),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Site":
+        return cls(d["element"], d["frac_coords"], d.get("properties"))
+
+
+class Structure:
+    """A periodic crystal: lattice + sites, with geometry and identity helpers."""
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        species: Sequence[Union[Element, str]],
+        frac_coords: Sequence[Sequence[float]],
+        site_properties: Optional[Sequence[Optional[dict]]] = None,
+        validate_distances: bool = True,
+    ):
+        if len(species) != len(frac_coords):
+            raise StructureError(
+                f"{len(species)} species but {len(frac_coords)} coordinates"
+            )
+        if not species:
+            raise StructureError("structure must contain at least one site")
+        props = site_properties or [None] * len(species)
+        self.lattice = lattice
+        self.sites: List[Site] = [
+            Site(sp, fc, pr).to_unit_cell()
+            for sp, fc, pr in zip(species, frac_coords, props)
+        ]
+        if validate_distances:
+            self._check_overlaps()
+
+    def _check_overlaps(self, min_dist: float = 0.35) -> None:
+        for i in range(len(self.sites)):
+            for j in range(i + 1, len(self.sites)):
+                d = self.lattice.distance(
+                    self.sites[i].frac_coords, self.sites[j].frac_coords
+                )
+                if d < min_dist:
+                    raise StructureError(
+                        f"sites {i} and {j} are {d:.3f} Å apart (< {min_dist} Å)"
+                    )
+
+    # -- chemistry --------------------------------------------------------
+
+    @property
+    def composition(self) -> Composition:
+        counts: Dict[str, float] = {}
+        for site in self.sites:
+            counts[site.element.symbol] = counts.get(site.element.symbol, 0.0) + 1.0
+        return Composition(counts)
+
+    @property
+    def formula(self) -> str:
+        return self.composition.formula
+
+    @property
+    def reduced_formula(self) -> str:
+        return self.composition.reduced_formula
+
+    @property
+    def chemical_system(self) -> str:
+        return self.composition.chemical_system
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def elements(self) -> List[str]:
+        """Sorted element symbols — the ``elements`` field of MPS records."""
+        return sorted({s.element.symbol for s in self.sites})
+
+    @property
+    def nelectrons(self) -> float:
+        return self.composition.nelectrons
+
+    @property
+    def volume(self) -> float:
+        return self.lattice.volume
+
+    @property
+    def density(self) -> float:
+        """Mass density in g/cm³."""
+        mass_g = self.composition.weight / _AVOGADRO
+        vol_cm3 = self.volume * 1e-24
+        return mass_g / vol_cm3
+
+    @property
+    def volume_per_atom(self) -> float:
+        return self.volume / self.num_sites
+
+    # -- geometry --------------------------------------------------------------
+
+    def distance(self, i: int, j: int) -> float:
+        """Minimum-image distance between sites ``i`` and ``j`` (Å)."""
+        return self.lattice.distance(
+            self.sites[i].frac_coords, self.sites[j].frac_coords
+        )
+
+    def cart_coords(self) -> np.ndarray:
+        return np.array([self.lattice.cartesian(s.frac_coords) for s in self.sites])
+
+    def neighbors(self, i: int, r: float) -> List[Tuple[int, float]]:
+        """Sites (by index) within ``r`` Å of site ``i``, with distances."""
+        center = self.lattice.cartesian(self.sites[i].frac_coords)
+        frac = [s.frac_coords for s in self.sites]
+        out = [
+            (idx, d)
+            for idx, d in self.lattice.get_points_in_sphere(frac, center, r)
+            if d > 1e-8
+        ]
+        return sorted(out, key=lambda t: t[1])
+
+    def min_bond_length(self) -> float:
+        """Shortest interatomic distance (Å), counting periodic images."""
+        best = float("inf")
+        for i in range(self.num_sites):
+            for j in range(i, self.num_sites):
+                if i == j:
+                    # Self-image distance: nearest periodic copy.
+                    d = min(self.lattice.lengths)
+                else:
+                    d = self.distance(i, j)
+                best = min(best, d)
+        return best
+
+    # -- transformations ----------------------------------------------------------
+
+    def make_supercell(self, scaling: Sequence[int]) -> "Structure":
+        """Integer (na, nb, nc) supercell."""
+        na, nb, nc = (int(x) for x in scaling)
+        if min(na, nb, nc) < 1:
+            raise StructureError("supercell factors must be >= 1")
+        new_matrix = self.lattice.matrix * np.array([[na], [nb], [nc]])
+        species: List[Element] = []
+        coords: List[List[float]] = []
+        props: List[dict] = []
+        for i in range(na):
+            for j in range(nb):
+                for k in range(nc):
+                    for site in self.sites:
+                        species.append(site.element)
+                        coords.append(
+                            [
+                                (site.frac_coords[0] + i) / na,
+                                (site.frac_coords[1] + j) / nb,
+                                (site.frac_coords[2] + k) / nc,
+                            ]
+                        )
+                        props.append(site.properties)
+        return Structure(
+            Lattice(new_matrix), species, coords, props, validate_distances=False
+        )
+
+    def perturb(self, distance: float, seed: int = 0) -> "Structure":
+        """Random displacement of every site by ``distance`` Å (deterministic)."""
+        rng = np.random.default_rng(seed)
+        species = [s.element for s in self.sites]
+        coords = []
+        for site in self.sites:
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            cart = self.lattice.cartesian(site.frac_coords) + direction * distance
+            coords.append(self.lattice.fractional(cart))
+        return Structure(self.lattice, species, coords, validate_distances=False)
+
+    def scale_volume(self, new_volume: float) -> "Structure":
+        """Isotropic rescale preserving fractional coordinates."""
+        return Structure(
+            self.lattice.scale(new_volume),
+            [s.element for s in self.sites],
+            [s.frac_coords for s in self.sites],
+            [s.properties for s in self.sites],
+            validate_distances=False,
+        )
+
+    def substitute(self, mapping: Dict[str, str]) -> "Structure":
+        """Replace elements per ``{"Li": "Na"}``-style mapping."""
+        species = [
+            Element(mapping.get(s.element.symbol, s.element.symbol))
+            for s in self.sites
+        ]
+        return Structure(
+            self.lattice,
+            species,
+            [s.frac_coords for s in self.sites],
+            [s.properties for s in self.sites],
+            validate_distances=False,
+        )
+
+    def remove_species(self, symbols: Sequence[str]) -> "Structure":
+        """Structure with all sites of the given elements removed."""
+        drop = set(symbols)
+        keep = [s for s in self.sites if s.element.symbol not in drop]
+        if not keep:
+            raise StructureError("removing species would empty the structure")
+        return Structure(
+            self.lattice,
+            [s.element for s in keep],
+            [s.frac_coords for s in keep],
+            [s.properties for s in keep],
+            validate_distances=False,
+        )
+
+    # -- identity ---------------------------------------------------------------------
+
+    def structure_hash(self) -> str:
+        """Deterministic fingerprint: reduced formula + quantized geometry.
+
+        This is what Binder objects use for duplicate detection — two
+        structures that differ only by trivial float noise (< 1e-3 in
+        fractional coordinates, < 1e-2 Å in cell lengths) hash equal.
+        """
+        payload = {
+            "formula": self.reduced_formula,
+            "lattice": np.round(self.lattice.matrix, 2).tolist(),
+            "sites": sorted(
+                (
+                    s.element.symbol,
+                    # Round, then wrap again so 0.9999... and 0.0 hash equal.
+                    tuple(np.round(s.frac_coords % 1.0, 3) % 1.0),
+                )
+                for s in self.sites
+            ),
+        }
+        text = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha1(text.encode()).hexdigest()
+
+    def matches(self, other: "Structure") -> bool:
+        """Loose structural identity via the quantized fingerprint."""
+        return self.structure_hash() == other.structure_hash()
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self) -> Iterator[Site]:
+        return iter(self.sites)
+
+    def __repr__(self) -> str:
+        return (
+            f"Structure({self.reduced_formula}, nsites={self.num_sites}, "
+            f"volume={self.volume:.2f} A^3)"
+        )
+
+    # -- serialization --------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "lattice": self.lattice.as_dict(),
+            "sites": [s.as_dict() for s in self.sites],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Structure":
+        sites = [Site.from_dict(sd) for sd in d["sites"]]
+        return cls(
+            Lattice.from_dict(d["lattice"]),
+            [s.element for s in sites],
+            [s.frac_coords for s in sites],
+            [s.properties for s in sites],
+            validate_distances=False,
+        )

@@ -1,0 +1,208 @@
+"""Crystal symmetry analysis: lattice systems and symmetry operations.
+
+pymatgen ships a full spglib-backed symmetry layer; the reproduction
+implements the honest core of it from scratch:
+
+* :func:`lattice_system` classifies the cell (cubic, tetragonal, ...) from
+  its parameters;
+* :class:`SymmetryFinder` enumerates the crystal's *space-group operations*
+  ``(R | t)``: candidate rotation parts are all integer matrices (entries
+  −1/0/1) that preserve the lattice metric tensor ``G = M Mᵀ`` — the exact
+  condition ``Rᵀ G R = G`` — and translation parts are tested against the
+  site set modulo lattice translations.  For the primitive/conventional
+  cells this package generates, integer rotation parts are exact, so the
+  operation count is the true space-group order of the cell (rocksalt's
+  conventional cell: 192 = 48 point ops × 4 centering translations).
+
+The operation count feeds structure fingerprinting and lets tests assert
+real crystallographic facts (cubic NaCl ≫ olivine in symmetry).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .lattice import Lattice
+from .structure import Structure
+
+__all__ = ["lattice_system", "SymmetryOperation", "SymmetryFinder"]
+
+
+def lattice_system(lattice: Lattice, tol: float = 1e-3) -> str:
+    """Classify the lattice into one of the seven lattice systems."""
+    a, b, c, alpha, beta, gamma = lattice.parameters
+
+    def eq(x: float, y: float) -> bool:
+        return abs(x - y) <= tol * max(1.0, abs(x), abs(y))
+
+    lengths_equal = (eq(a, b), eq(b, c), eq(a, c))
+    right = (eq(alpha, 90), eq(beta, 90), eq(gamma, 90))
+
+    if all(lengths_equal) and all(right):
+        return "cubic"
+    if all(lengths_equal) and eq(alpha, beta) and eq(beta, gamma):
+        return "rhombohedral"
+    if lengths_equal[0] and all(right[:2]) and eq(gamma, 120):
+        return "hexagonal"
+    if sum(lengths_equal) >= 1 and all(right):
+        return "tetragonal"
+    if all(right):
+        return "orthorhombic"
+    if sum(right) == 2:
+        return "monoclinic"
+    return "triclinic"
+
+
+class SymmetryOperation:
+    """A space-group operation: fractional rotation R and translation t."""
+
+    __slots__ = ("rotation", "translation")
+
+    def __init__(self, rotation: np.ndarray, translation: np.ndarray):
+        self.rotation = np.asarray(rotation, dtype=int)
+        self.translation = np.asarray(translation, dtype=float) % 1.0
+
+    def apply(self, frac_coords: Sequence[float]) -> np.ndarray:
+        return (self.rotation @ np.asarray(frac_coords) + self.translation) % 1.0
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            np.array_equal(self.rotation, np.eye(3, dtype=int))
+            and np.allclose(self.translation, 0.0)
+        )
+
+    @property
+    def is_pure_translation(self) -> bool:
+        return np.array_equal(self.rotation, np.eye(3, dtype=int))
+
+    @property
+    def determinant(self) -> int:
+        return int(round(np.linalg.det(self.rotation)))
+
+    def __repr__(self) -> str:
+        t = ", ".join(f"{x:.3f}" for x in self.translation)
+        return f"SymmetryOperation(det={self.determinant}, t=({t}))"
+
+
+_ALL_UNIMODULAR: Optional[np.ndarray] = None
+
+
+def _unimodular_candidates() -> np.ndarray:
+    """All 3x3 matrices with entries in {-1, 0, 1} and det = ±1 (cached).
+
+    Built once, vectorized: 19,683 candidates reduce to 3,480 unimodular
+    matrices shared by every lattice.
+    """
+    global _ALL_UNIMODULAR
+    if _ALL_UNIMODULAR is None:
+        grids = np.meshgrid(*([np.array([-1, 0, 1])] * 9), indexing="ij")
+        flat = np.stack([g.ravel() for g in grids], axis=1)  # (19683, 9)
+        r = flat.reshape(-1, 3, 3)
+        det = (
+            r[:, 0, 0] * (r[:, 1, 1] * r[:, 2, 2] - r[:, 1, 2] * r[:, 2, 1])
+            - r[:, 0, 1] * (r[:, 1, 0] * r[:, 2, 2] - r[:, 1, 2] * r[:, 2, 0])
+            + r[:, 0, 2] * (r[:, 1, 0] * r[:, 2, 1] - r[:, 1, 1] * r[:, 2, 0])
+        )
+        _ALL_UNIMODULAR = r[np.abs(det) == 1]
+    return _ALL_UNIMODULAR
+
+
+def _candidate_rotations(lattice: Lattice, tol: float) -> List[np.ndarray]:
+    """Integer fractional matrices preserving the metric tensor."""
+    m = lattice.matrix
+    metric = m @ m.T
+    candidates = _unimodular_candidates()
+    # R^T G R for every candidate at once.
+    transformed = np.einsum("nji,jk,nkl->nil", candidates, metric, candidates)
+    keep = np.abs(transformed - metric).max(axis=(1, 2)) <= (
+        tol * np.abs(metric).max()
+    )
+    return [c for c in candidates[keep]]
+
+
+class SymmetryFinder:
+    """Finds the space-group operations of a structure's cell."""
+
+    def __init__(self, structure: Structure, tol: float = 1e-3):
+        self.structure = structure
+        self.tol = tol
+        self._operations: Optional[List[SymmetryOperation]] = None
+
+    def _site_groups(self) -> dict:
+        groups: dict = {}
+        for site in self.structure.sites:
+            groups.setdefault(site.element.symbol, []).append(
+                site.frac_coords % 1.0
+            )
+        return {k: np.array(v) for k, v in groups.items()}
+
+    @staticmethod
+    def _coords_match(target: np.ndarray, pool: np.ndarray, tol: float) -> bool:
+        """Is ``target`` (mod 1) within ``tol`` of some row of ``pool``?"""
+        delta = pool - target
+        delta -= np.round(delta)
+        return bool((np.abs(delta).max(axis=1) < tol).any())
+
+    def operations(self) -> List[SymmetryOperation]:
+        """All (R | t) mapping the structure onto itself."""
+        if self._operations is not None:
+            return self._operations
+        groups = self._site_groups()
+        # Smallest orbit anchors the translation search.
+        anchor_symbol = min(groups, key=lambda s: len(groups[s]))
+        anchor = groups[anchor_symbol]
+        ops: List[SymmetryOperation] = []
+        for rotation in _candidate_rotations(self.structure.lattice, self.tol):
+            rotated_anchor0 = rotation @ anchor[0]
+            for target in anchor:
+                translation = (target - rotated_anchor0) % 1.0
+                candidate = SymmetryOperation(rotation, translation)
+                if self._maps_structure(candidate, groups):
+                    ops.append(candidate)
+        self._operations = ops
+        return ops
+
+    def _maps_structure(self, op: SymmetryOperation, groups: dict) -> bool:
+        for coords in groups.values():
+            transformed = (coords @ op.rotation.T + op.translation) % 1.0
+            for row in transformed:
+                if not self._coords_match(row, coords, self.tol * 10):
+                    return False
+        return True
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Number of space-group operations of this cell."""
+        return len(self.operations())
+
+    @property
+    def point_group_order(self) -> int:
+        """Distinct rotation parts (the point-group order)."""
+        seen = {op.rotation.tobytes() for op in self.operations()}
+        return len(seen)
+
+    @property
+    def n_centering_translations(self) -> int:
+        """Pure translations (identity rotation), including the trivial one."""
+        return sum(1 for op in self.operations() if op.is_pure_translation)
+
+    @property
+    def is_centrosymmetric(self) -> bool:
+        inversion = -np.eye(3, dtype=int)
+        return any(
+            np.array_equal(op.rotation, inversion) for op in self.operations()
+        )
+
+    def summary(self) -> dict:
+        return {
+            "lattice_system": lattice_system(self.structure.lattice),
+            "n_operations": self.order,
+            "point_group_order": self.point_group_order,
+            "n_centering": self.n_centering_translations,
+            "centrosymmetric": self.is_centrosymmetric,
+        }

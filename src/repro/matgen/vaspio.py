@@ -1,0 +1,134 @@
+"""POSCAR format support — the DFT world's native structure file.
+
+Complements :mod:`repro.matgen.cif` on the computation side: FakeVASP run
+directories carry POSCAR inputs (written by :mod:`repro.dft.io`), and this
+module reads them back into live :class:`~repro.matgen.structure.Structure`
+objects — plus a standalone writer, so the analysis library round-trips the
+format by itself.  Supports VASP-5 style files: comment line, universal
+scale factor (negative = target volume), lattice rows, symbol + count
+lines, and Direct or Cartesian coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import MatgenError
+from .elements import Element
+from .lattice import Lattice
+from .structure import Structure
+
+__all__ = ["structure_to_poscar", "structure_from_poscar",
+           "read_poscar_file", "write_poscar_file"]
+
+
+def structure_to_poscar(structure: Structure, comment: Optional[str] = None) -> str:
+    """Render a structure as a VASP-5 POSCAR (Direct coordinates)."""
+    lines = [comment or structure.reduced_formula, "1.0"]
+    for row in structure.lattice.matrix:
+        lines.append("  " + "  ".join(f"{x:.10f}" for x in row))
+    symbols = [s.element.symbol for s in structure.sites]
+    ordered = sorted(set(symbols), key=symbols.index)
+    lines.append(" ".join(ordered))
+    lines.append(" ".join(str(symbols.count(sym)) for sym in ordered))
+    lines.append("Direct")
+    for sym in ordered:
+        for site in structure.sites:
+            if site.element.symbol == sym:
+                x, y, z = site.frac_coords
+                lines.append(f"  {x:.10f}  {y:.10f}  {z:.10f}  {sym}")
+    return "\n".join(lines) + "\n"
+
+
+def structure_from_poscar(text: str) -> Structure:
+    """Parse a VASP-5 POSCAR/CONTCAR document."""
+    raw_lines = [line.rstrip() for line in text.splitlines()]
+    lines = [line for line in raw_lines if line.strip()]
+    if len(lines) < 8:
+        raise MatgenError("POSCAR too short")
+    try:
+        scale = float(lines[1].split()[0])
+    except (ValueError, IndexError) as exc:
+        raise MatgenError(f"bad POSCAR scale line {lines[1]!r}") from exc
+    try:
+        matrix = np.array(
+            [[float(x) for x in lines[i].split()[:3]] for i in (2, 3, 4)]
+        )
+    except ValueError as exc:
+        raise MatgenError("bad POSCAR lattice rows") from exc
+    if scale < 0:
+        # Negative scale: target cell volume.
+        volume = abs(scale)
+        current = abs(np.linalg.det(matrix))
+        matrix = matrix * (volume / current) ** (1.0 / 3.0)
+    else:
+        matrix = matrix * scale
+    lattice = Lattice(matrix)
+
+    symbol_line = lines[5].split()
+    if all(_is_int(tok) for tok in symbol_line):
+        raise MatgenError(
+            "VASP-4 POSCAR (no symbol line) is not supported; add symbols"
+        )
+    symbols = symbol_line
+    try:
+        counts = [int(tok) for tok in lines[6].split()]
+    except ValueError as exc:
+        raise MatgenError("bad POSCAR count line") from exc
+    if len(counts) != len(symbols):
+        raise MatgenError(
+            f"{len(symbols)} symbols but {len(counts)} counts in POSCAR"
+        )
+    for sym in symbols:
+        Element(sym)  # validate early
+
+    mode_idx = 7
+    mode = lines[mode_idx].strip().lower()
+    if mode.startswith("s"):  # Selective dynamics
+        mode_idx += 1
+        mode = lines[mode_idx].strip().lower()
+    if not (mode.startswith("d") or mode.startswith("c") or mode.startswith("k")):
+        raise MatgenError(f"unknown POSCAR coordinate mode {lines[mode_idx]!r}")
+    cartesian = mode.startswith(("c", "k"))
+
+    n_sites = sum(counts)
+    coord_lines = lines[mode_idx + 1: mode_idx + 1 + n_sites]
+    if len(coord_lines) < n_sites:
+        raise MatgenError(
+            f"POSCAR declares {n_sites} sites but provides {len(coord_lines)}"
+        )
+    species: List[str] = []
+    for sym, count in zip(symbols, counts):
+        species.extend([sym] * count)
+    coords = []
+    for line in coord_lines:
+        parts = line.split()
+        try:
+            xyz = [float(x) for x in parts[:3]]
+        except ValueError as exc:
+            raise MatgenError(f"bad POSCAR coordinate line {line!r}") from exc
+        if cartesian:
+            xyz = list(lattice.fractional(np.array(xyz) * (scale if scale > 0 else 1.0)))
+        coords.append(xyz)
+    return Structure(lattice, species, coords, validate_distances=False)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+        return True
+    except ValueError:
+        return False
+
+
+def write_poscar_file(structure: Structure, path: str,
+                      comment: Optional[str] = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(structure_to_poscar(structure, comment))
+
+
+def read_poscar_file(path: str) -> Structure:
+    with open(path, encoding="utf-8") as fh:
+        return structure_from_poscar(fh.read())

@@ -1,0 +1,431 @@
+"""Tests for the dissemination layer: QueryEngine, REST, HTTP, auth, limits,
+sandboxes, query log."""
+
+import pytest
+
+from repro.api import (
+    AuthRegistry,
+    MaterialsAPI,
+    MaterialsAPIServer,
+    MPRester,
+    QueryEngine,
+    QueryLog,
+    RateLimiter,
+    SandboxManager,
+    ThirdPartyProvider,
+)
+from repro.builders import MaterialsBuilder, PhaseDiagramBuilder
+from repro.docstore import DocumentStore
+from repro.errors import (
+    APIError,
+    AuthError,
+    NotFoundError,
+    RateLimitExceeded,
+)
+from repro.matgen import make_prototype
+
+
+@pytest.fixture
+def db():
+    """A small populated materials database."""
+    from tests.test_builders import _insert_task
+
+    database = DocumentStore()["mp"]
+    structures = {
+        "mps-nacl": make_prototype("rocksalt", ["Na", "Cl"]),
+        "mps-fe2o3"[:8]: make_prototype("rocksalt", ["Fe", "O"]),
+        "mps-licoo2": make_prototype("layered", ["Li", "Co"]),
+        "mps-fe": make_prototype("bcc", ["Fe"]),
+    }
+    for mid, s in structures.items():
+        _insert_task(database, s, mid)
+    MaterialsBuilder(database).run()
+    PhaseDiagramBuilder(database).run()
+    return database
+
+
+@pytest.fixture
+def qe(db):
+    return QueryEngine(
+        db,
+        aliases={"e_hull": "e_above_hull", "gap": "band_gap",
+                 "encut": "provenance.parameters.ENCUT"},
+    )
+
+
+class TestQueryEngine:
+    def test_basic_query(self, qe):
+        docs = qe.query({"reduced_formula": "NaCl"})
+        assert len(docs) == 1
+        assert docs[0]["chemical_system"] == "Cl-Na"
+
+    def test_alias_in_criteria(self, qe):
+        docs = qe.query({"e_hull": {"$lte": 0.0}})
+        assert docs  # stable materials exist
+        assert all(d["e_above_hull"] <= 0 for d in docs)
+
+    def test_deep_alias(self, qe):
+        docs = qe.query({"encut": 520})
+        assert len(docs) == 4
+
+    def test_alias_in_projection_and_sort(self, qe):
+        docs = qe.query({}, properties=["gap"], sort=[("gap", -1)])
+        gaps = [d.get("band_gap") for d in docs]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_alias_prefix_path(self, qe):
+        qe.add_alias("params", "provenance.parameters")
+        docs = qe.query({"params.ENCUT": 520})
+        assert len(docs) == 4
+
+    def test_where_rejected(self, qe):
+        with pytest.raises(APIError):
+            qe.query({"$where": lambda d: True})
+
+    def test_callable_values_rejected(self, qe):
+        with pytest.raises(APIError):
+            qe.query({"band_gap": {"$gt": lambda: 0}})
+
+    def test_result_cap(self, db):
+        engine = QueryEngine(db, max_results=2)
+        assert len(engine.query({})) == 2
+
+    def test_collection_alias(self, db):
+        engine = QueryEngine(db, collection_aliases={"mats": "materials"})
+        assert engine.query({}, collection="mats")
+
+    def test_query_logged(self, qe):
+        qe.query({"reduced_formula": "NaCl"}, user="u1")
+        qe.count({}, user="u1")
+        assert len(qe.query_log) == 2
+        entry = qe.query_log.entries[0]
+        assert entry["collection"] == "materials"
+        assert entry["millis"] >= 0
+
+    def test_count_and_distinct(self, qe):
+        assert qe.count({}) == 4
+        assert "NaCl" in qe.distinct("reduced_formula")
+
+    def test_update_translates_aliases(self, qe):
+        n = qe.update({"reduced_formula": "NaCl"}, {"$set": {"gap": 9.0}})
+        assert n == 1
+        assert qe.query_one({"reduced_formula": "NaCl"})["band_gap"] == 9.0
+
+    def test_update_requires_operators(self, qe):
+        with pytest.raises(APIError):
+            qe.update({}, {"band_gap": 1.0})
+
+
+class TestMaterialsAPIRouting:
+    def test_figure4_uri(self, qe):
+        """The paper's exact example: energy of Fe2O3... we use FeO."""
+        api = MaterialsAPI(qe)
+        envelope = api.handle("/rest/v1/materials/FeO/vasp/energy")
+        assert envelope["valid_response"]
+        assert envelope["response"][0]["energy"] < 0
+
+    def test_material_id_lookup(self, qe):
+        api = MaterialsAPI(qe)
+        doc = api.handle("/rest/v1/materials/NaCl/vasp")["response"][0]
+        by_id = api.handle(
+            f"/rest/v1/materials/{doc['material_id']}/vasp"
+        )["response"][0]
+        assert by_id["reduced_formula"] == "NaCl"
+
+    def test_chemical_system_lookup(self, qe):
+        api = MaterialsAPI(qe)
+        rows = api.handle("/rest/v1/materials/Na-Cl/vasp")["response"]
+        assert len(rows) == 1
+
+    def test_formula_normalization(self, qe):
+        """Fe2O2 normalizes to FeO."""
+        api = MaterialsAPI(qe)
+        rows = api.handle("/rest/v1/materials/Fe2O2/vasp")["response"]
+        assert rows[0]["reduced_formula"] == "FeO"
+
+    def test_unknown_material_404(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v1/materials/UO2/vasp/energy")
+        assert not envelope["valid_response"]
+        assert envelope["status"] == 404
+
+    def test_bad_property_400(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v1/materials/NaCl/vasp/frobnitz")
+        assert envelope["status"] == 400
+
+    def test_bad_formula_400(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v1/materials/NotAFormula123/vasp")
+        assert envelope["status"] == 400
+
+    def test_unknown_datatype_404(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v1/materials/NaCl/exp/energy")
+        assert envelope["status"] == 404
+
+    def test_bad_version_400(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v9/materials/NaCl/vasp")
+        assert envelope["status"] == 400
+
+    def test_tasks_route(self, qe):
+        envelope = MaterialsAPI(qe).handle("/rest/v1/tasks/mps-nacl")
+        assert envelope["valid_response"]
+        assert envelope["response"][0]["formula"] == "NaCl"
+
+
+class TestAuthAndRateLimit:
+    def make_authed_api(self, qe):
+        auth = AuthRegistry()
+        google = ThirdPartyProvider("google")
+        auth.register_provider(google)
+        token = auth.sign_in(google.assert_identity("alice@example.com"))
+        key = auth.issue_api_key(token)
+        api = MaterialsAPI(qe, auth=auth, require_auth=True)
+        return api, auth, google, key
+
+    def test_delegated_sign_in(self, qe):
+        _api, auth, google, _key = self.make_authed_api(qe)
+        assert auth.n_users == 1
+        # Same email signs in again: same account.
+        auth.sign_in(google.assert_identity("alice@example.com"))
+        assert auth.n_users == 1
+
+    def test_untrusted_provider_rejected(self):
+        auth = AuthRegistry()
+        rogue = ThirdPartyProvider("rogue")
+        with pytest.raises(AuthError):
+            auth.sign_in(rogue.assert_identity("mallory@example.com"))
+
+    def test_tampered_assertion_rejected(self, qe):
+        _api, auth, google, _key = self.make_authed_api(qe)
+        assertion = google.assert_identity("bob@example.com")
+        assertion["email"] = "admin@example.com"
+        with pytest.raises(AuthError):
+            auth.sign_in(assertion)
+
+    def test_api_requires_key(self, qe):
+        api, _auth, _google, key = self.make_authed_api(qe)
+        denied = api.handle("/rest/v1/materials/NaCl/vasp")
+        assert denied["status"] == 401
+        allowed = api.handle("/rest/v1/materials/NaCl/vasp", api_key=key)
+        assert allowed["valid_response"]
+
+    def test_revoked_key(self, qe):
+        api, auth, _google, key = self.make_authed_api(qe)
+        auth.revoke_api_key(key)
+        assert api.handle("/rest/v1/materials/NaCl/vasp", api_key=key)["status"] == 401
+
+    def test_rate_limiting(self, qe):
+        fake_time = [0.0]
+        limiter = RateLimiter(max_requests=3, window_s=10,
+                              clock=lambda: fake_time[0])
+        api = MaterialsAPI(qe, rate_limiter=limiter)
+        for _ in range(3):
+            assert api.handle("/rest/v1/materials/NaCl/vasp")["valid_response"]
+        denied = api.handle("/rest/v1/materials/NaCl/vasp")
+        assert denied["status"] == 429
+        # The window slides: 10s later the user may query again.
+        fake_time[0] = 10.5
+        assert api.handle("/rest/v1/materials/NaCl/vasp")["valid_response"]
+
+    def test_rate_limiter_isolates_users(self):
+        limiter = RateLimiter(max_requests=2, window_s=60, clock=lambda: 0.0)
+        limiter.check("a")
+        limiter.check("a")
+        with pytest.raises(RateLimitExceeded):
+            limiter.check("a")
+        limiter.check("b")  # unaffected
+        assert limiter.remaining("b") == 1
+
+
+class TestHTTPAndClient:
+    def test_real_http_roundtrip(self, qe):
+        with MaterialsAPIServer(MaterialsAPI(qe)) as server:
+            client = MPRester(base_url=server.base_url)
+            energy = client.get_energy("NaCl")
+            assert energy < 0
+            with pytest.raises(NotFoundError):
+                client.get_energy("UO2")
+
+    def test_in_process_client(self, qe):
+        client = MPRester(router=MaterialsAPI(qe))
+        material = client.get_material("NaCl")
+        assert material["reduced_formula"] == "NaCl"
+
+    def test_structure_roundtrip_through_api(self, qe):
+        client = MPRester(router=MaterialsAPI(qe))
+        structure = client.get_structure_by_formula("NaCl")
+        assert structure.reduced_formula == "NaCl"
+        assert structure.num_sites == 8
+
+    def test_entries_for_phase_diagram(self, qe):
+        """Remote data → local hull analysis, the pymatgen workflow."""
+        from repro.matgen import PDEntry, PhaseDiagram
+        from repro.dft.energy import reference_energy_per_atom
+
+        client = MPRester(router=MaterialsAPI(qe))
+        entries = client.get_entries_in_chemsys(["Na", "Cl"])
+        assert any(e.composition.reduced_formula == "NaCl" for e in entries)
+        refs = [PDEntry(el, reference_energy_per_atom(el)) for el in ("Na", "Cl")]
+        pd = PhaseDiagram(entries + refs)
+        assert "NaCl" in {e.composition.reduced_formula for e in pd.stable_entries}
+
+    def test_client_config_validation(self):
+        with pytest.raises(APIError):
+            MPRester()
+        with pytest.raises(APIError):
+            MPRester(base_url="http://x", router=object())  # type: ignore[arg-type]
+
+
+class TestSandboxes:
+    def test_private_until_published(self, db):
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "battery-ideas")
+        sm.submit(sbx, "alice", "materials",
+                  {"reduced_formula": "Xx2O", "secret": True})
+        # Alice sees it; Bob and anonymous don't.
+        assert any(
+            d.get("secret") for d in sm.visible_query("alice", "materials")
+        )
+        assert not any(
+            d.get("secret") for d in sm.visible_query("bob", "materials")
+        )
+        assert not any(
+            d.get("secret") for d in sm.visible_query(None, "materials")
+        )
+
+    def test_collaborator_access(self, db):
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "shared")
+        sm.submit(sbx, "alice", "materials", {"tag": "collab-data"})
+        sm.add_collaborator(sbx, "alice", "bob")
+        assert any(
+            d.get("tag") == "collab-data"
+            for d in sm.visible_query("bob", "materials")
+        )
+
+    def test_only_owner_adds_collaborators(self, db):
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "s")
+        with pytest.raises(AuthError):
+            sm.add_collaborator(sbx, "mallory", "mallory")
+
+    def test_non_member_cannot_submit(self, db):
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "s")
+        with pytest.raises(AuthError):
+            sm.submit(sbx, "mallory", "materials", {})
+
+    def test_publish_flow(self, db):
+        """The paper's (f) step: sandbox data released to the community."""
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "to-publish")
+        sm.submit(sbx, "alice", "materials", {"tag": "novel-material"})
+        n = sm.publish(sbx, "alice", "materials")
+        assert n == 1
+        assert any(
+            d.get("tag") == "novel-material"
+            for d in sm.visible_query(None, "materials")
+        )
+
+    def test_only_owner_publishes(self, db):
+        sm = SandboxManager(db)
+        sbx = sm.create_sandbox("alice", "s")
+        with pytest.raises(AuthError):
+            sm.publish(sbx, "bob", "materials")
+
+    def test_core_data_always_visible(self, db):
+        sm = SandboxManager(db)
+        docs = sm.visible_query(None, "materials")
+        assert len(docs) == 4  # the fixture's core materials
+
+
+class TestQueryLog:
+    def test_histogram_and_summary(self):
+        log = QueryLog()
+        for ms in (0.5, 0.7, 2.0, 150.0, 800.0):
+            log.record("materials", ms, nreturned=10, user="u1")
+        hist = dict(log.histogram([1, 100, 1000]))
+        assert hist["[0, 1) ms"] == 2
+        assert hist["[1, 100) ms"] == 1
+        assert hist["[100, 1000) ms"] == 2
+        summary = log.summary()
+        assert summary["queries"] == 5
+        assert summary["records_returned"] == 50
+        assert summary["max_ms"] == 800.0
+
+    def test_percentiles(self):
+        log = QueryLog()
+        for i in range(100):
+            log.record("m", float(i + 1), 0)
+        assert log.percentile(50) == 50.0
+        assert log.percentile(99) == 99.0
+
+    def test_time_series_sorted(self):
+        log = QueryLog()
+        log.record("m", 1.0, 0, ts=20.0)
+        log.record("m", 2.0, 0, ts=10.0)
+        series = log.time_series()
+        assert [t for t, _ in series] == [10.0, 20.0]
+
+    def test_by_collection(self):
+        log = QueryLog()
+        log.record("materials", 5.0, 1)
+        log.record("batteries", 15.0, 1)
+        stats = log.by_collection()
+        assert stats["materials"]["queries"] == 1
+        assert stats["batteries"]["mean_ms"] == 15.0
+
+
+class TestFunctionEndpoints:
+    """The paper's API maps URIs to 'data objects and functions'."""
+
+    def test_phasediagram_computed_on_demand(self, qe):
+        from repro.api import MaterialsAPI
+
+        api = MaterialsAPI(qe)
+        envelope = api.handle("/rest/v1/phasediagram/Na-Cl")
+        assert envelope["valid_response"]
+        summary = envelope["response"][0]
+        assert summary["chemical_system"] == "Cl-Na"
+        assert "NaCl" in summary["stable_formulas"]
+        # Hull distances resolved per member material.
+        assert all(v >= -1e-9 for v in summary["e_above_hull"].values())
+
+    def test_phasediagram_reflects_live_data(self, qe, db):
+        """A function endpoint recomputes: new material shows up at once."""
+        from tests.test_builders import _insert_task
+        from repro.api import MaterialsAPI
+        from repro.builders import MaterialsBuilder
+        from repro.matgen import make_prototype
+
+        api = MaterialsAPI(qe)
+        before = api.handle("/rest/v1/phasediagram/Cl-K")["response"][0]
+        assert "KCl" not in before["stable_formulas"]
+        _insert_task(db, make_prototype("rocksalt", ["K", "Cl"]), "mps-kcl")
+        MaterialsBuilder(db).run()
+        after = api.handle("/rest/v1/phasediagram/Cl-K")["response"][0]
+        assert "KCl" in after["stable_formulas"]
+
+    def test_phasediagram_bad_system(self, qe):
+        from repro.api import MaterialsAPI
+
+        assert MaterialsAPI(qe).handle(
+            "/rest/v1/phasediagram/not-elements"
+        )["status"] == 400
+
+    def test_xrd_on_demand_then_cached(self, qe, db):
+        from repro.api import MaterialsAPI
+        from repro.builders import XRDBuilder
+
+        api = MaterialsAPI(qe)
+        fresh = api.handle("/rest/v1/xrd/NaCl")["response"][0]
+        assert fresh.get("computed_on_demand") is True
+        assert len(fresh["peaks"]) > 3
+        XRDBuilder(db).run()
+        cached = api.handle("/rest/v1/xrd/NaCl")["response"][0]
+        assert "computed_on_demand" not in cached
+        # Same physics either way.
+        assert len(cached["peaks"]) == len(fresh["peaks"])
+
+    def test_xrd_unknown_material(self, qe):
+        from repro.api import MaterialsAPI
+
+        assert MaterialsAPI(qe).handle("/rest/v1/xrd/UO2")["status"] == 404

@@ -1,0 +1,336 @@
+"""Tests for loaders, the materials builder, derived builders, and V&V."""
+
+import pytest
+
+from repro.builders import (
+    BandStructureBuilder,
+    BatteryBuilder,
+    MaterialsBuilder,
+    PhaseDiagramBuilder,
+    TaskLoader,
+    VnVRunner,
+    XRDBuilder,
+    pick_best_task,
+)
+from repro.dft import FakeVASP, Resources, SCFParameters
+from repro.docstore import DocumentStore
+from repro.matgen import make_prototype, mps_from_structure
+
+
+@pytest.fixture
+def db():
+    return DocumentStore()["mp"]
+
+
+def _insert_task(db, structure, mps_id, encut=520, epa_shift=0.0,
+                 extra=None):
+    """A synthetic completed task document matching the Rocket's shape."""
+    from repro.dft import total_energy
+
+    energy = total_energy(structure) + epa_shift * structure.num_sites
+    doc = {
+        "state": "COMPLETED",
+        "status": "COMPLETED",
+        "mps_id": mps_id,
+        "formula": structure.reduced_formula,
+        "elements": structure.elements,
+        "energy": energy,
+        "energy_per_atom": energy / structure.num_sites,
+        "structure": structure.as_dict(),
+        "parameters": {"ENCUT": encut, "AMIX": 0.3, "ALGO": "Normal"},
+        "band_gap": 2.0,
+        "is_metal": False,
+        "functional": "GGA",
+        "code_version": "5.2.12-fake",
+        "completed_at": 1000.0,
+    }
+    if extra:
+        doc.update(extra)
+    db["tasks"].insert_one(doc)
+    return doc
+
+
+class TestTaskLoader:
+    def _run(self, structure, run_dir):
+        FakeVASP().run(
+            structure,
+            SCFParameters(amix=0.2, algo="All", nelm=400),
+            Resources(walltime_s=1e9, memory_mb=1e6),
+            run_dir=run_dir,
+        )
+
+    def test_load_single_run(self, db, tmp_path):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        run_dir = str(tmp_path / "r1")
+        self._run(nacl, run_dir)
+        loader = TaskLoader(db)
+        doc = loader.load_run_directory(run_dir, mps_id="mps-1")
+        assert doc["state"] == "COMPLETED"
+        assert db["tasks"].count_documents() == 1
+
+    def test_incremental_loading_skips_existing(self, db, tmp_path):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        for i in range(2):
+            self._run(nacl.substitute({"Na": ["Na", "K"][i]}),
+                      str(tmp_path / f"r{i}"))
+        loader = TaskLoader(db)
+        first = loader.load_tree(str(tmp_path))
+        assert first == {"loaded": 2, "skipped_existing": 0, "unparseable": 0}
+        # New run lands; re-walk only loads the new one.
+        self._run(make_prototype("rocksalt", ["Li", "Cl"]),
+                  str(tmp_path / "r2"))
+        second = loader.load_tree(str(tmp_path))
+        assert second["loaded"] == 1
+        assert second["skipped_existing"] == 2
+
+    def test_failed_runs_loaded_as_fizzled(self, db, tmp_path):
+        from repro.errors import WalltimeExceeded
+
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        run_dir = str(tmp_path / "killed")
+        with pytest.raises(WalltimeExceeded):
+            FakeVASP().run(nacl, SCFParameters(),
+                           Resources(walltime_s=0.001, memory_mb=1e6),
+                           run_dir=run_dir)
+        doc = TaskLoader(db).load_run_directory(run_dir)
+        assert doc["state"] == "FIZZLED"
+        assert doc["error_kind"] == "WALLTIME"
+
+
+class TestPickBestTask:
+    def test_prefers_higher_encut(self):
+        best = pick_best_task([
+            {"parameters": {"ENCUT": 400}, "energy_per_atom": -6.0},
+            {"parameters": {"ENCUT": 600}, "energy_per_atom": -5.9},
+        ])
+        assert best["parameters"]["ENCUT"] == 600
+
+    def test_ties_break_to_lower_energy(self):
+        best = pick_best_task([
+            {"parameters": {"ENCUT": 520}, "energy_per_atom": -5.9},
+            {"parameters": {"ENCUT": 520}, "energy_per_atom": -6.1},
+        ])
+        assert best["energy_per_atom"] == -6.1
+
+    def test_empty_rejected(self):
+        from repro.errors import BuilderError
+
+        with pytest.raises(BuilderError):
+            pick_best_task([])
+
+
+class TestMaterialsBuilder:
+    def test_groups_by_mps_and_picks_best(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        licl = make_prototype("rocksalt", ["Li", "Cl"])
+        # Two tasks for mps-1 (different cutoffs), one for mps-2.
+        _insert_task(db, nacl, "mps-1", encut=400, epa_shift=0.05)
+        _insert_task(db, nacl, "mps-1", encut=600)
+        _insert_task(db, licl, "mps-2")
+        result = MaterialsBuilder(db).run()
+        assert result["materials_built"] == 2
+        mat = db["materials"].find_one({"mps_id": "mps-1"})
+        assert mat["provenance"]["parameters"]["ENCUT"] == 600
+        assert mat["material_id"].startswith("mp-")
+
+    def test_rebuild_is_idempotent(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-1")
+        builder = MaterialsBuilder(db)
+        builder.run()
+        first = db["materials"].find_one({"mps_id": "mps-1"})
+        result2 = builder.run()
+        assert result2 == {"tasks_considered": 1, "materials_built": 0,
+                           "materials_updated": 1, "materials_retired": 0}
+        second = db["materials"].find_one({"mps_id": "mps-1"})
+        assert second["material_id"] == first["material_id"]
+        assert db["materials"].count_documents() == 1
+
+    def test_new_task_improves_material(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-1", encut=400, epa_shift=0.1)
+        builder = MaterialsBuilder(db)
+        builder.run()
+        before = db["materials"].find_one({"mps_id": "mps-1"})["energy_per_atom"]
+        _insert_task(db, nacl, "mps-1", encut=700)
+        builder.run()
+        after = db["materials"].find_one({"mps_id": "mps-1"})["energy_per_atom"]
+        assert after < before
+
+    def test_formation_energy_projected(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-1")
+        MaterialsBuilder(db).run()
+        mat = db["materials"].find_one({"mps_id": "mps-1"})
+        assert mat["formation_energy_per_atom"] < -0.5  # ionic compound
+
+    def test_fizzled_tasks_ignored(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        doc = _insert_task(db, nacl, "mps-1")
+        db["tasks"].update_many({}, {"$set": {"state": "FIZZLED"}})
+        result = MaterialsBuilder(db).run()
+        assert result["materials_built"] == 0
+
+
+@pytest.fixture
+def populated_db(db):
+    """Tasks + materials for a small Li-Fe-O + Na-Cl world."""
+    structures = {
+        "mps-nacl": make_prototype("rocksalt", ["Na", "Cl"]),
+        "mps-licoo2": make_prototype("layered", ["Li", "Co"]),
+        "mps-coo2": make_prototype("layered", ["Li", "Co"]).remove_species(["Li"]),
+        "mps-lifepo4": make_prototype("olivine", ["Li", "Fe"]),
+        "mps-fepo4": make_prototype("olivine", ["Li", "Fe"]).remove_species(["Li"]),
+        "mps-fe": make_prototype("bcc", ["Fe"]),
+    }
+    for mps_id, s in structures.items():
+        _insert_task(db, s, mps_id)
+    MaterialsBuilder(db).run()
+    return db
+
+
+class TestDerivedBuilders:
+    def test_phase_diagram_builder(self, populated_db):
+        db = populated_db
+        result = PhaseDiagramBuilder(db).run()
+        assert result["systems_built"] >= 3
+        pd_doc = db["phase_diagrams"].find_one({"chemical_system": "Cl-Na"})
+        assert pd_doc is not None
+        assert "NaCl" in pd_doc["stable_formulas"]
+        # Materials got hull annotations.
+        nacl = db["materials"].find_one({"reduced_formula": "NaCl"})
+        assert nacl["e_above_hull"] == pytest.approx(0.0, abs=1e-6)
+        assert nacl["is_stable"] is True
+
+    def test_battery_builder_pairs_host_and_discharged(self, populated_db):
+        db = populated_db
+        result = BatteryBuilder(db, "Li").run_intercalation()
+        assert result["intercalation_built"] == 2  # LiCoO2 and LiFePO4
+        bat = db["batteries"].find_one({"framework": "FePO4"})
+        assert bat is not None
+        assert bat["battery_type"] == "intercalation"
+        assert bat["capacity_grav"] == pytest.approx(170, rel=0.05)
+        assert -2.0 < bat["average_voltage"] < 8.0
+
+    def test_conversion_builder(self, populated_db):
+        db = populated_db
+        result = BatteryBuilder(db, "Li").run_conversion(max_hosts=3)
+        assert result["conversion_built"] >= 1
+        doc = db["batteries"].find_one({"battery_type": "conversion"})
+        assert doc["capacity_grav"] > 0
+
+    def test_xrd_builder(self, populated_db):
+        db = populated_db
+        result = XRDBuilder(db).run()
+        assert result["xrd_built"] == db["materials"].count_documents()
+        doc = db["xrd"].find_one({"reduced_formula": "NaCl"})
+        assert doc["n_peaks"] > 3
+        # Idempotent.
+        again = XRDBuilder(db).run()
+        assert again["xrd_built"] == 0
+
+    def test_bandstructure_builder(self, populated_db):
+        db = populated_db
+        result = BandStructureBuilder(db).run()
+        assert result["bandstructures_built"] > 0
+        doc = db["bandstructures"].find_one({"reduced_formula": "NaCl"})
+        assert doc["band_gap"] > 1.0
+        fe = db["bandstructures"].find_one({"reduced_formula": "Fe"})
+        assert fe["band_gap"] < 0.5
+
+
+class TestVnV:
+    def test_clean_database_passes(self, populated_db):
+        db = populated_db
+        PhaseDiagramBuilder(db).run()
+        BandStructureBuilder(db).run()
+        report = VnVRunner(db).run_all()
+        assert report["clean"], report["violations"]
+        assert db["vnv_reports"].count_documents() == 1
+
+    def test_detects_energy_arithmetic_corruption(self, populated_db):
+        db = populated_db
+        db["tasks"].update_one({}, {"$set": {"energy_per_atom": 123.0}})
+        report = VnVRunner(db).run_all()
+        assert not report["clean"]
+        rules = {v["rule"] for v in report["violations"]}
+        assert "task_energy_arithmetic" in rules
+
+    def test_detects_unphysical_formation_energy(self, populated_db):
+        db = populated_db
+        db["materials"].update_one(
+            {}, {"$set": {"formation_energy_per_atom": -50.0}}
+        )
+        report = VnVRunner(db).run_all()
+        assert any(
+            v["rule"] == "material_formation_energy_range"
+            for v in report["violations"]
+        )
+
+    def test_detects_broken_reference(self, populated_db):
+        db = populated_db
+        from repro.docstore import ObjectId
+
+        db["materials"].update_one(
+            {}, {"$set": {"provenance.task_id": ObjectId()}}
+        )
+        violations = VnVRunner(db).run_referential_integrity()
+        assert any(v.rule == "ref:material_task" for v in violations)
+
+    def test_detects_known_compound_regression(self, populated_db):
+        """The 'calculation bug before releasing a database' scenario."""
+        db = populated_db
+        db["materials"].update_one(
+            {"reduced_formula": "NaCl"},
+            {"$set": {"band_gap": 0.0, "formation_energy_per_atom": -0.01}},
+        )
+        violations = VnVRunner(db).run_known_compounds()
+        assert any(v.rule == "known:NaCl" for v in violations)
+
+    def test_detects_inconsistent_duplicate_tasks(self, populated_db):
+        """MapReduce rule: same MPS input, wildly different energies."""
+        db = populated_db
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-nacl", encut=300, epa_shift=5.0)
+        violations = VnVRunner(db).run_mapreduce_rule()
+        assert any(v.rule == "mr:energy_spread" for v in violations)
+
+    def test_assert_clean_raises(self, populated_db):
+        from repro.errors import ValidationError
+
+        db = populated_db
+        db["materials"].update_one({}, {"$set": {"band_gap": -3.0}})
+        with pytest.raises(ValidationError):
+            VnVRunner(db).assert_clean()
+
+    def test_mps_schema_rule(self, db):
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        record = mps_from_structure(nacl)
+        db["mps"].insert_one(record)
+        db["mps"].insert_one({**record, "mps_id": "mps-other", "nsites": 99})
+        runner = VnVRunner(db)
+        violations = runner.run_rule(runner.rules[0])
+        assert len(violations) == 1
+
+
+class TestSymmetryBuilder:
+    def test_builds_and_annotates(self, populated_db):
+        from repro.builders import SymmetryBuilder
+
+        db = populated_db
+        result = SymmetryBuilder(db).run()
+        assert result["symmetry_built"] == db["materials"].count_documents()
+        nacl = db["symmetry"].find_one({"reduced_formula": "NaCl"})
+        assert nacl["lattice_system"] == "cubic"
+        assert nacl["n_operations"] == 192  # Fm-3m conventional cell
+        mat = db["materials"].find_one({"reduced_formula": "NaCl"})
+        assert mat["lattice_system"] == "cubic"
+        assert mat["n_symmetry_ops"] == 192
+
+    def test_idempotent(self, populated_db):
+        from repro.builders import SymmetryBuilder
+
+        db = populated_db
+        SymmetryBuilder(db).run()
+        again = SymmetryBuilder(db).run()
+        assert again["symmetry_built"] == 0

@@ -1,0 +1,225 @@
+"""Tests for change streams, bulk_write, and the incremental builder."""
+
+import pytest
+
+from repro.builders import IncrementalMaterialsBuilder, MaterialsBuilder
+from repro.docstore import ChangeStream, Collection, DocumentStore
+from repro.errors import DocstoreError, DuplicateKeyError
+from repro.matgen import make_prototype
+
+
+class TestChangeStream:
+    def test_insert_update_delete_events(self):
+        coll = Collection("c")
+        stream = coll.watch()
+        coll.insert_one({"_id": 1, "v": 0})
+        coll.update_one({"_id": 1}, {"$set": {"v": 1}})
+        coll.delete_one({"_id": 1})
+        events = stream.drain()
+        assert [e.operation for e in events] == ["insert", "update", "delete"]
+        assert events[0].document == {"_id": 1, "v": 0}
+        assert events[1].document["v"] == 1
+        assert events[2].document_id == 1
+
+    def test_sequence_numbers_monotone(self):
+        coll = Collection("c")
+        stream = coll.watch()
+        coll.insert_many([{"i": i} for i in range(5)])
+        seqs = [e.seq for e in stream.drain()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_drain_with_limit(self):
+        coll = Collection("c")
+        stream = coll.watch()
+        coll.insert_many([{} for _ in range(10)])
+        assert len(stream.drain(max_events=4)) == 4
+        assert stream.pending() == 6
+
+    def test_overflow_forces_resync(self):
+        coll = Collection("c")
+        stream = coll.watch(max_buffer=5)
+        coll.insert_many([{} for _ in range(10)])
+        with pytest.raises(DocstoreError):
+            stream.drain()
+        # After the overflow error, the stream is usable again.
+        coll.insert_one({})
+        assert len(stream.drain()) == 1
+
+    def test_closed_stream_ignores_writes(self):
+        coll = Collection("c")
+        stream = coll.watch()
+        stream.close()
+        coll.insert_one({})
+        assert stream.pending() == 0
+
+    def test_multiple_independent_streams(self):
+        coll = Collection("c")
+        a = coll.watch()
+        b = coll.watch()
+        coll.insert_one({})
+        assert len(a.drain()) == 1
+        assert len(b.drain()) == 1
+
+
+class TestBulkWrite:
+    def test_mixed_batch(self):
+        coll = Collection("c")
+        result = coll.bulk_write([
+            {"insert_one": {"document": {"_id": 1, "v": 0}}},
+            {"insert_one": {"document": {"_id": 2, "v": 0}}},
+            {"update_one": {"filter": {"_id": 1}, "update": {"$inc": {"v": 5}}}},
+            {"update_many": {"filter": {}, "update": {"$set": {"tag": "x"}}}},
+            {"delete_one": {"filter": {"_id": 2}}},
+        ])
+        assert result.inserted_count == 2
+        assert result.deleted_count == 1
+        assert coll.find_one({"_id": 1})["v"] == 5
+
+    def test_upsert_counts_as_insert(self):
+        coll = Collection("c")
+        result = coll.bulk_write([
+            {"update_one": {"filter": {"k": 1}, "update": {"$set": {"v": 1}},
+                            "upsert": True}},
+        ])
+        assert result.inserted_count == 1
+
+    def test_ordered_stops_at_error_with_partial_result(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": 1})
+        with pytest.raises(DuplicateKeyError) as excinfo:
+            coll.bulk_write([
+                {"insert_one": {"document": {"_id": 2}}},
+                {"insert_one": {"document": {"_id": 1}}},  # duplicate
+                {"insert_one": {"document": {"_id": 3}}},  # never reached
+            ])
+        assert excinfo.value.partial_result.inserted_count == 1
+        assert coll.find_one({"_id": 3}) is None
+
+    def test_unordered_skips_errors(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": 1})
+        result = coll.bulk_write([
+            {"insert_one": {"document": {"_id": 1}}},  # duplicate: skipped
+            {"insert_one": {"document": {"_id": 3}}},
+        ], ordered=False)
+        assert result.inserted_count == 1
+        assert coll.find_one({"_id": 3}) is not None
+
+    def test_malformed_op_rejected(self):
+        coll = Collection("c")
+        with pytest.raises(DocstoreError):
+            coll.bulk_write([{"explode": {}}])
+        with pytest.raises(DocstoreError):
+            coll.bulk_write([{"a": 1, "b": 2}])
+
+
+class TestIncrementalBuilder:
+    def _task(self, structure, mps_id, encut=520):
+        from tests.test_builders import _insert_task
+
+        return _insert_task  # reuse the canonical task factory
+
+    def test_refreshes_only_touched_groups(self):
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        kcl = make_prototype("rocksalt", ["K", "Cl"])
+        _insert_task(db, nacl, "mps-nacl")
+        _insert_task(db, kcl, "mps-kcl")
+        MaterialsBuilder(db).run()
+
+        builder = IncrementalMaterialsBuilder(db)
+        builder.stream.drain()  # ignore history before we start tailing
+
+        # A better NaCl task arrives; KCl untouched.
+        _insert_task(db, nacl, "mps-nacl", encut=800)
+        result = builder.process_pending()
+        assert result["mode"] == "incremental"
+        assert result["materials_refreshed"] == 1
+        mat = db["materials"].find_one({"mps_id": "mps-nacl"})
+        assert mat["provenance"]["parameters"]["ENCUT"] == 800
+
+    def test_new_mps_group_creates_material(self):
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        MaterialsBuilder(db)  # initialize indexes
+        builder = IncrementalMaterialsBuilder(db)
+        _insert_task(db, make_prototype("rocksalt", ["Mg", "O"]), "mps-mgo")
+        result = builder.process_pending()
+        assert result["materials_refreshed"] == 1
+        assert db["materials"].find_one({"mps_id": "mps-mgo"}) is not None
+
+    def test_material_ids_stable_across_refreshes(self):
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-nacl")
+        MaterialsBuilder(db).run()
+        before = db["materials"].find_one({"mps_id": "mps-nacl"})["material_id"]
+        builder = IncrementalMaterialsBuilder(db)
+        builder.stream.drain()
+        _insert_task(db, nacl, "mps-nacl", encut=900)
+        builder.process_pending()
+        after = db["materials"].find_one({"mps_id": "mps-nacl"})["material_id"]
+        assert before == after
+
+    def test_task_deletion_retires_material(self):
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        _insert_task(db, nacl, "mps-nacl")
+        MaterialsBuilder(db).run()
+        builder = IncrementalMaterialsBuilder(db)
+        builder.stream.drain()
+        db["tasks"].delete_many({"mps_id": "mps-nacl"})
+        builder.process_pending()
+        assert db["materials"].find_one({"mps_id": "mps-nacl"}) is None
+
+    def test_incremental_matches_batch_rebuild(self):
+        """The invariant: incremental state == a fresh batch build."""
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        MaterialsBuilder(db)
+        builder = IncrementalMaterialsBuilder(db)
+        for i, (metal, mid) in enumerate(
+            [("Mg", "m1"), ("Ca", "m2"), ("Sr", "m3")]
+        ):
+            _insert_task(db, make_prototype("rocksalt", [metal, "O"]),
+                         f"mps-{mid}", encut=400 + 100 * i)
+            builder.process_pending()
+        incremental = {
+            d["mps_id"]: d["energy_per_atom"]
+            for d in db["materials"].find({})
+        }
+        # Rebuild from scratch into a second database, compare.
+        db2 = DocumentStore()["mp2"]
+        for doc in db["tasks"].find({}):
+            doc.pop("_id")
+            db2["tasks"].insert_one(doc)
+        MaterialsBuilder(db2).run()
+        batch = {
+            d["mps_id"]: d["energy_per_atom"]
+            for d in db2["materials"].find({})
+        }
+        assert incremental == batch
+
+    def test_overflow_triggers_full_rebuild(self):
+        from tests.test_builders import _insert_task
+
+        db = DocumentStore()["mp"]
+        MaterialsBuilder(db)
+        builder = IncrementalMaterialsBuilder(db)
+        builder.stream.max_buffer = 3
+        for i, metal in enumerate(["Mg", "Ca", "Sr", "Ba", "Ni"]):
+            _insert_task(db, make_prototype("rocksalt", [metal, "O"]),
+                         f"mps-{i}")
+        result = builder.process_pending()
+        assert result["mode"] == "full-rebuild"
+        assert builder.full_rebuilds == 1
+        assert db["materials"].count_documents() == 5

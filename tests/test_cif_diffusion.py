@@ -1,0 +1,152 @@
+"""Tests for CIF import/export and the diffusion (rate) estimator."""
+
+import pytest
+
+from repro.errors import MatgenError
+from repro.matgen import (
+    estimate_diffusion,
+    make_prototype,
+    rate_class,
+    read_cif_file,
+    structure_from_cif,
+    structure_to_cif,
+    write_cif_file,
+)
+
+
+@pytest.fixture
+def nacl():
+    return make_prototype("rocksalt", ["Na", "Cl"])
+
+
+class TestCIFExport:
+    def test_roundtrip(self, nacl):
+        text = structure_to_cif(nacl)
+        back = structure_from_cif(text)
+        assert back.matches(nacl)
+        assert back.reduced_formula == "NaCl"
+
+    def test_roundtrip_low_symmetry(self):
+        s = make_prototype("olivine", ["Li", "Fe"])
+        back = structure_from_cif(structure_to_cif(s))
+        assert back.matches(s)
+        assert back.lattice.parameters == pytest.approx(
+            s.lattice.parameters, rel=1e-5
+        )
+
+    def test_file_roundtrip(self, nacl, tmp_path):
+        path = str(tmp_path / "nacl.cif")
+        write_cif_file(nacl, path)
+        assert read_cif_file(path).matches(nacl)
+
+    def test_header_fields(self, nacl):
+        text = structure_to_cif(nacl)
+        assert "data_NaCl" in text
+        assert "_cell_length_a" in text
+        assert "_symmetry_space_group_name_H-M  'P 1'" in text
+        assert text.count("\n Na") == 4 and text.count("\n Cl") == 4
+
+
+class TestCIFImport:
+    EXTERNAL_CIF = """
+# Fictional external CIF with quirks our reader must survive
+data_rutile_like
+_cell_length_a     4.5941(2)
+_cell_length_b     4.5941(2)
+_cell_length_c     2.9589
+_cell_angle_alpha  90.0
+_cell_angle_beta   90.0
+_cell_angle_gamma  90.0
+_symmetry_space_group_name_H-M 'P 1'
+
+loop_
+ _atom_site_label
+ _atom_site_fract_x
+ _atom_site_fract_y
+ _atom_site_fract_z
+ Ti1 0.0 0.0 0.0        # comment after the row
+ Ti2 0.5 0.5 0.5
+ O1  0.3053 0.3053 0.0
+ O2  0.6947 0.6947 0.0
+ O3  0.8053 0.1947 0.5
+ O4  0.1947 0.8053 0.5
+"""
+
+    def test_reads_label_only_loop_with_uncertainties(self):
+        s = structure_from_cif(self.EXTERNAL_CIF)
+        assert s.reduced_formula == "TiO2"
+        assert s.num_sites == 6
+        assert s.lattice.a == pytest.approx(4.5941)
+
+    def test_charged_species_labels(self):
+        text = self.EXTERNAL_CIF.replace("Ti1", "Ti2+").replace("O1", "O2-")
+        s = structure_from_cif(text)
+        assert s.reduced_formula == "TiO2"
+
+    def test_missing_cell_rejected(self):
+        with pytest.raises(MatgenError):
+            structure_from_cif("data_x\nloop_\n _atom_site_fract_x\n 0.0\n")
+
+    def test_missing_atoms_rejected(self):
+        text = "\n".join(
+            line for line in self.EXTERNAL_CIF.splitlines()
+            if not line.strip().startswith(("Ti", "O", "loop_", "_atom"))
+        )
+        with pytest.raises(MatgenError):
+            structure_from_cif(text)
+
+
+class TestDiffusion:
+    def test_estimate_shape(self):
+        s = make_prototype("olivine", ["Li", "Fe"])
+        est = estimate_diffusion(s, "Li")
+        assert est.hop_distance > 1.5
+        assert est.bottleneck_radius >= 0.0
+        assert 0.1 <= est.barrier_ev <= 2.5
+        d = est.as_dict()
+        assert d["rate_class"] in ("high-rate", "moderate-rate", "low-rate")
+
+    def test_diffusivity_arrhenius(self):
+        s = make_prototype("layered", ["Li", "Co"])
+        est = estimate_diffusion(s, "Li")
+        assert est.diffusivity(600.0) > est.diffusivity(300.0)
+        with pytest.raises(MatgenError):
+            est.diffusivity(-5)
+
+    def test_bigger_ion_higher_barrier(self):
+        """Na in the same framework must not out-diffuse Li (geometric)."""
+        li_host = make_prototype("olivine", ["Li", "Fe"])
+        na_host = make_prototype("olivine", ["Na", "Fe"])
+        e_li = estimate_diffusion(li_host, "Li").barrier_ev
+        e_na = estimate_diffusion(na_host, "Na").barrier_ev
+        assert e_na >= e_li
+
+    def test_missing_ion_rejected(self):
+        s = make_prototype("rocksalt", ["Na", "Cl"])
+        with pytest.raises(MatgenError):
+            estimate_diffusion(s, "Li")
+
+    def test_rate_class_thresholds(self):
+        assert rate_class(0.2) == "high-rate"
+        assert rate_class(0.5) == "moderate-rate"
+        assert rate_class(1.0) == "low-rate"
+
+    def test_deterministic(self):
+        s = make_prototype("spinel", ["Li", "Mn"])
+        a = estimate_diffusion(s, "Li").barrier_ev
+        b = estimate_diffusion(s, "Li").barrier_ev
+        assert a == b
+
+    def test_followup_screen_over_fig1_candidates(self):
+        """The paper's teased second screen: rank survivors by rate."""
+        from repro.datagen import generate_battery_candidates
+
+        rows = []
+        for pair in generate_battery_candidates("Li", metals=["Fe", "Mn", "Co"]):
+            est = estimate_diffusion(pair["discharged"], "Li")
+            rows.append((pair["framework"], pair["metal"], est.barrier_ev))
+        assert len(rows) >= 6
+        barriers = [r[2] for r in rows]
+        assert all(0.1 <= b <= 2.5 for b in barriers)
+        # The screen must discriminate, not return a constant.
+        assert max(barriers) - min(barriers) > 0.05

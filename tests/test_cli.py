@@ -1,0 +1,83 @@
+"""Tests for the operator CLI (populate/status/query/vnv round trips)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestCLI:
+    def test_populate_then_status(self, data_dir, capsys):
+        assert main(["--data-dir", data_dir, "populate", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot written" in out
+
+        assert main(["--data-dir", data_dir, "status"]) == 0
+        out = capsys.readouterr().out
+        assert "materials" in out
+        assert "database: mp" in out
+
+    def test_state_persists_between_invocations(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        # A second populate with the same seed dedups everything.
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        out = capsys.readouterr().out
+        assert "0 launched" in out
+
+    def test_query_outputs_json_lines(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        assert main([
+            "--data-dir", data_dir, "query", "--limit", "3",
+            "--properties", "reduced_formula,energy_per_atom",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [json.loads(l) for l in out.strip().splitlines()]
+        assert len(lines) == 3
+        assert all("reduced_formula" in row for row in lines)
+
+    def test_query_by_formula(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        # Discover a formula, then query it.
+        main(["--data-dir", data_dir, "query", "--limit", "1",
+              "--properties", "reduced_formula"])
+        formula = json.loads(capsys.readouterr().out.strip())["reduced_formula"]
+        assert main(["--data-dir", data_dir, "query",
+                     "--formula", formula]) == 0
+        rows = [json.loads(l)
+                for l in capsys.readouterr().out.strip().splitlines()]
+        assert all(r["reduced_formula"] == formula for r in rows)
+
+    def test_query_with_raw_criteria(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        criteria = json.dumps({"band_gap": {"$gte": 0.0}})
+        assert main(["--data-dir", data_dir, "query",
+                     "--criteria", criteria, "--limit", "50"]) == 0
+
+    def test_vnv_clean_exit_zero(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        assert main(["--data-dir", data_dir, "vnv"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_vnv_dirty_exit_one(self, data_dir, capsys):
+        main(["--data-dir", data_dir, "populate", "--n", "4"])
+        capsys.readouterr()
+        # Corrupt the store, then expect a failing sweep.
+        from repro.docstore import DocumentStore
+
+        store = DocumentStore(persistence_dir=data_dir)
+        store["mp"]["materials"].update_one(
+            {}, {"$set": {"band_gap": -5.0}}
+        )
+        store.snapshot()
+        assert main(["--data-dir", data_dir, "vnv"]) == 1

@@ -1,0 +1,82 @@
+"""Tests for document-complexity metrics (Table I machinery)."""
+
+import pytest
+
+from repro.analysis import collection_complexity, document_complexity
+
+
+class TestDocumentComplexity:
+    def test_flat_document(self):
+        c = document_complexity({"a": 1, "b": 2, "c": 3})
+        assert c.nodes == 3
+        assert c.max_depth == 1
+        assert c.mean_depth == 1.0
+        assert c.n_leaves == 3
+
+    def test_nested_document(self):
+        c = document_complexity({"a": {"b": {"c": 1}}, "d": 2})
+        # Nodes: a, a.b, a.b.c, d = 4; leaf depths: 3 and 1.
+        assert c.nodes == 4
+        assert c.max_depth == 3
+        assert c.mean_depth == 2.0
+
+    def test_arrays_count_elements(self):
+        c = document_complexity({"xs": [1, 2, 3]})
+        assert c.nodes == 4  # xs + 3 elements
+        assert c.max_depth == 2
+
+    def test_empty_containers_are_leaves(self):
+        c = document_complexity({"a": {}, "b": []})
+        assert c.n_leaves == 2
+        assert c.max_depth == 1
+
+    def test_empty_document(self):
+        c = document_complexity({})
+        assert c.nodes == 0
+        assert c.mean_depth == 0.0
+
+    def test_monotone_in_content(self):
+        small = document_complexity({"a": 1})
+        big = document_complexity({"a": 1, "b": {"c": [1, 2, {"d": 3}]}})
+        assert big.nodes > small.nodes
+        assert big.max_depth > small.max_depth
+
+
+class TestCollectionComplexity:
+    def test_median_aggregation(self):
+        docs = [{"a": 1}, {"a": 1, "b": {"c": 2}}, {"a": {"b": {"c": {"d": 1}}}}]
+        row = collection_complexity(docs, "test")
+        assert row["n_docs"] == 3
+        assert row["nodes"] == 3  # median of [1, 3, 4]
+
+    def test_empty_collection(self):
+        row = collection_complexity([], "empty")
+        assert row["n_docs"] == 0
+
+    def test_pipeline_documents_rank_like_table1(self):
+        """The Table I ordering: tasks ≫ materials > MPS > battery docs."""
+        from tests.test_builders import _insert_task
+        from repro.builders import BatteryBuilder, MaterialsBuilder
+        from repro.docstore import DocumentStore
+        from repro.matgen import make_prototype, mps_from_structure
+
+        db = DocumentStore()["mp"]
+        lifepo4 = make_prototype("olivine", ["Li", "Fe"])
+        fepo4 = lifepo4.remove_species(["Li"])
+        db["mps"].insert_one(mps_from_structure(lifepo4))
+        _insert_task(db, lifepo4, "mps-1")
+        _insert_task(db, fepo4, "mps-2")
+        MaterialsBuilder(db).run()
+        BatteryBuilder(db, "Li").run_intercalation()
+
+        mps_c = collection_complexity(db["mps"].all_documents(), "mps")
+        tasks_c = collection_complexity(db["tasks"].all_documents(), "tasks")
+        mats_c = collection_complexity(db["materials"].all_documents(), "materials")
+        bat_c = collection_complexity(db["batteries"].all_documents(), "batteries")
+
+        # Shape from the paper: tasks are the most complex; battery
+        # prototype docs the simplest; depths are all >= 3 levels.
+        assert tasks_c["nodes"] >= mats_c["nodes"] * 0.8
+        assert mats_c["nodes"] > mps_c["nodes"] * 0.5
+        assert bat_c["nodes"] < tasks_c["nodes"]
+        assert tasks_c["depth"] >= 4

@@ -1,0 +1,144 @@
+"""Tests for the synthetic ICSD and the query-workload generators."""
+
+import pytest
+
+from repro.datagen import (
+    QueryWorkload,
+    SyntheticICSD,
+    elemental_references,
+    generate_battery_candidates,
+)
+from repro.matgen import validate_mps
+
+
+class TestSyntheticICSD:
+    def test_deterministic_given_seed(self):
+        a = SyntheticICSD(seed=7).structures(20)
+        b = SyntheticICSD(seed=7).structures(20)
+        assert [s.structure_hash() for s in a] == [s.structure_hash() for s in b]
+
+    def test_different_seeds_differ(self):
+        a = SyntheticICSD(seed=1).structures(20)
+        b = SyntheticICSD(seed=2).structures(20)
+        assert [s.structure_hash() for s in a] != [s.structure_hash() for s in b]
+
+    def test_structures_are_distinct(self):
+        structures = SyntheticICSD().structures(100)
+        hashes = {s.structure_hash() for s in structures}
+        assert len(hashes) == 100
+
+    def test_structures_are_physical(self):
+        for s in SyntheticICSD().structures(50):
+            assert s.min_bond_length() > 1.0
+            assert 0.3 < s.density < 25
+
+    def test_chemical_diversity(self):
+        structures = SyntheticICSD().structures(100)
+        systems = {s.chemical_system for s in structures}
+        assert len(systems) > 30
+
+    def test_mps_records_validate(self):
+        records = SyntheticICSD().mps_records(20)
+        for record in records:
+            validate_mps(record)
+            assert record["about"]["metadata"]["icsd_id"] >= 100000
+
+    def test_ternary_fraction(self):
+        structures = SyntheticICSD().structures(100, ternary_fraction=1.0)
+        assert all(len(s.elements) >= 2 for s in structures)
+        ternary = [s for s in structures if len(s.elements) == 3]
+        assert len(ternary) > 50
+
+
+class TestBatteryCandidates:
+    def test_pairs_share_framework(self):
+        pairs = generate_battery_candidates("Li", metals=["Fe", "Mn", "Co"])
+        assert len(pairs) >= 6  # 3 frameworks x 3 metals (some may drop)
+        for pair in pairs:
+            d, c = pair["discharged"], pair["charged"]
+            assert "Li" in d.elements
+            assert "Li" not in c.elements
+            # Topotactic: host composition = discharged minus Li.
+            from repro.matgen import Composition
+
+            expect = Composition(
+                {el: a for el, a in d.composition.items() if el.symbol != "Li"}
+            )
+            assert c.composition.almost_equals(expect)
+
+    def test_sodium_works_too(self):
+        pairs = generate_battery_candidates("Na", metals=["Fe", "Mn"])
+        assert pairs
+        assert all("Na" in p["discharged"].elements for p in pairs)
+
+    def test_elemental_references(self):
+        refs = elemental_references(["Li", "Fe", "O", "Fe"])
+        assert len(refs) == 3
+        assert all(r.composition.is_element for r in refs)
+
+
+class TestQueryWorkload:
+    def make(self, **kw):
+        return QueryWorkload(
+            formulas=["NaCl", "LiFePO4", "Fe2O3", "LiCoO2", "MgO"],
+            chemical_systems=["Cl-Na", "Fe-Li-O-P", "Fe-O"],
+            elements=["Li", "Fe", "O", "Na", "Cl", "Co"],
+            **kw,
+        )
+
+    def test_deterministic(self):
+        a = self.make(seed=3).generate(100)
+        b = self.make(seed=3).generate(100)
+        assert [(q.archetype, q.arrival_s) for q in a] == [
+            (q.archetype, q.arrival_s) for q in b
+        ]
+
+    def test_count_and_ordering(self):
+        queries = self.make().generate(500)
+        assert len(queries) == 500
+        arrivals = [q.arrival_s for q in queries]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t <= 7 * 24 * 3600 for t in arrivals)
+
+    def test_archetype_mix_roughly_matches_weights(self):
+        wl = self.make()
+        queries = wl.generate(3000)
+        mix = wl.archetype_mix(queries)
+        assert mix["formula_lookup"] / 3000 == pytest.approx(0.40, abs=0.05)
+        assert mix["full_browse"] / 3000 == pytest.approx(0.05, abs=0.03)
+
+    def test_queries_are_executable(self):
+        """Every generated query must run against a real collection."""
+        from repro.docstore import Collection
+
+        coll = Collection("materials")
+        coll.insert_many(
+            [{"reduced_formula": "NaCl", "chemical_system": "Cl-Na",
+              "elements": ["Cl", "Na"], "band_gap": 2.0,
+              "formation_energy_per_atom": -1.0, "energy_per_atom": -4.0}]
+        )
+        for q in self.make().generate(200):
+            if q.collection != "materials":
+                continue
+            cursor = coll.find(q.query)
+            if q.sort:
+                cursor = cursor.sort(list(q.sort))
+            cursor.limit(q.limit).to_list()  # must not raise
+
+    def test_popularity_is_heavy_tailed(self):
+        wl = self.make()
+        queries = [q for q in wl.generate(2000)
+                   if q.archetype == "formula_lookup"]
+        counts = {}
+        for q in queries:
+            f = q.query["reduced_formula"]
+            counts[f] = counts.get(f, 0) + 1
+        top = max(counts.values())
+        bottom = min(counts.values())
+        assert top > 2 * bottom  # rank-skewed
+
+    def test_validation(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            QueryWorkload([], [], [])

@@ -1,0 +1,160 @@
+"""Deep dotted-path behaviour across the stack: queries, updates, indexes.
+
+The paper's Table I documents are 6-12 levels deep; every layer must handle
+deep paths identically.  These tests drive dotted paths through queries,
+updates, indexes, projections, sorts, and the QueryEngine aliases at depths
+the real task documents actually reach.
+"""
+
+import pytest
+
+from repro.docstore import Collection, DocumentStore
+from repro.errors import DocstoreError
+
+
+@pytest.fixture
+def deep_docs():
+    """Documents shaped like real task documents (depth ~7)."""
+    return [
+        {
+            "task_id": f"t{i}",
+            "spec": {
+                "vasp": {
+                    "incar": {"ENCUT": 400 + 60 * i, "ALGO": "Fast"},
+                    "kpoints": {"mesh": [i + 1, i + 1, i + 1],
+                                "scheme": "Gamma"},
+                },
+                "resources": {"queue": {"name": "regular",
+                                        "limits": {"walltime_s": 3600 * i}}},
+            },
+            "runs": [
+                {"stage": "relax",
+                 "convergence": {"trace": [1.0, 0.1, 0.01],
+                                 "final": {"residual": 10.0 ** -i}}},
+            ],
+        }
+        for i in range(1, 6)
+    ]
+
+
+class TestDeepQueries:
+    def test_query_depth_five(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        docs = coll.find(
+            {"spec.resources.queue.limits.walltime_s": {"$gte": 3600 * 3}}
+        ).to_list()
+        assert len(docs) == 3
+
+    def test_query_inside_array_of_docs(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        docs = coll.find(
+            {"runs.convergence.final.residual": {"$lte": 1e-4}}
+        ).to_list()
+        assert {d["task_id"] for d in docs} == {"t4", "t5"}
+
+    def test_array_index_path(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        docs = coll.find({"spec.vasp.kpoints.mesh.0": 3}).to_list()
+        assert len(docs) == 1 and docs[0]["task_id"] == "t2"
+
+    def test_deep_index_matches_scan(self, deep_docs):
+        plain = Collection("plain")
+        plain.insert_many(deep_docs)
+        indexed = Collection("ix")
+        indexed.create_index("spec.vasp.incar.ENCUT")
+        indexed.insert_many(deep_docs)
+        q = {"spec.vasp.incar.ENCUT": {"$gte": 520, "$lt": 640}}
+        assert (
+            sorted(d["task_id"] for d in plain.find(q))
+            == sorted(d["task_id"] for d in indexed.find(q))
+        )
+        assert indexed.last_plan.kind == "IXSCAN"
+
+    def test_deep_sort_and_projection(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        docs = coll.find(
+            {}, {"spec.vasp.incar.ENCUT": 1, "_id": 0}
+        ).sort("spec.vasp.incar.ENCUT", -1).to_list()
+        encuts = [d["spec"]["vasp"]["incar"]["ENCUT"] for d in docs]
+        assert encuts == sorted(encuts, reverse=True)
+        assert set(docs[0]) == {"spec"}
+        assert set(docs[0]["spec"]["vasp"]) == {"incar"}
+
+
+class TestDeepUpdates:
+    def test_set_at_depth_six(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        coll.update_one(
+            {"task_id": "t1"},
+            {"$set": {"runs.0.convergence.final.residual": 42.0}},
+        )
+        doc = coll.find_one({"task_id": "t1"})
+        assert doc["runs"][0]["convergence"]["final"]["residual"] == 42.0
+
+    def test_inc_inside_array_element(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        coll.update_many({}, {"$inc": {"spec.vasp.kpoints.mesh.2": 10}})
+        doc = coll.find_one({"task_id": "t1"})
+        assert doc["spec"]["vasp"]["kpoints"]["mesh"][2] == 12
+
+    def test_push_to_deep_array(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        coll.update_one(
+            {"task_id": "t1"},
+            {"$push": {"runs.0.convergence.trace": 0.001}},
+        )
+        doc = coll.find_one({"task_id": "t1"})
+        assert doc["runs"][0]["convergence"]["trace"][-1] == 0.001
+
+    def test_unset_deep_leaf_leaves_siblings(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        coll.update_one(
+            {"task_id": "t1"}, {"$unset": {"spec.vasp.incar.ALGO": ""}}
+        )
+        doc = coll.find_one({"task_id": "t1"})
+        assert "ALGO" not in doc["spec"]["vasp"]["incar"]
+        assert "ENCUT" in doc["spec"]["vasp"]["incar"]
+
+    def test_deep_rename_across_branches(self, deep_docs):
+        coll = Collection("t")
+        coll.insert_many(deep_docs)
+        coll.update_one(
+            {"task_id": "t1"},
+            {"$rename": {"spec.vasp.incar.ENCUT": "spec.cutoff_ev"}},
+        )
+        doc = coll.find_one({"task_id": "t1"})
+        assert doc["spec"]["cutoff_ev"] == 460
+        assert "ENCUT" not in doc["spec"]["vasp"]["incar"]
+
+
+class TestDeepAliases:
+    def test_alias_chain_through_queryengine(self, deep_docs):
+        from repro.api import QueryEngine
+
+        db = DocumentStore()["mp"]
+        db["tasks"].insert_many(deep_docs)
+        qe = QueryEngine(
+            db,
+            aliases={
+                "encut": "spec.vasp.incar.ENCUT",
+                "residual": "runs.convergence.final.residual",
+                "walltime": "spec.resources.queue.limits.walltime_s",
+            },
+        )
+        docs = qe.query(
+            {"encut": {"$gte": 520}, "walltime": {"$lte": 3600 * 4}},
+            collection="tasks",
+        )
+        # ENCUT >= 520 selects t2..t5; walltime <= 4h selects t1..t4.
+        assert {d["task_id"] for d in docs} == {"t2", "t3", "t4"}
+        docs = qe.query({"residual": {"$lte": 1e-4}}, collection="tasks",
+                        sort=[("encut", 1)])
+        assert [d["task_id"] for d in docs] == ["t4", "t5"]

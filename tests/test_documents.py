@@ -1,0 +1,183 @@
+"""Tests for dotted-path document utilities and extended JSON."""
+
+import pytest
+
+from repro.docstore import MISSING, ObjectId, document_from_json, document_to_json
+from repro.docstore.documents import (
+    deep_copy_doc,
+    doc_size_bytes,
+    get_path,
+    get_path_multi,
+    set_path,
+    unset_path,
+    validate_document,
+    walk,
+)
+from repro.errors import DocstoreError
+
+
+@pytest.fixture
+def task_doc():
+    """A miniature version of a Materials Project task document."""
+    return {
+        "task_id": "mp-1234",
+        "spec": {
+            "vasp": {"incar": {"ENCUT": 520, "ISPIN": 2}, "kpoints": [4, 4, 4]},
+            "structure": {"formula": "Fe2O3", "nsites": 10},
+        },
+        "runs": [
+            {"walltime": 3600, "converged": False},
+            {"walltime": 7200, "converged": True},
+        ],
+        "elements": ["Fe", "O"],
+    }
+
+
+class TestGetPath:
+    def test_top_level(self, task_doc):
+        assert get_path(task_doc, "task_id") == "mp-1234"
+
+    def test_nested(self, task_doc):
+        assert get_path(task_doc, "spec.vasp.incar.ENCUT") == 520
+
+    def test_array_index(self, task_doc):
+        assert get_path(task_doc, "runs.1.converged") is True
+        assert get_path(task_doc, "spec.vasp.kpoints.0") == 4
+
+    def test_missing_returns_sentinel(self, task_doc):
+        assert get_path(task_doc, "spec.vasp.incar.NSW") is MISSING
+        assert get_path(task_doc, "nope.deeper") is MISSING
+
+    def test_out_of_range_index(self, task_doc):
+        assert get_path(task_doc, "runs.5.walltime") is MISSING
+
+    def test_scalar_traversal_stops(self, task_doc):
+        assert get_path(task_doc, "task_id.sub") is MISSING
+
+    def test_empty_path_component_rejected(self, task_doc):
+        with pytest.raises(DocstoreError):
+            get_path(task_doc, "a..b")
+        with pytest.raises(DocstoreError):
+            get_path(task_doc, "")
+
+
+class TestGetPathMulti:
+    def test_scalar(self, task_doc):
+        assert get_path_multi(task_doc, "task_id") == ["mp-1234"]
+
+    def test_fans_out_over_arrays(self, task_doc):
+        values = get_path_multi(task_doc, "runs.walltime")
+        assert sorted(values) == [3600, 7200]
+
+    def test_includes_array_itself(self, task_doc):
+        values = get_path_multi(task_doc, "elements")
+        assert ["Fe", "O"] in values
+
+    def test_missing_is_empty(self, task_doc):
+        assert get_path_multi(task_doc, "does.not.exist") == []
+
+
+class TestSetUnset:
+    def test_set_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 1)
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_set_creates_lists_for_numeric(self):
+        doc = {}
+        set_path(doc, "a.2", "x")
+        assert doc == {"a": [None, None, "x"]}
+
+    def test_set_overwrites(self, task_doc):
+        set_path(task_doc, "spec.vasp.incar.ENCUT", 600)
+        assert get_path(task_doc, "spec.vasp.incar.ENCUT") == 600
+
+    def test_set_into_existing_array(self, task_doc):
+        set_path(task_doc, "runs.0.walltime", 1800)
+        assert task_doc["runs"][0]["walltime"] == 1800
+
+    def test_set_on_scalar_raises(self, task_doc):
+        with pytest.raises(DocstoreError):
+            set_path(task_doc, "task_id.x", 1)
+
+    def test_unset_removes_field(self, task_doc):
+        assert unset_path(task_doc, "spec.vasp.incar.ISPIN")
+        assert get_path(task_doc, "spec.vasp.incar.ISPIN") is MISSING
+
+    def test_unset_missing_returns_false(self, task_doc):
+        assert not unset_path(task_doc, "spec.vasp.incar.NSW")
+
+    def test_unset_array_element_nulls_in_place(self, task_doc):
+        assert unset_path(task_doc, "elements.0")
+        assert task_doc["elements"] == [None, "O"]
+
+
+class TestWalk:
+    def test_leaf_count(self):
+        doc = {"a": 1, "b": {"c": [2, 3]}}
+        leaves = dict(walk(doc))
+        assert leaves == {"a": 1, "b.c.0": 2, "b.c.1": 3}
+
+    def test_empty_containers_are_leaves(self):
+        doc = {"a": {}, "b": []}
+        leaves = dict(walk(doc))
+        assert leaves == {"a": {}, "b": []}
+
+
+class TestDeepCopy:
+    def test_mutating_copy_leaves_original(self, task_doc):
+        copy = deep_copy_doc(task_doc)
+        copy["spec"]["vasp"]["incar"]["ENCUT"] = 999
+        copy["runs"].append({})
+        assert task_doc["spec"]["vasp"]["incar"]["ENCUT"] == 520
+        assert len(task_doc["runs"]) == 2
+
+    def test_objectids_shared_not_copied(self):
+        oid = ObjectId()
+        copy = deep_copy_doc({"_id": oid})
+        assert copy["_id"] is oid
+
+    def test_tuples_become_lists(self):
+        assert deep_copy_doc({"a": (1, 2)}) == {"a": [1, 2]}
+
+
+class TestValidation:
+    def test_accepts_json_like(self, task_doc):
+        validate_document(task_doc)
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(DocstoreError):
+            validate_document({1: "x"})
+
+    def test_rejects_exotic_values(self):
+        with pytest.raises(DocstoreError):
+            validate_document({"f": object()})
+
+    def test_rejects_absurd_nesting(self):
+        doc = {}
+        cur = doc
+        for _ in range(150):
+            cur["n"] = {}
+            cur = cur["n"]
+        with pytest.raises(DocstoreError):
+            validate_document(doc)
+
+
+class TestExtendedJSON:
+    def test_objectid_roundtrip(self):
+        oid = ObjectId()
+        text = document_to_json({"_id": oid, "v": 1})
+        back = document_from_json(text)
+        assert back == {"_id": oid, "v": 1}
+
+    def test_bytes_roundtrip(self):
+        text = document_to_json({"blob": b"\x00\x01"})
+        assert document_from_json(text) == {"blob": b"\x00\x01"}
+
+    def test_plain_json_passthrough(self):
+        assert document_from_json('{"a": [1, 2.5, null, true]}') == {
+            "a": [1, 2.5, None, True]
+        }
+
+    def test_doc_size_positive(self, task_doc):
+        assert doc_size_bytes(task_doc) > 50

@@ -1,0 +1,175 @@
+"""Tests for the periodic table and composition parsing."""
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.matgen import Composition, Element, ELEMENTS, element
+
+
+class TestElement:
+    def test_basic_data(self):
+        fe = Element("Fe")
+        assert fe.Z == 26
+        assert fe.name == "Iron"
+        assert fe.atomic_mass == pytest.approx(55.845)
+        assert fe.electronegativity == pytest.approx(1.83)
+
+    def test_interning(self):
+        assert Element("Fe") is Element("Fe")
+        assert element("O") is Element("O")
+
+    def test_unknown_symbol(self):
+        with pytest.raises(CompositionError):
+            Element("Xx")
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Element("Fe").Z = 99
+
+    def test_ordering_by_z(self):
+        assert Element("H") < Element("Fe") < Element("U")
+        assert sorted([Element("O"), Element("Li")])[0] == Element("Li")
+
+    def test_classifications(self):
+        assert Element("Li").is_alkali
+        assert Element("Fe").is_transition_metal
+        assert not Element("O").is_metal
+        assert Element("Fe").is_metal
+
+    def test_oxidation_states(self):
+        assert Element("O").min_oxidation_state == -2
+        assert Element("Mn").max_oxidation_state == 7
+
+    def test_noble_gas_chi_defaults_zero(self):
+        assert Element("Ne").chi == 0.0
+
+    def test_full_table_loaded(self):
+        assert len(ELEMENTS) == 92
+        assert all(e.atomic_mass > 0 for e in ELEMENTS)
+        assert all(e.atomic_radius > 0 for e in ELEMENTS)
+
+    def test_z_sequence_contiguous(self):
+        zs = sorted(e.Z for e in ELEMENTS)
+        assert zs == list(range(1, 93))
+
+
+class TestCompositionParsing:
+    def test_simple(self):
+        c = Composition("Fe2O3")
+        assert c["Fe"] == 2 and c["O"] == 3
+
+    def test_implicit_one(self):
+        c = Composition("LiFePO4")
+        assert c["Li"] == 1 and c["P"] == 1 and c["O"] == 4
+
+    def test_parentheses(self):
+        c = Composition("Li(CoO2)2")
+        assert c["Li"] == 1 and c["Co"] == 2 and c["O"] == 4
+
+    def test_nested_parentheses(self):
+        c = Composition("Ca(Al(OH)2)2")
+        assert c.as_dict() == {"Ca": 1.0, "Al": 2.0, "O": 4.0, "H": 4.0}
+
+    def test_fractional_amounts(self):
+        c = Composition("Li0.5CoO2")
+        assert c["Li"] == pytest.approx(0.5)
+
+    def test_repeated_element_sums(self):
+        c = Composition("FeOFe")
+        assert c["Fe"] == 2
+
+    def test_from_dict_and_kwargs(self):
+        assert Composition({"Fe": 2, "O": 3}) == Composition(Fe=2, O=3)
+        assert Composition("Fe2O3") == Composition(Fe=2, O=3)
+
+    def test_invalid_formula(self):
+        with pytest.raises(CompositionError):
+            Composition("2FeO")
+        with pytest.raises(CompositionError):
+            Composition("Fe(O2")
+        with pytest.raises(CompositionError):
+            Composition("")
+        with pytest.raises(CompositionError):
+            Composition("Fe2O3)")
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition({"Fe": -1})
+
+
+class TestCompositionProperties:
+    def test_num_atoms_and_weight(self):
+        c = Composition("Fe2O3")
+        assert c.num_atoms == 5
+        assert c.weight == pytest.approx(2 * 55.845 + 3 * 15.999, rel=1e-6)
+
+    def test_nelectrons(self):
+        # The paper's job-matching field: Fe2O3 has 2*26 + 3*8 = 76.
+        assert Composition("Fe2O3").nelectrons == 76
+
+    def test_chemical_system(self):
+        assert Composition("LiFePO4").chemical_system == "Fe-Li-O-P"
+
+    def test_atomic_fraction(self):
+        assert Composition("Fe2O3").get_atomic_fraction("O") == pytest.approx(0.6)
+
+    def test_reduced_formula(self):
+        assert Composition("Fe4O6").reduced_formula == "Fe2O3"
+        assert Composition("Fe2O3").reduced_formula == "Fe2O3"
+        assert Composition("Li2Fe2P2O8").reduced_formula == "LiFePO4"
+
+    def test_formula_electronegativity_order(self):
+        # Li (0.98) before Fe (1.83) before P (2.19) before O (3.44).
+        assert Composition({"O": 4, "Li": 1, "P": 1, "Fe": 1}).formula == "LiFePO4"
+
+    def test_alphabetical_formula(self):
+        assert Composition("LiFePO4").alphabetical_formula == "FeLiO4P"
+
+    def test_anonymized_formula(self):
+        assert Composition("LiFePO4").anonymized_formula == "ABC D4".replace(" ", "")
+        assert Composition("Fe2O3").anonymized_formula == "A2B3"
+
+    def test_is_element(self):
+        assert Composition("Fe").is_element
+        assert not Composition("FeO").is_element
+
+    def test_fractional_composition(self):
+        fc = Composition("Fe2O3").fractional_composition()
+        assert fc.num_atoms == pytest.approx(1.0)
+        assert fc["Fe"] == pytest.approx(0.4)
+
+
+class TestCompositionArithmetic:
+    def test_add(self):
+        assert Composition("FePO4") + Composition("Li") == Composition("LiFePO4")
+
+    def test_sub(self):
+        assert Composition("LiFePO4") - Composition("Li") == Composition("FePO4")
+
+    def test_sub_negative_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition("FeO") - Composition("Fe2O")
+
+    def test_mul(self):
+        assert Composition("FeO") * 2 == Composition("Fe2O2")
+        assert (2 * Composition("FeO"))["Fe"] == 2
+
+    def test_mul_nonpositive_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition("FeO") * 0
+
+    def test_equality_is_tolerant(self):
+        a = Composition({"Fe": 1.0})
+        b = Composition({"Fe": 1.0 + 1e-9})
+        assert a == b
+
+    def test_mapping_protocol(self):
+        c = Composition("Fe2O3")
+        assert len(c) == 2
+        assert "Fe" in c and Element("O") in c and "Li" not in c
+        assert c["Li"] == 0.0  # absent elements read as zero
+        assert set(el.symbol for el in c) == {"Fe", "O"}
+
+    def test_roundtrip_dict(self):
+        c = Composition("LiFePO4")
+        assert Composition.from_dict(c.as_dict()) == c

@@ -1,0 +1,349 @@
+"""Tests for the workflow engine: model, LaunchPad, Rocket, failure handling."""
+
+import pytest
+
+from repro.docstore import DocumentStore
+from repro.errors import WorkflowError
+from repro.fireworks import (
+    Firework,
+    Fuse,
+    LaunchPad,
+    OutputConditionFuse,
+    Rocket,
+    Stage,
+    VaspAnalyzer,
+    VaspBinder,
+    Workflow,
+    component_from_spec,
+    vasp_firework,
+    vasp_stage,
+)
+from repro.matgen import make_prototype
+
+
+@pytest.fixture
+def db():
+    return DocumentStore()["mp_test"]
+
+
+@pytest.fixture
+def launchpad(db):
+    return LaunchPad(db)
+
+
+@pytest.fixture
+def nacl():
+    return make_prototype("rocksalt", ["Na", "Cl"])
+
+
+def easy_incar():
+    """Parameters that converge for any structure (gentlest settings)."""
+    return {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 400,
+            "EDIFF": 1e-5}
+
+
+def generous_fw(structure, **kw):
+    return vasp_firework(
+        structure,
+        incar=kw.pop("incar", easy_incar()),
+        walltime_s=kw.pop("walltime_s", 1e9),
+        memory_mb=kw.pop("memory_mb", 1e6),
+        **kw,
+    )
+
+
+class TestModel:
+    def test_stage_overrides_use_mongo_syntax(self):
+        stage = Stage({"incar": {"AMIX": 0.4}, "resources": {"walltime_s": 100}})
+        new = stage.apply_overrides(
+            {"$set": {"incar.AMIX": 0.2}, "$inc": {"resources.walltime_s": 50}}
+        )
+        assert new["incar"]["AMIX"] == 0.2
+        assert new["resources"]["walltime_s"] == 150
+        assert stage["incar"]["AMIX"] == 0.4  # original untouched
+
+    def test_component_serialization_roundtrip(self):
+        fuse = OutputConditionFuse(condition={"band_gap": {"$gt": 1.0}},
+                                   overrides={"$set": {"incar.ENCUT": 600}})
+        back = component_from_spec(fuse.to_spec())
+        assert isinstance(back, OutputConditionFuse)
+        assert back.condition == {"band_gap": {"$gt": 1.0}}
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(WorkflowError):
+            component_from_spec({"_type": "FluxCapacitor", "params": {}})
+
+    def test_binder_key(self, nacl):
+        binder = VaspBinder()
+        spec = vasp_stage(nacl, functional="GGA")
+        spec2 = vasp_stage(nacl, functional="GGA+U")
+        assert binder.key(spec) != binder.key(spec2)
+        assert binder.key(spec) == binder.key(vasp_stage(nacl, functional="GGA"))
+
+    def test_workflow_dag_validation(self, nacl):
+        a = generous_fw(nacl, name="a")
+        b = generous_fw(nacl, name="b")
+        b.parents = [a]
+        wf = Workflow([a, b])
+        assert wf.roots() == [a]
+        assert wf.leaves() == [b]
+
+    def test_cycle_detection(self, nacl):
+        a = generous_fw(nacl, name="a")
+        b = generous_fw(nacl, name="b")
+        a.parents = [b]
+        b.parents = [a]
+        with pytest.raises(WorkflowError):
+            Workflow([a, b])
+
+    def test_parent_outside_workflow_rejected(self, nacl):
+        a = generous_fw(nacl, name="a")
+        b = generous_fw(nacl, name="b")
+        b.parents = [a]
+        with pytest.raises(WorkflowError):
+            Workflow([b])
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow([])
+
+
+class TestLaunchPad:
+    def test_add_workflow_inserts_engine_docs(self, launchpad, nacl):
+        wf = Workflow([generous_fw(nacl)])
+        result = launchpad.add_workflow(wf)
+        assert result["added"] == 1
+        doc = launchpad.engines.find_one({"workflow_id": wf.workflow_id})
+        assert doc["state"] == "READY"
+
+    def test_children_start_waiting(self, launchpad, nacl):
+        a = generous_fw(nacl, name="parent")
+        b = generous_fw(nacl.substitute({"Na": "Li"}), name="child")
+        b.parents = [a]
+        launchpad.add_workflow(Workflow([a, b]))
+        assert launchpad.fw_state(a.fw_id) == "READY"
+        assert launchpad.fw_state(b.fw_id) == "WAITING"
+
+    def test_classad_style_checkout(self, launchpad):
+        """The §III-B2 query shape selects jobs by input attributes."""
+        li2o = make_prototype("fluorite", ["O", "Li"]).substitute({})  # O Li2? no
+        licl = make_prototype("rocksalt", ["Li", "Cl"])
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        launchpad.add_workflow(Workflow([generous_fw(licl), generous_fw(nacl)]))
+        claimed = launchpad.checkout_firework(
+            {"spec.elements": {"$all": ["Li", "Cl"]},
+             "spec.nelectrons": {"$lte": 200}}
+        )
+        assert claimed is not None
+        assert claimed["spec"]["formula"] == "LiCl"
+        assert claimed["state"] == "RUNNING"
+
+    def test_checkout_empty_queue(self, launchpad):
+        assert launchpad.checkout_firework() is None
+
+    def test_duplicate_detection_on_submission(self, launchpad, nacl):
+        r1 = launchpad.add_workflow(Workflow([generous_fw(nacl)]))
+        r2 = launchpad.add_workflow(Workflow([generous_fw(nacl)]))
+        assert r1["duplicates"] == 0
+        assert r2["duplicates"] == 1
+
+    def test_idempotent_resubmission_after_completion(self, launchpad, nacl):
+        """Submit, run to completion, submit again: the second points at
+        the stored result instead of re-running (§III-C3)."""
+        launchpad.add_workflow(Workflow([generous_fw(nacl)]))
+        Rocket(launchpad).rapidfire()
+        assert launchpad.tasks.count_documents({"state": "COMPLETED"}) == 1
+        r2 = launchpad.add_workflow(Workflow([generous_fw(nacl)]))
+        assert r2["duplicates"] == 1
+        dup = launchpad.engines.find_one({"duplicate_of": {"$exists": True}})
+        assert dup["state"] == "COMPLETED"
+        assert dup["task_id"] is not None
+        # No new task was created.
+        assert launchpad.tasks.count_documents({}) == 1
+
+    def test_approval_gated_fuse(self, launchpad, nacl):
+        fw = generous_fw(nacl)
+        fw.fuse = Fuse(requires_approval=True)
+        launchpad.add_workflow(Workflow([fw]))
+        assert launchpad.fw_state(fw.fw_id) == "WAITING"
+        assert launchpad.checkout_firework() is None
+        launchpad.approve(fw.fw_id)
+        assert launchpad.fw_state(fw.fw_id) == "READY"
+        assert launchpad.checkout_firework() is not None
+
+
+class TestRocketExecution:
+    def test_single_launch_completes(self, launchpad, nacl):
+        launchpad.add_workflow(Workflow([generous_fw(nacl)]))
+        rocket = Rocket(launchpad)
+        fw_doc = rocket.launch()
+        assert fw_doc is not None
+        task = launchpad.tasks.find_one({"fw_id": fw_doc["fw_id"]})
+        assert task["state"] == "COMPLETED"
+        assert task["energy"] < 0
+        assert task["formula"] == "NaCl"
+
+    def test_rapidfire_drains_queue(self, launchpad):
+        structures = [
+            make_prototype("rocksalt", [m, "O"]) for m in ("Mg", "Ca", "Sr")
+        ]
+        launchpad.add_workflow(Workflow([generous_fw(s) for s in structures]))
+        n = Rocket(launchpad).rapidfire()
+        assert n == 3
+        assert launchpad.tasks.count_documents({"state": "COMPLETED"}) == 3
+
+    def test_dag_order_respected(self, launchpad, nacl):
+        a = generous_fw(nacl, name="relax")
+        b = generous_fw(nacl.substitute({"Na": "Li"}), name="static")
+        b.parents = [a]
+        wf = Workflow([a, b])
+        launchpad.add_workflow(wf)
+        rocket = Rocket(launchpad)
+        first = rocket.launch()
+        assert first["fw_id"] == a.fw_id
+        # After the parent completes, the child is released and runs.
+        second = rocket.launch()
+        assert second["fw_id"] == b.fw_id
+        assert launchpad.workflow_complete(wf.workflow_id)
+
+    def test_output_condition_fuse_blocks_and_releases(self, launchpad):
+        """Child requiring an insulating parent (band_gap > 0.5)."""
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])  # insulator
+        a = generous_fw(nacl, name="relax")
+        b = generous_fw(nacl.substitute({"Cl": "Br"}), name="followup")
+        b.parents = [a]
+        b.fuse = OutputConditionFuse(condition={"band_gap": {"$gt": 0.5}})
+        launchpad.add_workflow(Workflow([a, b]))
+        rocket = Rocket(launchpad)
+        rocket.launch()
+        assert launchpad.fw_state(b.fw_id) == "READY"
+        rocket.launch()
+        assert launchpad.fw_state(b.fw_id) == "COMPLETED"
+
+    def test_output_condition_fuse_stays_blocked_for_metal(self, launchpad):
+        fe = make_prototype("bcc", ["Fe"])  # metal: gap ~ 0
+        a = generous_fw(fe, name="relax")
+        b = generous_fw(make_prototype("fcc", ["Fe"]), name="followup")
+        b.parents = [a]
+        b.fuse = OutputConditionFuse(condition={"band_gap": {"$gt": 0.5}})
+        launchpad.add_workflow(Workflow([a, b]))
+        rocket = Rocket(launchpad)
+        rocket.launch()
+        assert launchpad.fw_state(b.fw_id) == "WAITING"
+
+    def test_fuse_overrides_recorded(self, launchpad, nacl):
+        a = generous_fw(nacl, name="relax")
+        b = generous_fw(nacl.substitute({"Na": "K"}), name="hires")
+        b.parents = [a]
+        b.fuse = Fuse(overrides={"$set": {"incar.ENCUT": 800}})
+        launchpad.add_workflow(Workflow([a, b]))
+        rocket = Rocket(launchpad)
+        rocket.launch()
+        doc = launchpad.engines.find_one({"fw_id": b.fw_id})
+        assert doc["spec"]["incar"]["ENCUT"] == 800
+        assert doc["fuse_overrides_applied"] == {"$set": {"incar.ENCUT": 800}}
+
+
+class TestFailureHandling:
+    def test_walltime_rerun_until_success(self, launchpad, nacl):
+        """The paper's re-run case: killed jobs restart with more walltime."""
+        fw = vasp_firework(nacl, incar=easy_incar(), walltime_s=1000.0,
+                           memory_mb=1e6)
+        launchpad.add_workflow(Workflow([fw]))
+        rocket = Rocket(launchpad)
+        launches = rocket.rapidfire()
+        doc = launchpad.engines.find_one({"fw_id": fw.fw_id})
+        assert doc["state"] == "COMPLETED"
+        assert launches > 1  # needed at least one rerun
+        assert doc["spec"]["resources"]["walltime_s"] > 1000.0  # escalated
+
+    def test_oom_rerun_scales_memory(self, launchpad, nacl):
+        fw = vasp_firework(nacl, incar=easy_incar(), walltime_s=1e9,
+                           memory_mb=200.0)
+        launchpad.add_workflow(Workflow([fw]))
+        Rocket(launchpad).rapidfire()
+        doc = launchpad.engines.find_one({"fw_id": fw.fw_id})
+        assert doc["state"] == "COMPLETED"
+        assert doc["spec"]["resources"]["memory_mb"] > 200.0
+
+    def test_scf_detour_softens_parameters(self, launchpad):
+        """The paper's detour case: SCF failures retry with changed inputs."""
+        hard = _hard_structure()
+        fw = vasp_firework(
+            hard,
+            incar={"ENCUT": 520, "AMIX": 0.9, "ALGO": "Fast", "NELM": 40,
+                   "EDIFF": 1e-5},
+            walltime_s=1e9, memory_mb=1e6,
+        )
+        launchpad.add_workflow(Workflow([fw]))
+        Rocket(launchpad).rapidfire()
+        doc = launchpad.engines.find_one({"fw_id": fw.fw_id})
+        assert doc["state"] == "COMPLETED"
+        assert doc["detours"] >= 1
+        assert doc["spec"]["incar"]["AMIX"] < 0.9  # softened
+        history = doc.get("resubmit_history", [])
+        assert len(history) >= 1
+
+    def test_unfixable_workflow_flagged_for_manual_intervention(
+        self, launchpad, nacl
+    ):
+        """Beyond automated repair → abort + manual-intervention flag."""
+        fw = vasp_firework(nacl, incar=easy_incar(), walltime_s=1e9,
+                           memory_mb=1e6)
+        # Sabotage: an unknown failure kind cannot be repaired.
+        fw.spec["code"] = "mystery_code"
+        wf = Workflow([fw])
+        launchpad.add_workflow(wf)
+        Rocket(launchpad).rapidfire()
+        assert launchpad.fw_state(fw.fw_id) == "FIZZLED"
+        flagged = launchpad.flagged_workflows()
+        assert any(w["workflow_id"] == wf.workflow_id for w in flagged)
+
+    def test_abort_defuses_descendants(self, launchpad, nacl):
+        a = vasp_firework(nacl, incar=easy_incar())
+        a.spec["code"] = "mystery_code"  # will fizzle
+        b = vasp_firework(nacl.substitute({"Na": "Li"}), incar=easy_incar())
+        b.parents = [a]
+        launchpad.add_workflow(Workflow([a, b]))
+        Rocket(launchpad).rapidfire()
+        assert launchpad.fw_state(a.fw_id) == "FIZZLED"
+        assert launchpad.fw_state(b.fw_id) == "DEFUSED"
+
+    def test_max_launches_bound(self, db, nacl):
+        """Even repairable failures stop after the launch budget."""
+        launchpad = LaunchPad(db, max_launches=2)
+        fw = vasp_firework(nacl, incar=easy_incar(), walltime_s=0.0001,
+                           memory_mb=1e6)
+        # walltime so small that even doubling never catches the need
+        launchpad.add_workflow(Workflow([fw]))
+        Rocket(launchpad).rapidfire(max_launches=10)
+        assert launchpad.fw_state(fw.fw_id) == "FIZZLED"
+
+
+def _hard_structure():
+    from repro.dft import structure_difficulty
+    from repro.matgen import ELEMENTS
+
+    for el in (e.symbol for e in ELEMENTS if e.is_metal):
+        for proto in ("rocksalt", "zincblende", "cscl"):
+            s = make_prototype(proto, [el, "O"])
+            if structure_difficulty(s) > 0.9:
+                return s
+    raise RuntimeError("no hard structure found")
+
+
+class TestOverheadLedger:
+    def test_db_overhead_negligible_vs_simulated_calc(self, launchpad):
+        """§III-C: workflow-engine overhead is a negligible fraction of
+        the (simulated) calculation time."""
+        structures = [
+            make_prototype("rocksalt", [m, "O"])
+            for m in ("Mg", "Ca", "Sr", "Ba", "Ni")
+        ]
+        launchpad.add_workflow(
+            Workflow([generous_fw(s) for s in structures])
+        )
+        rocket = Rocket(launchpad)
+        rocket.rapidfire()
+        assert rocket.simulated_calc_s > 0
+        assert rocket.overhead_fraction() < 0.05

@@ -1,0 +1,152 @@
+"""Tests for iteration strategies: linear scan, bisection, genetic search."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.fireworks import BisectionSearch, GeneticSearch, LinearScan, run_iteration
+
+
+class TestLinearScan:
+    def test_encut_convergence_study(self):
+        """The canonical use: raise ENCUT until the energy stops moving.
+
+        Uses the real pseudo-DFT cutoff bias, which decays exponentially.
+        """
+        from repro.dft import SCFParameters, run_scf
+        from repro.matgen import make_prototype
+
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+
+        def evaluate(params):
+            scf = run_scf(
+                nacl,
+                SCFParameters(encut=params["ENCUT"], amix=0.2, algo="All",
+                              nelm=500),
+            )
+            return scf.energy_per_atom
+
+        scan = LinearScan("ENCUT", start=200, step=100, tolerance=5e-3)
+        result = scan.run(evaluate)
+        assert result.converged
+        assert result.best_params["ENCUT"] >= 400
+        # The accepted energy is close to the infinite-cutoff value.
+        from repro.dft import total_energy
+
+        exact = total_energy(nacl) / nacl.num_sites
+        assert result.best_value == pytest.approx(exact, abs=0.05)
+
+    def test_unconverged_within_budget(self):
+        scan = LinearScan("x", start=0, step=1, tolerance=1e-9, max_iterations=5)
+        result = scan.run(lambda p: p["x"])  # never converges
+        assert not result.converged
+        assert result.n_evaluations == 5
+
+    def test_base_params_passed_through(self):
+        scan = LinearScan("x", start=0, step=1, tolerance=10)
+        result = scan.run(lambda p: p["x"] + p["offset"], {"offset": 100})
+        assert result.best_params["offset"] == 100
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            LinearScan("x", 0, -1, 1e-3)
+        with pytest.raises(WorkflowError):
+            LinearScan("x", 0, 1, 0)
+
+
+class TestBisection:
+    def test_finds_threshold(self):
+        """Find the smallest x in [0, 10] with x^2 >= 25 (i.e. 5)."""
+        search = BisectionSearch(
+            "x", lo=0, hi=10, predicate=lambda v: v >= 25, resolution=1e-3
+        )
+        result = search.run(lambda p: p["x"] ** 2)
+        assert result.converged
+        assert result.best_params["x"] == pytest.approx(5.0, abs=1e-2)
+
+    def test_unreachable_threshold(self):
+        search = BisectionSearch(
+            "x", lo=0, hi=10, predicate=lambda v: v >= 1e9, resolution=0.1
+        )
+        result = search.run(lambda p: p["x"] ** 2)
+        assert not result.converged
+
+    def test_logarithmic_evaluations(self):
+        search = BisectionSearch(
+            "x", lo=0, hi=1024, predicate=lambda v: v >= 512, resolution=1.0
+        )
+        result = search.run(lambda p: p["x"])
+        assert result.n_evaluations < 20  # vs. 1024 for a linear scan
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            BisectionSearch("x", 10, 0, lambda v: True, 0.1)
+
+
+class TestGeneticSearch:
+    def quadratic(self, p):
+        return (p["a"] - 0.3) ** 2 + (p["b"] + 0.7) ** 2
+
+    def test_finds_minimum(self):
+        ga = GeneticSearch(
+            {"a": (-2, 2), "b": (-2, 2)}, population=16, generations=25, seed=7
+        )
+        result = ga.run(self.quadratic)
+        assert result.best_value < 0.05
+        assert result.best_params["a"] == pytest.approx(0.3, abs=0.3)
+        assert result.best_params["b"] == pytest.approx(-0.7, abs=0.3)
+
+    def test_deterministic_given_seed(self):
+        ga1 = GeneticSearch({"a": (-1, 1)}, seed=3)
+        ga2 = GeneticSearch({"a": (-1, 1)}, seed=3)
+        r1 = ga1.run(lambda p: p["a"] ** 2)
+        r2 = ga2.run(lambda p: p["a"] ** 2)
+        assert r1.best_value == r2.best_value
+        assert r1.n_evaluations == r2.n_evaluations
+
+    def test_respects_bounds(self):
+        ga = GeneticSearch({"a": (2, 3)}, population=8, generations=5)
+        result = ga.run(lambda p: p["a"])
+        for params, _ in result.history:
+            assert 2 <= params["a"] <= 3
+
+    def test_early_stop_on_target(self):
+        ga_full = GeneticSearch({"a": (-1, 1)}, population=8, generations=50, seed=1)
+        ga_stop = GeneticSearch({"a": (-1, 1)}, population=8, generations=50,
+                                seed=1, target=0.5)
+        full = ga_full.run(lambda p: p["a"] ** 2)
+        stopped = ga_stop.run(lambda p: p["a"] ** 2)
+        assert stopped.n_evaluations <= full.n_evaluations
+        assert stopped.converged
+
+    def test_ga_beats_linear_scan_on_2d_problem(self):
+        """The paper's motivation for GA over 'simple linear increments':
+        multi-dimensional parameter spaces."""
+        evaluations = {"ga": 0, "scan": 0}
+
+        def f(p):
+            return (p["a"] - 0.5) ** 2 + 3 * (p.get("b", 0) - 0.25) ** 2
+
+        ga = GeneticSearch({"a": (0, 1), "b": (0, 1)}, population=12,
+                           generations=15, seed=5)
+        ga_result = ga.run(f)
+        # Dense 2D grid at the same resolution would need ~400+ points.
+        assert ga_result.best_value < 0.02
+        assert ga_result.n_evaluations < 250
+
+    def test_validation(self):
+        with pytest.raises(WorkflowError):
+            GeneticSearch({})
+        with pytest.raises(WorkflowError):
+            GeneticSearch({"a": (1, 0)})
+        with pytest.raises(WorkflowError):
+            GeneticSearch({"a": (0, 1)}, population=2)
+
+
+class TestRunIteration:
+    def test_uniform_entry_point(self):
+        result = run_iteration(
+            LinearScan("x", 0, 1, tolerance=100), lambda p: p["x"]
+        )
+        assert result.converged

@@ -1,0 +1,237 @@
+"""Tests for lattices, structures, prototypes, and MPS records."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MatgenError, StructureError
+from repro.matgen import (
+    Lattice,
+    Structure,
+    make_prototype,
+    mps_from_structure,
+    prototype_names,
+    structure_from_mps,
+    validate_mps,
+)
+
+
+class TestLattice:
+    def test_cubic(self):
+        lat = Lattice.cubic(4.0)
+        assert lat.volume == pytest.approx(64.0)
+        assert lat.lengths == pytest.approx((4.0, 4.0, 4.0))
+        assert lat.angles == pytest.approx((90.0, 90.0, 90.0))
+
+    def test_from_parameters_roundtrip(self):
+        lat = Lattice.from_parameters(3.0, 4.0, 5.0, 80.0, 95.0, 110.0)
+        a, b, c, al, be, ga = lat.parameters
+        assert (a, b, c) == pytest.approx((3.0, 4.0, 5.0))
+        assert (al, be, ga) == pytest.approx((80.0, 95.0, 110.0))
+
+    def test_hexagonal(self):
+        lat = Lattice.hexagonal(3.0, 5.0)
+        assert lat.angles[2] == pytest.approx(120.0)
+
+    def test_singular_rejected(self):
+        with pytest.raises(StructureError):
+            Lattice([[1, 0, 0], [2, 0, 0], [0, 0, 1]])
+
+    def test_coordinate_roundtrip(self):
+        lat = Lattice.from_parameters(3, 4, 5, 85, 92, 105)
+        frac = [0.1, 0.7, 0.3]
+        assert lat.fractional(lat.cartesian(frac)) == pytest.approx(frac)
+
+    def test_minimum_image_distance(self):
+        lat = Lattice.cubic(10.0)
+        # 0.95 and 0.05 are 0.1 apart through the boundary, i.e. 1 Å.
+        assert lat.distance([0.95, 0, 0], [0.05, 0, 0]) == pytest.approx(1.0)
+
+    def test_distance_symmetric(self):
+        lat = Lattice.from_parameters(3, 4, 5, 85, 92, 105)
+        a, b = [0.1, 0.2, 0.3], [0.8, 0.9, 0.1]
+        assert lat.distance(a, b) == pytest.approx(lat.distance(b, a))
+
+    def test_d_hkl_cubic(self):
+        lat = Lattice.cubic(4.0)
+        assert lat.d_hkl((1, 0, 0)) == pytest.approx(4.0)
+        assert lat.d_hkl((1, 1, 0)) == pytest.approx(4.0 / math.sqrt(2))
+        assert lat.d_hkl((1, 1, 1)) == pytest.approx(4.0 / math.sqrt(3))
+
+    def test_d_hkl_zero_rejected(self):
+        with pytest.raises(StructureError):
+            Lattice.cubic(4.0).d_hkl((0, 0, 0))
+
+    def test_reciprocal(self):
+        lat = Lattice.cubic(2.0)
+        recip = lat.reciprocal_lattice()
+        assert recip.a == pytest.approx(math.pi)
+
+    def test_scale_volume(self):
+        lat = Lattice.cubic(2.0).scale(64.0)
+        assert lat.volume == pytest.approx(64.0)
+        assert lat.angles == pytest.approx((90, 90, 90))
+
+
+@pytest.fixture
+def nacl():
+    return make_prototype("rocksalt", ["Na", "Cl"])
+
+
+class TestStructure:
+    def test_composition(self, nacl):
+        assert nacl.reduced_formula == "NaCl"
+        assert nacl.num_sites == 8
+        assert nacl.elements == ["Cl", "Na"]
+
+    def test_density_physical(self, nacl):
+        # Real NaCl is 2.16 g/cm3; radius-scaled prototype should be within 2x.
+        assert 1.0 < nacl.density < 4.5
+
+    def test_min_bond_length_positive(self, nacl):
+        assert 2.0 < nacl.min_bond_length() < 3.5
+
+    def test_distance_pbc(self, nacl):
+        d = nacl.distance(0, 5)  # Na corner to nearest Cl at (0, 0, 1/2)
+        assert d == pytest.approx(nacl.lattice.a / 2, rel=1e-6)
+
+    def test_supercell(self, nacl):
+        sc = nacl.make_supercell((2, 2, 2))
+        assert sc.num_sites == 64
+        assert sc.volume == pytest.approx(8 * nacl.volume)
+        assert sc.density == pytest.approx(nacl.density)
+        assert sc.reduced_formula == "NaCl"
+
+    def test_supercell_invalid(self, nacl):
+        with pytest.raises(StructureError):
+            nacl.make_supercell((0, 1, 1))
+
+    def test_substitute(self, nacl):
+        licl = nacl.substitute({"Na": "Li"})
+        assert licl.reduced_formula == "LiCl"
+        assert licl.num_sites == 8
+
+    def test_remove_species(self, nacl):
+        na_only = nacl.remove_species(["Cl"])
+        assert na_only.reduced_formula == "Na"
+        with pytest.raises(StructureError):
+            nacl.remove_species(["Na", "Cl"])
+
+    def test_perturb_deterministic(self, nacl):
+        p1 = nacl.perturb(0.05, seed=1)
+        p2 = nacl.perturb(0.05, seed=1)
+        assert p1.structure_hash() == p2.structure_hash()
+        assert p1.structure_hash() != nacl.perturb(0.05, seed=2).structure_hash()
+
+    def test_overlapping_sites_rejected(self):
+        with pytest.raises(StructureError):
+            Structure(
+                Lattice.cubic(4.0), ["Fe", "Fe"],
+                [[0, 0, 0], [0.01, 0, 0]],
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(StructureError):
+            Structure(Lattice.cubic(4.0), ["Fe"], [[0, 0, 0], [0.5, 0.5, 0.5]])
+
+    def test_structure_hash_ignores_noise(self, nacl):
+        noisy = nacl.perturb(1e-5, seed=3)
+        assert noisy.structure_hash() == nacl.structure_hash()
+
+    def test_structure_hash_detects_substitution(self, nacl):
+        assert nacl.substitute({"Na": "Li"}).structure_hash() != nacl.structure_hash()
+
+    def test_dict_roundtrip(self, nacl):
+        back = Structure.from_dict(nacl.as_dict())
+        assert back.matches(nacl)
+        assert back.reduced_formula == nacl.reduced_formula
+
+    def test_neighbors(self, nacl):
+        # Na in rocksalt has 6 Cl nearest neighbours.
+        neigh = nacl.neighbors(0, nacl.lattice.a / 2 + 0.05)
+        nearest_d = neigh[0][1]
+        shell = [n for n in neigh if abs(n[1] - nearest_d) < 1e-6]
+        assert len(shell) == 6
+
+
+class TestPrototypes:
+    @pytest.mark.parametrize("name", prototype_names())
+    def test_all_prototypes_build_valid_structures(self, name):
+        from repro.matgen.prototypes import PROTOTYPES
+
+        _, arity = PROTOTYPES[name]
+        # Cation(s) only: oxide prototypes supply their own O sublattice.
+        elements = ["Mg", "Ti"][:arity]
+        if name in ("rocksalt", "cscl", "zincblende", "fluorite") and arity == 2:
+            elements = ["Mg", "O"]
+        s = make_prototype(name, elements)
+        assert s.num_sites >= 1
+        assert s.volume > 0
+        assert s.min_bond_length() > 1.0  # no colliding atoms
+        assert 0.5 < s.density < 25  # physically plausible
+
+    def test_stoichiometries(self):
+        assert make_prototype("rocksalt", ["Na", "Cl"]).reduced_formula == "NaCl"
+        assert make_prototype("fluorite", ["Ca", "F"]).reduced_formula == "CaF2"
+        assert make_prototype("perovskite", ["Ca", "Ti"]).reduced_formula == "CaTiO3"
+        assert make_prototype("spinel", ["Mg", "Al"]).reduced_formula == "MgAl2O4"
+        assert make_prototype("olivine", ["Li", "Fe"]).reduced_formula == "LiFePO4"
+        assert make_prototype("layered", ["Li", "Co"]).reduced_formula == "LiCoO2"
+
+    def test_unknown_prototype(self):
+        with pytest.raises(StructureError):
+            make_prototype("quasicrystal", ["Al"])
+
+    def test_wrong_arity(self):
+        with pytest.raises(StructureError):
+            make_prototype("rocksalt", ["Na"])
+
+
+class TestMPS:
+    def test_roundtrip(self, nacl):
+        record = mps_from_structure(nacl)
+        back = structure_from_mps(record)
+        assert back.matches(nacl)
+
+    def test_derived_fields(self, nacl):
+        record = mps_from_structure(nacl)
+        assert record["elements"] == ["Cl", "Na"]
+        assert record["reduced_formula"] == "NaCl"
+        assert record["nsites"] == 8
+        assert record["nelectrons"] == nacl.nelectrons
+        assert record["mps_id"].startswith("mps-")
+
+    def test_validation_passes(self, nacl):
+        validate_mps(mps_from_structure(nacl))
+
+    def test_validation_catches_tampering(self, nacl):
+        record = mps_from_structure(nacl)
+        record["nsites"] = 99
+        with pytest.raises(MatgenError):
+            validate_mps(record)
+
+    def test_validation_catches_missing_fields(self):
+        with pytest.raises(MatgenError):
+            validate_mps({"mps_id": "mps-x"})
+
+    def test_validation_catches_element_mismatch(self, nacl):
+        record = mps_from_structure(nacl)
+        record["elements"] = ["Fe"]
+        with pytest.raises(MatgenError):
+            validate_mps(record)
+
+    def test_stable_id_from_structure(self, nacl):
+        assert (
+            mps_from_structure(nacl)["mps_id"] == mps_from_structure(nacl)["mps_id"]
+        )
+
+    def test_json_storable(self, nacl):
+        """MPS records must drop into the document store unchanged."""
+        from repro.docstore import Collection
+
+        coll = Collection("mps")
+        record = mps_from_structure(nacl)
+        coll.insert_one(record)
+        stored = coll.find_one({"mps_id": record["mps_id"]})
+        assert structure_from_mps(stored).matches(nacl)

@@ -1,0 +1,84 @@
+"""Tests for ObjectId generation, parsing, and ordering."""
+
+import pytest
+
+from repro.docstore import ObjectId
+
+
+class TestGeneration:
+    def test_fresh_ids_are_unique(self):
+        ids = {ObjectId() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_hex_roundtrip(self):
+        oid = ObjectId()
+        assert ObjectId(oid.hex()) == oid
+        assert ObjectId(str(oid)) == oid
+
+    def test_bytes_roundtrip(self):
+        oid = ObjectId()
+        assert ObjectId(oid.binary) == oid
+
+    def test_copy_constructor(self):
+        oid = ObjectId()
+        assert ObjectId(oid) == oid
+
+    def test_generation_time_is_recent(self):
+        import time
+
+        oid = ObjectId()
+        assert abs(oid.generation_time - time.time()) < 5
+
+    def test_ids_sort_by_creation_order_within_second(self):
+        # The 3-byte counter makes ids created back-to-back strictly increasing
+        # unless the counter wraps (probability ~1e-4 for 100 draws).
+        ids = [ObjectId() for _ in range(100)]
+        in_order = sum(a < b for a, b in zip(ids, ids[1:]))
+        assert in_order >= 98
+
+
+class TestValidation:
+    def test_rejects_short_hex(self):
+        with pytest.raises(ValueError):
+            ObjectId("abcd")
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValueError):
+            ObjectId("z" * 24)
+
+    def test_rejects_wrong_byte_length(self):
+        with pytest.raises(ValueError):
+            ObjectId(b"short")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            ObjectId(12345)
+
+    def test_is_valid(self):
+        assert ObjectId.is_valid(ObjectId().hex())
+        assert not ObjectId.is_valid("nope")
+        assert not ObjectId.is_valid(3.14)
+
+
+class TestOrderingAndHashing:
+    def test_from_timestamp_orders_against_fresh(self):
+        old = ObjectId.from_timestamp(1_000_000)
+        assert old < ObjectId()
+
+    def test_total_order(self):
+        a, b = sorted([ObjectId(), ObjectId()])
+        assert a <= b and b >= a
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        oid = ObjectId()
+        d = {oid: "x"}
+        assert d[ObjectId(oid.hex())] == "x"
+
+    def test_repr_roundtrips_through_eval_shape(self):
+        oid = ObjectId()
+        assert repr(oid) == f"ObjectId('{oid.hex()}')"
+
+    def test_comparison_with_non_objectid_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            _ = ObjectId() < "string"

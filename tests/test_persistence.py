@@ -1,0 +1,108 @@
+"""Tests for snapshot + journal durability and crash recovery."""
+
+import os
+
+import pytest
+
+from repro.docstore import DocumentStore
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "datastore")
+
+
+class TestSnapshot:
+    def test_snapshot_and_reload(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["materials"].insert_many(
+            [{"formula": "Fe2O3", "energy": -7.1}, {"formula": "NaCl", "energy": -3.2}]
+        )
+        store.snapshot()
+        store.close()
+
+        reloaded = DocumentStore(persistence_dir=store_dir)
+        docs = reloaded["mp"]["materials"].find().to_list()
+        assert {d["formula"] for d in docs} == {"Fe2O3", "NaCl"}
+
+    def test_snapshot_preserves_indexes(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        coll = store["mp"]["tasks"]
+        coll.insert_one({"task_id": "t1"})
+        coll.create_index("task_id", unique=True)
+        store.snapshot()
+        store.close()
+
+        reloaded = DocumentStore(persistence_dir=store_dir)
+        info = reloaded["mp"]["tasks"].index_information()
+        assert info["task_id_1"]["unique"] is True
+
+    def test_snapshot_truncates_journal(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["c"].insert_one({"x": 1})
+        journal = os.path.join(store_dir, "journal.jsonl")
+        assert os.path.getsize(journal) > 0
+        store.snapshot()
+        assert os.path.getsize(journal) == 0
+        store.close()
+
+
+class TestJournalRecovery:
+    def test_writes_after_snapshot_survive_crash(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["m"].insert_one({"formula": "A"})
+        store.snapshot()
+        store["mp"]["m"].insert_one({"formula": "B"})
+        store["mp"]["m"].update_one({"formula": "A"}, {"$set": {"energy": -1.0}})
+        # Simulate crash: no snapshot, no clean close.
+        del store
+
+        recovered = DocumentStore(persistence_dir=store_dir)
+        docs = {d["formula"]: d for d in recovered["mp"]["m"].find()}
+        assert set(docs) == {"A", "B"}
+        assert docs["A"]["energy"] == -1.0
+
+    def test_deletes_are_replayed(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        coll = store["mp"]["m"]
+        coll.insert_many([{"k": 1}, {"k": 2}])
+        store.snapshot()
+        coll.delete_one({"k": 1})
+        del store
+
+        recovered = DocumentStore(persistence_dir=store_dir)
+        assert recovered["mp"]["m"].count_documents() == 1
+
+    def test_journal_only_no_snapshot(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["m"].insert_one({"x": 1})
+        del store
+
+        recovered = DocumentStore(persistence_dir=store_dir)
+        assert recovered["mp"]["m"].count_documents() == 1
+
+    def test_torn_journal_tail_is_tolerated(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["m"].insert_many([{"k": 1}, {"k": 2}])
+        del store
+        journal = os.path.join(store_dir, "journal.jsonl")
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"db": "mp", "op": "insert", "payload": {"ns": "m", "doc"')
+
+        recovered = DocumentStore(persistence_dir=store_dir)
+        assert recovered["mp"]["m"].count_documents() == 2
+
+    def test_recovery_is_idempotent(self, store_dir):
+        store = DocumentStore(persistence_dir=store_dir)
+        store["mp"]["m"].insert_one({"_id": "fixed", "x": 1})
+        del store
+        # Two recoveries in a row must not duplicate documents.
+        DocumentStore(persistence_dir=store_dir).close()
+        recovered = DocumentStore(persistence_dir=store_dir)
+        assert recovered["mp"]["m"].count_documents() == 1
+
+    def test_in_memory_store_rejects_snapshot(self):
+        from repro.errors import DocstoreError
+
+        with pytest.raises(DocstoreError):
+            DocumentStore().snapshot()

@@ -1,0 +1,206 @@
+"""Tests for convex-hull phase diagrams and battery electrode analysis."""
+
+import pytest
+
+from repro.errors import MatgenError
+from repro.matgen import (
+    Composition,
+    ConversionElectrode,
+    InsertionElectrode,
+    PDEntry,
+    PhaseDiagram,
+)
+
+
+@pytest.fixture
+def li_o_entries():
+    """A hand-built Li-O system with known hull structure.
+
+    Formation energies per atom: Li2O -2.0 (stable), Li2O2 -1.6 (strictly
+    below the Li2O-O tie line, stable), LiO2 -0.5 (unstable: the hull at
+    x_O = 2/3 runs through Li2O2 + O at -1.0667 eV/atom).
+    """
+    return [
+        PDEntry("Li", 0.0, entry_id="li"),
+        PDEntry("O", 0.0, entry_id="o"),
+        PDEntry("Li2O", -6.0, entry_id="li2o"),     # -2.0 eV/atom formation
+        PDEntry("Li2O2", -6.4, entry_id="li2o2"),   # -1.6 eV/atom
+        PDEntry("LiO2", -1.5, entry_id="lio2"),     # -0.5 eV/atom
+    ]
+
+
+class TestPhaseDiagram:
+    def test_formation_energy(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        li2o = next(e for e in li_o_entries if e.entry_id == "li2o")
+        assert pd.get_form_energy_per_atom(li2o) == pytest.approx(-2.0)
+
+    def test_elemental_references_have_zero_formation(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        for e in li_o_entries[:2]:
+            assert pd.get_form_energy_per_atom(e) == pytest.approx(0.0)
+
+    def test_stable_entries(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        stable = {e.entry_id for e in pd.stable_entries}
+        assert {"li", "o", "li2o", "li2o2"} <= stable
+        # LiO2 at -0.5 eV/atom sits 0.567 eV/atom above the Li2O2-O tie line.
+        assert "lio2" not in stable
+
+    def test_e_above_hull(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        lio2 = next(e for e in li_o_entries if e.entry_id == "lio2")
+        # Hull at x_O = 2/3 is (2/3) * (-1.6) = -1.0667; LiO2 is at -0.5.
+        assert pd.get_e_above_hull(lio2) == pytest.approx(0.5667, abs=1e-3)
+        li2o = next(e for e in li_o_entries if e.entry_id == "li2o")
+        assert pd.get_e_above_hull(li2o) == pytest.approx(0.0, abs=1e-8)
+
+    def test_decomposition_of_unstable(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        decomp = pd.get_decomposition(Composition("LiO2"))
+        ids = {e.entry_id for e in decomp}
+        assert ids == {"li2o2", "o"}
+        assert sum(decomp.values()) == pytest.approx(1.0)
+
+    def test_hull_energy_interpolates(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        # Midpoint of Li and Li2O tie line (x_O = 1/6): hull = -1.0 eV/atom.
+        e = pd.get_hull_energy_per_atom(Composition({"Li": 5, "O": 1}))
+        assert e == pytest.approx(-1.0, abs=1e-6)
+
+    def test_missing_elemental_ref_rejected(self):
+        with pytest.raises(MatgenError):
+            PhaseDiagram([PDEntry("Li2O", -6.0)])
+
+    def test_out_of_system_composition_rejected(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        with pytest.raises(MatgenError):
+            pd.get_hull_energy_per_atom(Composition("NaCl"))
+
+    def test_ternary_hull(self):
+        entries = [
+            PDEntry("Li", 0.0), PDEntry("Fe", 0.0), PDEntry("O", 0.0),
+            PDEntry("Fe2O3", -8.0),
+            PDEntry("Li2O", -6.0),
+            PDEntry("LiFeO2", -7.2),
+        ]
+        pd = PhaseDiagram(entries)
+        stable = {e.composition.reduced_formula for e in pd.stable_entries}
+        assert "LiFeO2" in stable
+
+    def test_reaction_energy(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        li = li_o_entries[0]
+        o = li_o_entries[1]
+        li2o = li_o_entries[2]
+        # 2 Li + 1/2 O2-ish: use integer amounts 2Li + O -> Li2O.
+        e = pd.get_reaction_energy([li, li, o], [li2o])
+        assert e == pytest.approx(-6.0)
+
+    def test_reaction_must_balance(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        with pytest.raises(MatgenError):
+            pd.get_reaction_energy([li_o_entries[0]], [li_o_entries[2]])
+
+    def test_summary(self, li_o_entries):
+        pd = PhaseDiagram(li_o_entries)
+        s = pd.summary()
+        assert s["chemical_system"] == "Li-O"
+        assert s["n_entries"] == 5
+        assert "Li2O" in s["stable_formulas"]
+
+    def test_duplicate_composition_keeps_lowest(self):
+        entries = [
+            PDEntry("Li", 0.0), PDEntry("O", 0.0),
+            PDEntry("Li2O", -6.0), PDEntry("Li2O", -5.0),
+        ]
+        pd = PhaseDiagram(entries)
+        stable = [e for e in pd.stable_entries
+                  if e.composition.reduced_formula == "Li2O"]
+        assert len(stable) == 1
+        assert stable[0].energy == -6.0
+
+
+class TestInsertionElectrode:
+    def make_electrode(self, e_host=-10.0, e_lix=-14.0):
+        """FePO4 + Li -> LiFePO4 with tunable energies.
+
+        V = -(e_lix - e_host - 1 * e_li_ref) with e_li_ref = -1.9 (bcc Li
+        cohesive-ish); defaults give V = -(-14 + 10 + 1.9) = 2.1 V... set
+        per-test.
+        """
+        charged = PDEntry("FePO4", e_host)
+        discharged = PDEntry("LiFePO4", e_lix)
+        return InsertionElectrode([charged, discharged], "Li",
+                                  ion_reference_epa=-1.9)
+
+    def test_voltage_formula(self):
+        elec = self.make_electrode(e_host=-10.0, e_lix=-15.4)
+        # V = -(-15.4 + 10.0 + 1.9) / 1 = 3.5
+        assert elec.average_voltage == pytest.approx(3.5)
+
+    def test_capacity_lifepo4(self):
+        elec = self.make_electrode()
+        # Theoretical LiFePO4 capacity is ~170 mAh/g.
+        assert elec.capacity_grav == pytest.approx(170, rel=0.02)
+
+    def test_specific_energy(self):
+        elec = self.make_electrode(e_host=-10.0, e_lix=-15.4)
+        assert elec.specific_energy == pytest.approx(3.5 * elec.capacity_grav)
+
+    def test_multistep_profile(self):
+        entries = [
+            PDEntry("FePO4", -10.0),
+            PDEntry({"Li": 0.5, "Fe": 1, "P": 1, "O": 4}, -12.5),
+            PDEntry("LiFePO4", -14.6),
+        ]
+        elec = InsertionElectrode(entries, "Li", ion_reference_epa=-1.9)
+        assert len(elec.voltage_pairs) == 2
+        v1, v2 = [p.voltage for p in elec.voltage_pairs]
+        # First step: -(–12.5+10.0+0.5*1.9)/0.5 = 3.1; second: -(-14.6+12.5+0.95)/0.5
+        assert v1 == pytest.approx(3.1)
+        assert v2 == pytest.approx(2.3)
+        assert elec.max_voltage > elec.min_voltage
+
+    def test_framework_mismatch_rejected(self):
+        with pytest.raises(MatgenError):
+            InsertionElectrode(
+                [PDEntry("FePO4", -10), PDEntry("LiCoO2", -12)],
+                "Li", ion_reference_epa=-1.9,
+            )
+
+    def test_summary_dict_shape(self):
+        d = self.make_electrode().get_summary_dict()
+        assert d["battery_type"] == "intercalation"
+        assert d["working_ion"] == "Li"
+        assert d["framework"] == "FePO4"
+        assert len(d["steps"]) == d["n_steps"]
+
+    def test_needs_two_entries(self):
+        with pytest.raises(MatgenError):
+            InsertionElectrode([PDEntry("FePO4", -10)], "Li", -1.9)
+
+
+class TestConversionElectrode:
+    def test_conversion_voltage_positive_for_favourable_reaction(self):
+        entries = [
+            PDEntry("Li", -1.9),
+            PDEntry("Fe", 0.0),
+            PDEntry("O", 0.0),
+            PDEntry("Fe2O3", -9.0),
+            PDEntry("Li2O", -8.0),
+        ]
+        pd = PhaseDiagram(entries)
+        host = next(e for e in entries if e.composition.reduced_formula == "Fe2O3")
+        elec = ConversionElectrode(host, pd, "Li", x_max=6.0, n_steps=3)
+        assert elec.average_voltage > 0
+        assert elec.capacity_grav > 0
+        d = elec.get_summary_dict()
+        assert d["battery_type"] == "conversion"
+        assert len(d["profile"]) == 3
+
+    def test_requires_ion_in_system(self):
+        entries = [PDEntry("Fe", 0.0), PDEntry("O", 0.0), PDEntry("Fe2O3", -9.0)]
+        pd = PhaseDiagram(entries)
+        with pytest.raises(MatgenError):
+            ConversionElectrode(entries[2], pd, "Li")

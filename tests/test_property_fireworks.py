@@ -1,0 +1,139 @@
+"""Property-based tests for the workflow engine's state machine.
+
+Invariants, under randomized DAGs and failure schedules:
+* every Firework ends in exactly one terminal state;
+* a child never runs before all of its parents completed;
+* completed Fireworks have exactly one task document; fizzled ones none;
+* Binder dedup: resubmitting any subset of a finished workflow never
+  launches anything new;
+* the engines collection's state census always sums to the Firework count.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.docstore import DocumentStore
+from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from repro.matgen import make_prototype
+
+EASY_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
+
+_METALS = ["Mg", "Ca", "Sr", "Ba", "Zn", "Cd", "Ni", "Cu", "Mn", "Fe",
+           "Co", "Ti", "V", "Cr", "Al", "Ga", "In", "Sn", "Zr", "Nb"]
+
+
+def _structure(i: int):
+    return make_prototype(
+        ["rocksalt", "zincblende", "cscl"][i % 3],
+        [_METALS[i % len(_METALS)], ["O", "S", "Cl"][i // len(_METALS) % 3]],
+    )
+
+
+@st.composite
+def dags(draw):
+    """A random DAG: each node's parents come from earlier nodes."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    edges = []
+    for child in range(1, n):
+        n_parents = draw(st.integers(min_value=0, max_value=min(2, child)))
+        parents = draw(
+            st.lists(st.integers(0, child - 1), min_size=n_parents,
+                     max_size=n_parents, unique=True)
+        )
+        edges.append(parents)
+    return n, edges
+
+
+class TestWorkflowStateMachine:
+    @given(dag=dags())
+    @settings(max_examples=30, deadline=None)
+    def test_terminal_states_and_dag_order(self, dag):
+        n, edges = dag
+        db = DocumentStore()["wf"]
+        launchpad = LaunchPad(db)
+        fws = [
+            vasp_firework(_structure(i), incar=dict(EASY_INCAR),
+                          walltime_s=1e9, memory_mb=1e6)
+            for i in range(n)
+        ]
+        for child in range(1, n):
+            fws[child].parents = [fws[p] for p in edges[child - 1]]
+        wf = Workflow(fws)
+        launchpad.add_workflow(wf)
+
+        order = []
+        rocket = Rocket(launchpad)
+        while True:
+            doc = rocket.launch()
+            if doc is None:
+                break
+            order.append(doc["fw_id"])
+
+        # 1. Everything terminal; census sums to n.
+        census = launchpad.workflow_states(wf.workflow_id)
+        assert sum(census.values()) == n
+        assert set(census) <= {"COMPLETED", "FIZZLED", "DEFUSED"}
+
+        # 2. Topological order respected among launched jobs.
+        position = {fw_id: i for i, fw_id in enumerate(order)}
+        for child in range(1, n):
+            for p in edges[child - 1]:
+                if fws[child].fw_id in position and fws[p].fw_id in position:
+                    assert position[fws[p].fw_id] < position[fws[child].fw_id]
+
+        # 3. Exactly one task per completed Firework (no dupes here since
+        #    structures may repeat: count by fw_id).
+        for fw in fws:
+            state = launchpad.fw_state(fw.fw_id)
+            n_tasks = launchpad.tasks.count_documents({"fw_id": fw.fw_id})
+            if state == "COMPLETED" and launchpad.engines.find_one(
+                {"fw_id": fw.fw_id, "duplicate_of": {"$exists": False}}
+            ):
+                assert n_tasks == 1
+            if state == "FIZZLED":
+                assert n_tasks == 0
+
+    @given(subset=st.sets(st.integers(0, 5), min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_resubmission_is_idempotent(self, subset):
+        db = DocumentStore()["wf"]
+        launchpad = LaunchPad(db)
+        structures = [_structure(i) for i in range(6)]
+        launchpad.add_workflow(Workflow([
+            vasp_firework(s, incar=dict(EASY_INCAR), walltime_s=1e9,
+                          memory_mb=1e6)
+            for s in structures
+        ]))
+        Rocket(launchpad).rapidfire()
+        tasks_before = launchpad.tasks.count_documents({})
+
+        # Resubmit an arbitrary subset: zero new launches, zero new tasks.
+        launchpad.add_workflow(Workflow([
+            vasp_firework(structures[i], incar=dict(EASY_INCAR),
+                          walltime_s=1e9, memory_mb=1e6)
+            for i in sorted(subset)
+        ]))
+        assert Rocket(launchpad).rapidfire() == 0
+        assert launchpad.tasks.count_documents({}) == tasks_before
+
+    @given(walltimes=st.lists(
+        st.sampled_from([0.5, 100.0, 1e9]), min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_mixed_failure_schedules_still_terminate(self, walltimes):
+        """Whatever mix of doomed/slow/fine jobs, rapidfire terminates and
+        every job lands in a terminal state."""
+        db = DocumentStore()["wf"]
+        launchpad = LaunchPad(db, max_launches=4)
+        fws = [
+            vasp_firework(_structure(i), incar=dict(EASY_INCAR),
+                          walltime_s=w, memory_mb=1e6)
+            for i, w in enumerate(walltimes)
+        ]
+        wf = Workflow(fws)
+        launchpad.add_workflow(wf)
+        Rocket(launchpad).rapidfire(max_launches=100)
+        census = launchpad.workflow_states(wf.workflow_id)
+        assert sum(census.values()) == len(walltimes)
+        assert set(census) <= {"COMPLETED", "FIZZLED", "DEFUSED"}

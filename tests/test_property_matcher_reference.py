@@ -1,0 +1,189 @@
+"""Differential property test: compiled matcher vs. a reference evaluator.
+
+We implement an independent, deliberately naive evaluator for a restricted
+query grammar (bare equality, $eq/$ne/$gt/$gte/$lt/$lte/$in/$nin/$exists on
+flat fields, plus one level of $and/$or) and hypothesis-check that
+``compile_query`` agrees with it on random documents.  Divergence means one
+of the two implementations misreads Mongo semantics — historically this
+class of test is what caught the ``$ne: null`` missing-field bug.
+"""
+
+from typing import Any, Dict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.docstore import compile_query
+
+FIELDS = ["a", "b", "c"]
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-5, 5),
+    st.sampled_from(["x", "y", "z"]),
+)
+
+documents = st.dictionaries(
+    st.sampled_from(FIELDS),
+    st.one_of(scalars, st.lists(scalars, max_size=3)),
+    max_size=3,
+)
+
+MISSING = object()
+
+
+def _type_class(v: Any) -> str:
+    if v is None or v is MISSING:
+        return "null"
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"
+    if isinstance(v, str):
+        return "string"
+    if isinstance(v, list):
+        return "array"
+    return "other"
+
+
+def _eq(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    if _type_class(a) != _type_class(b):
+        return False
+    return a == b
+
+
+def _candidates(doc: Dict[str, Any], field: str):
+    """Value + array elements, or [] when the field is missing."""
+    if field not in doc:
+        return []
+    value = doc[field]
+    out = [value]
+    if isinstance(value, list):
+        out.extend(value)
+    return out
+
+
+def _ref_field(doc: Dict[str, Any], field: str, cond: Any) -> bool:
+    present = field in doc
+    cands = _candidates(doc, field)
+    if not (isinstance(cond, dict) and cond and
+            all(isinstance(k, str) and k.startswith("$") for k in cond)):
+        # Bare equality; null also matches a missing field.
+        if cond is None and not present:
+            return True
+        return any(_eq(v, cond) for v in cands)
+
+    for op, operand in cond.items():
+        if op == "$eq":
+            ok = any(_eq(v, operand) for v in cands)
+        elif op == "$ne":
+            ok = not any(_eq(v, operand) for v in cands)
+            if operand is None and not present:
+                ok = False
+        elif op in ("$gt", "$gte", "$lt", "$lte"):
+            def cmp(v):
+                if _type_class(v) != _type_class(operand):
+                    return False
+                if _type_class(v) not in ("number", "string"):
+                    return False
+                if isinstance(v, bool) or isinstance(operand, bool):
+                    return False
+                try:
+                    if op == "$gt":
+                        return v > operand
+                    if op == "$gte":
+                        return v >= operand
+                    if op == "$lt":
+                        return v < operand
+                    return v <= operand
+                except TypeError:
+                    return False
+
+            ok = any(cmp(v) for v in cands)
+        elif op == "$in":
+            ok = any(any(_eq(v, m) for m in operand) for v in cands)
+        elif op == "$nin":
+            ok = not any(any(_eq(v, m) for m in operand) for v in cands)
+            if any(m is None for m in operand) and not present:
+                ok = False
+        elif op == "$exists":
+            ok = present is bool(operand)
+        else:  # pragma: no cover
+            raise AssertionError(f"grammar violation {op}")
+        if not ok:
+            return False
+    return True
+
+
+def _ref_match(doc: Dict[str, Any], query: Dict[str, Any]) -> bool:
+    for key, cond in query.items():
+        if key == "$and":
+            if not all(_ref_match(doc, sub) for sub in cond):
+                return False
+        elif key == "$or":
+            if not any(_ref_match(doc, sub) for sub in cond):
+                return False
+        else:
+            if not _ref_field(doc, key, cond):
+                return False
+    return True
+
+
+# -- query grammar strategies ------------------------------------------------
+
+comparable = st.one_of(st.integers(-5, 5), st.sampled_from(["x", "y", "z"]))
+
+field_conditions = st.one_of(
+    scalars,  # bare equality
+    st.fixed_dictionaries({"$eq": scalars}),
+    st.fixed_dictionaries({"$ne": scalars}),
+    st.fixed_dictionaries({"$gt": comparable}),
+    st.fixed_dictionaries({"$gte": comparable}),
+    st.fixed_dictionaries({"$lt": comparable}),
+    st.fixed_dictionaries({"$lte": comparable}),
+    st.fixed_dictionaries({"$in": st.lists(scalars, min_size=1, max_size=3)}),
+    st.fixed_dictionaries({"$nin": st.lists(scalars, min_size=1, max_size=3)}),
+    st.fixed_dictionaries({"$exists": st.booleans()}),
+)
+
+flat_queries = st.dictionaries(
+    st.sampled_from(FIELDS), field_conditions, max_size=3
+)
+
+queries = st.one_of(
+    flat_queries,
+    st.fixed_dictionaries(
+        {"$and": st.lists(flat_queries, min_size=1, max_size=2)}
+    ),
+    st.fixed_dictionaries(
+        {"$or": st.lists(flat_queries, min_size=1, max_size=2)}
+    ),
+)
+
+
+class TestMatcherAgainstReference:
+    @given(doc=documents, query=queries)
+    @settings(max_examples=600, deadline=None)
+    def test_agreement(self, doc, query):
+        expected = _ref_match(doc, query)
+        actual = compile_query(query).matches(doc)
+        assert actual == expected, (
+            f"divergence on doc={doc!r} query={query!r}: "
+            f"matcher={actual} reference={expected}"
+        )
+
+    @given(docs=st.lists(documents, max_size=12), query=queries)
+    @settings(max_examples=200, deadline=None)
+    def test_collection_find_agreement(self, docs, query):
+        """The same agreement through the full Collection.find path."""
+        from repro.docstore import Collection
+
+        coll = Collection("ref")
+        for i, doc in enumerate(docs):
+            coll.insert_one({**doc, "_id": i})
+        got = {d["_id"] for d in coll.find(query)}
+        want = {i for i, doc in enumerate(docs) if _ref_match(doc, query)}
+        assert got == want

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the materials object model.
+
+Invariants:
+* Composition parsing round-trips through its own formula renderings;
+  arithmetic is associative/consistent with amounts.
+* Lattice parameter construction round-trips; volumes and distances behave
+  under scaling; minimum-image distance is symmetric and bounded.
+* Structure hashing is invariant under supercell-free perturbation below
+  the quantization threshold; energies are extensive.
+* Phase diagrams: e_above_hull is non-negative, zero for hull members, and
+  invariant under uniform reference shifts of elemental energies... (the
+  last only when refs shift consistently — we test the simpler invariants).
+"""
+
+import math
+import string
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.matgen import Composition, Element, Lattice, PDEntry, PhaseDiagram
+from repro.matgen.elements import _DATA
+
+symbols = st.sampled_from(sorted(_DATA))
+amounts = st.integers(min_value=1, max_value=12)
+
+compositions = st.dictionaries(symbols, amounts, min_size=1, max_size=4).map(
+    Composition
+)
+
+
+class TestCompositionProperties:
+    @given(comp=compositions)
+    @settings(max_examples=150)
+    def test_formula_roundtrip(self, comp):
+        assert Composition(comp.formula) == comp
+        assert Composition(comp.alphabetical_formula) == comp
+
+    @given(comp=compositions)
+    @settings(max_examples=150)
+    def test_reduced_is_idempotent_and_proportional(self, comp):
+        reduced = comp.reduced_composition()
+        assert reduced.reduced_composition() == reduced
+        # Same atomic fractions.
+        for el in comp.elements:
+            assert comp.get_atomic_fraction(el) == pytest.approx(
+                reduced.get_atomic_fraction(el)
+            )
+
+    @given(a=compositions, b=compositions)
+    @settings(max_examples=100)
+    def test_addition_conserves_atoms_and_mass(self, a, b):
+        total = a + b
+        assert total.num_atoms == pytest.approx(a.num_atoms + b.num_atoms)
+        assert total.weight == pytest.approx(a.weight + b.weight)
+        assert total.nelectrons == pytest.approx(a.nelectrons + b.nelectrons)
+
+    @given(a=compositions, b=compositions)
+    @settings(max_examples=100)
+    def test_add_then_subtract_roundtrips(self, a, b):
+        assert (a + b) - b == a
+
+    @given(comp=compositions, k=st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_scalar_multiplication(self, comp, k):
+        scaled = comp * k
+        assert scaled.num_atoms == pytest.approx(k * comp.num_atoms)
+        assert scaled.reduced_formula == comp.reduced_formula
+
+    @given(comp=compositions)
+    @settings(max_examples=100)
+    def test_fractional_normalizes(self, comp):
+        frac = comp.fractional_composition()
+        assert frac.num_atoms == pytest.approx(1.0)
+
+    @given(comp=compositions)
+    @settings(max_examples=100)
+    def test_chemical_system_sorted_unique(self, comp):
+        parts = comp.chemical_system.split("-")
+        assert parts == sorted(parts)
+        assert len(parts) == len(set(parts)) == len(comp)
+
+
+lengths = st.floats(min_value=2.0, max_value=12.0)
+angles = st.floats(min_value=50.0, max_value=130.0)
+frac_coords = st.lists(
+    st.floats(min_value=0.0, max_value=0.9999), min_size=3, max_size=3
+)
+
+
+class TestLatticeProperties:
+    @given(a=lengths, b=lengths, c=lengths, al=angles, be=angles, ga=angles)
+    @settings(max_examples=150)
+    def test_parameters_roundtrip(self, a, b, c, al, be, ga):
+        # Reject degenerate angle combinations (non-positive cell volume).
+        try:
+            lat = Lattice.from_parameters(a, b, c, al, be, ga)
+        except Exception:
+            assume(False)
+        pa, pb, pc, pal, pbe, pga = lat.parameters
+        assert (pa, pb, pc) == pytest.approx((a, b, c), rel=1e-6)
+        assert (pal, pbe, pga) == pytest.approx((al, be, ga), rel=1e-6)
+
+    @given(a=lengths, x=frac_coords, y=frac_coords)
+    @settings(max_examples=150)
+    def test_minimum_image_symmetry_and_bound(self, a, x, y):
+        lat = Lattice.cubic(a)
+        d_xy = lat.distance(x, y)
+        d_yx = lat.distance(y, x)
+        assert d_xy == pytest.approx(d_yx, abs=1e-9)
+        # No two points in a periodic cubic cell are farther apart than
+        # half the body diagonal.
+        assert d_xy <= a * math.sqrt(3) / 2 + 1e-9
+
+    @given(a=lengths, x=frac_coords)
+    @settings(max_examples=100)
+    def test_self_distance_zero(self, a, x):
+        assert Lattice.cubic(a).distance(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    @given(a=lengths, x=frac_coords, shift=st.lists(
+        st.integers(-2, 2), min_size=3, max_size=3))
+    @settings(max_examples=100)
+    def test_distance_invariant_under_lattice_translation(self, a, x, shift):
+        lat = Lattice.cubic(a)
+        y = [xi + si for xi, si in zip(x, shift)]
+        assert lat.distance(x, y) == pytest.approx(0.0, abs=1e-9)
+
+    @given(a=lengths, factor=st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=100)
+    def test_volume_scaling(self, a, factor):
+        lat = Lattice.cubic(a)
+        scaled = lat.scale(lat.volume * factor)
+        assert scaled.volume == pytest.approx(lat.volume * factor)
+
+    @given(a=lengths, frac=frac_coords)
+    @settings(max_examples=100)
+    def test_coordinate_roundtrip(self, a, frac):
+        lat = Lattice.from_parameters(a, a * 1.1, a * 0.9, 80, 95, 105)
+        assert lat.fractional(lat.cartesian(frac)) == pytest.approx(frac)
+
+
+class TestPhaseDiagramProperties:
+    @given(
+        energies=st.lists(
+            st.floats(min_value=-5.0, max_value=1.0), min_size=1, max_size=6
+        ),
+        fracs=st.lists(
+            st.floats(min_value=0.05, max_value=0.95), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_e_above_hull_nonnegative_and_hull_members_zero(
+        self, energies, fracs
+    ):
+        n = min(len(energies), len(fracs))
+        entries = [PDEntry("Li", 0.0), PDEntry("O", 0.0)]
+        for i in range(n):
+            x = fracs[i]
+            comp = Composition({"Li": 1 - x, "O": x})
+            entries.append(PDEntry(comp, energies[i] * comp.num_atoms))
+        pd = PhaseDiagram(entries)
+        for entry in entries:
+            e = pd.get_e_above_hull(entry)
+            assert e >= -1e-7
+        for stable in pd.stable_entries:
+            assert pd.get_e_above_hull(stable) == pytest.approx(0.0, abs=1e-6)
+
+    @given(shift=st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_e_above_hull_invariant_under_total_energy_shift(self, shift):
+        """Shifting ALL energies per atom by a constant preserves hull
+        distances (formation energies are relative)."""
+        def build(delta):
+            entries = [
+                PDEntry("Li", (0.0 + delta) * 1),
+                PDEntry("O", (0.0 + delta) * 1),
+                PDEntry("Li2O", (-2.0 + delta) * 3),
+                PDEntry("LiO2", (-0.5 + delta) * 3),
+            ]
+            return PhaseDiagram(entries), entries
+
+        pd0, e0 = build(0.0)
+        pd1, e1 = build(shift)
+        for a, b in zip(e0, e1):
+            assert pd0.get_e_above_hull(a) == pytest.approx(
+                pd1.get_e_above_hull(b), abs=1e-6
+            )
+
+
+class TestEnergyModelProperties:
+    @given(n=st.sampled_from([1, 2, 3]), m=st.sampled_from([1, 2]))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_extensive_under_supercells(self, n, m):
+        from repro.dft import total_energy
+        from repro.matgen import make_prototype
+
+        base = make_prototype("rocksalt", ["Mg", "O"])
+        sc = base.make_supercell((n, m, 1))
+        assert total_energy(sc) == pytest.approx(
+            n * m * total_energy(base), rel=1e-6
+        )
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_scf_energy_close_to_model(self, seed):
+        """For any ICSD structure, converged SCF lands within the cutoff
+        bias of the model energy."""
+        from repro.datagen import SyntheticICSD
+        from repro.dft import SCFParameters, run_scf, total_energy
+
+        s = SyntheticICSD(seed=seed).structures(1)[0]
+        result = run_scf(s, SCFParameters(amix=0.15, algo="All", nelm=500))
+        bias_bound = 0.8 * math.exp(-520 / 150.0) * s.num_sites + 1e-9
+        assert abs(result.energy - total_energy(s)) <= bias_bound

@@ -1,0 +1,114 @@
+"""Tests for the symmetry analyzer — asserted against textbook crystallography."""
+
+import numpy as np
+import pytest
+
+from repro.matgen import (
+    Lattice,
+    Structure,
+    SymmetryFinder,
+    lattice_system,
+    make_prototype,
+)
+
+
+class TestLatticeSystem:
+    @pytest.mark.parametrize("lattice,expected", [
+        (Lattice.cubic(4.0), "cubic"),
+        (Lattice.tetragonal(4.0, 6.0), "tetragonal"),
+        (Lattice.orthorhombic(4.0, 5.0, 6.0), "orthorhombic"),
+        (Lattice.hexagonal(3.0, 5.0), "hexagonal"),
+        (Lattice.rhombohedral(4.0, 70.0), "rhombohedral"),
+        (Lattice.from_parameters(4, 5, 6, 90, 105, 90), "monoclinic"),
+        (Lattice.from_parameters(4, 5, 6, 80, 95, 105), "triclinic"),
+    ])
+    def test_classification(self, lattice, expected):
+        assert lattice_system(lattice) == expected
+
+    def test_tolerance(self):
+        nearly_cubic = Lattice.from_parameters(
+            4.0, 4.0000001, 4.0, 90.00001, 90.0, 89.99999
+        )
+        assert lattice_system(nearly_cubic) == "cubic"
+
+
+class TestSymmetryFinder:
+    """Operation counts are real space-group orders of these cells."""
+
+    def test_rocksalt_fm3m(self):
+        """Conventional NaCl cell: Fm-3m has 192 operations (48 x F-centering)."""
+        f = SymmetryFinder(make_prototype("rocksalt", ["Na", "Cl"]))
+        assert f.order == 192
+        assert f.point_group_order == 48
+        assert f.n_centering_translations == 4
+        assert f.is_centrosymmetric
+
+    def test_cscl_pm3m(self):
+        f = SymmetryFinder(make_prototype("cscl", ["Cs", "Cl"]))
+        assert f.order == 48
+        assert f.n_centering_translations == 1
+        assert f.is_centrosymmetric
+
+    def test_zincblende_f43m_noncentrosymmetric(self):
+        """Zincblende F-43m: 96 ops, 24 point ops, NO inversion center."""
+        f = SymmetryFinder(make_prototype("zincblende", ["Zn", "S"]))
+        assert f.order == 96
+        assert f.point_group_order == 24
+        assert not f.is_centrosymmetric
+
+    def test_perovskite_pm3m(self):
+        f = SymmetryFinder(make_prototype("perovskite", ["Ca", "Ti"]))
+        assert f.order == 48
+
+    def test_bcc_im3m(self):
+        f = SymmetryFinder(make_prototype("bcc", ["Fe"]))
+        assert f.order == 96
+        assert f.n_centering_translations == 2  # I-centering
+
+    def test_symmetry_ordering_across_prototypes(self):
+        """High-symmetry cubic cells dominate the low-symmetry olivine."""
+        nacl = SymmetryFinder(make_prototype("rocksalt", ["Na", "Cl"])).order
+        olivine = SymmetryFinder(make_prototype("olivine", ["Li", "Fe"])).order
+        assert nacl > 20 * olivine
+
+    def test_operations_close_under_application(self):
+        """Each operation maps the structure onto itself site-for-site."""
+        s = make_prototype("cscl", ["Cs", "Cl"])
+        finder = SymmetryFinder(s)
+        coords_by_el = {}
+        for site in s.sites:
+            coords_by_el.setdefault(site.element.symbol, []).append(
+                site.frac_coords % 1.0
+            )
+        for op in finder.operations()[:12]:
+            for symbol, coords in coords_by_el.items():
+                for c in coords:
+                    image = op.apply(c)
+                    deltas = [
+                        np.abs((image - other) - np.round(image - other)).max()
+                        for other in coords
+                    ]
+                    assert min(deltas) < 1e-6
+
+    def test_identity_always_present(self):
+        for proto, els in [("rocksalt", ["Mg", "O"]), ("olivine", ["Li", "Fe"])]:
+            ops = SymmetryFinder(make_prototype(proto, els)).operations()
+            assert any(op.is_identity for op in ops)
+
+    def test_broken_symmetry_reduces_order(self):
+        """Perturbing the atoms must strictly lower the operation count."""
+        perfect = make_prototype("rocksalt", ["Na", "Cl"])
+        broken = perfect.perturb(0.15, seed=4)
+        assert SymmetryFinder(broken).order < SymmetryFinder(perfect).order
+
+    def test_determinants_are_unimodular(self):
+        for op in SymmetryFinder(make_prototype("cscl", ["Cs", "Cl"])).operations():
+            assert op.determinant in (1, -1)
+
+    def test_summary_shape(self):
+        summary = SymmetryFinder(
+            make_prototype("layered", ["Li", "Co"])
+        ).summary()
+        assert summary["lattice_system"] == "hexagonal"
+        assert summary["n_operations"] >= summary["n_centering"]
+        assert summary["point_group_order"] <= summary["n_operations"]

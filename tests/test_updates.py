@@ -1,0 +1,181 @@
+"""Tests for the update-operator engine (Fuse override syntax, §III-C2)."""
+
+import pytest
+
+from repro.docstore.updates import apply_update, is_operator_update
+from repro.errors import UpdateSyntaxError
+
+
+def applied(doc, update, **kw):
+    apply_update(doc, update, **kw)
+    return doc
+
+
+class TestSetUnset:
+    def test_set_scalar(self):
+        assert applied({"a": 1}, {"$set": {"a": 2}}) == {"a": 2}
+
+    def test_set_nested_creates_path(self):
+        doc = applied({}, {"$set": {"spec.incar.ENCUT": 520}})
+        assert doc == {"spec": {"incar": {"ENCUT": 520}}}
+
+    def test_fuse_style_override(self):
+        """The Fuse stores overrides in Mongo atomic update syntax."""
+        stage = {"incar": {"ENCUT": 400, "ALGO": "Normal"}, "walltime": 3600}
+        applied(stage, {"$set": {"incar.ALGO": "Fast"}, "$inc": {"walltime": 3600}})
+        assert stage == {"incar": {"ENCUT": 400, "ALGO": "Fast"}, "walltime": 7200}
+
+    def test_unset(self):
+        assert applied({"a": 1, "b": 2}, {"$unset": {"b": ""}}) == {"a": 1}
+
+    def test_unset_missing_noop(self):
+        assert applied({"a": 1}, {"$unset": {"zzz": ""}}) == {"a": 1}
+
+    def test_cannot_set_id(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"_id": 1}, {"$set": {"_id": 2}})
+
+
+class TestArithmetic:
+    def test_inc_existing(self):
+        assert applied({"n": 1}, {"$inc": {"n": 5}}) == {"n": 6}
+
+    def test_inc_negative(self):
+        assert applied({"n": 1}, {"$inc": {"n": -3}}) == {"n": -2}
+
+    def test_inc_missing_initializes(self):
+        assert applied({}, {"$inc": {"launches": 1}}) == {"launches": 1}
+
+    def test_inc_non_numeric_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"n": "x"}, {"$inc": {"n": 1}})
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"n": 1}, {"$inc": {"n": "x"}})
+
+    def test_mul(self):
+        assert applied({"n": 3}, {"$mul": {"n": 4}}) == {"n": 12}
+
+    def test_mul_missing_gives_zero(self):
+        assert applied({}, {"$mul": {"n": 4}}) == {"n": 0}
+
+    def test_min_max(self):
+        assert applied({"best": -3.0}, {"$min": {"best": -5.0}}) == {"best": -5.0}
+        assert applied({"best": -3.0}, {"$min": {"best": -1.0}}) == {"best": -3.0}
+        assert applied({"worst": 2}, {"$max": {"worst": 7}}) == {"worst": 7}
+        assert applied({}, {"$max": {"worst": 7}}) == {"worst": 7}
+
+
+class TestArrays:
+    def test_push(self):
+        assert applied({"log": [1]}, {"$push": {"log": 2}}) == {"log": [1, 2]}
+
+    def test_push_creates_array(self):
+        assert applied({}, {"$push": {"log": "start"}}) == {"log": ["start"]}
+
+    def test_push_each(self):
+        doc = applied({"a": [1]}, {"$push": {"a": {"$each": [2, 3]}}})
+        assert doc == {"a": [1, 2, 3]}
+
+    def test_push_each_with_slice(self):
+        doc = applied({"a": [1, 2]}, {"$push": {"a": {"$each": [3, 4], "$slice": -3}}})
+        assert doc == {"a": [2, 3, 4]}
+
+    def test_push_each_with_sort(self):
+        doc = applied(
+            {"runs": [{"e": -2.0}]},
+            {"$push": {"runs": {"$each": [{"e": -5.0}, {"e": -1.0}], "$sort": {"e": 1}}}},
+        )
+        assert [r["e"] for r in doc["runs"]] == [-5.0, -2.0, -1.0]
+
+    def test_push_position(self):
+        doc = applied({"a": [1, 4]}, {"$push": {"a": {"$each": [2, 3], "$position": 1}}})
+        assert doc == {"a": [1, 2, 3, 4]}
+
+    def test_push_to_non_array_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"a": 5}, {"$push": {"a": 1}})
+
+    def test_add_to_set(self):
+        doc = applied({"tags": ["Li"]}, {"$addToSet": {"tags": "Li"}})
+        assert doc == {"tags": ["Li"]}
+        doc = applied(doc, {"$addToSet": {"tags": "O"}})
+        assert doc == {"tags": ["Li", "O"]}
+
+    def test_add_to_set_each(self):
+        doc = applied({"tags": ["a"]}, {"$addToSet": {"tags": {"$each": ["a", "b"]}}})
+        assert doc == {"tags": ["a", "b"]}
+
+    def test_add_to_set_documents_by_value(self):
+        doc = applied({"xs": [{"k": 1}]}, {"$addToSet": {"xs": {"k": 1}}})
+        assert doc == {"xs": [{"k": 1}]}
+
+    def test_pop(self):
+        assert applied({"a": [1, 2, 3]}, {"$pop": {"a": 1}}) == {"a": [1, 2]}
+        assert applied({"a": [1, 2, 3]}, {"$pop": {"a": -1}}) == {"a": [2, 3]}
+        assert applied({}, {"$pop": {"a": 1}}) == {}
+
+    def test_pop_validation(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"a": [1]}, {"$pop": {"a": 2}})
+
+    def test_pull_scalar(self):
+        assert applied({"a": [1, 2, 1]}, {"$pull": {"a": 1}}) == {"a": [2]}
+
+    def test_pull_with_condition(self):
+        doc = applied({"a": [1, 5, 9]}, {"$pull": {"a": {"$gt": 4}}})
+        assert doc == {"a": [1]}
+
+    def test_pull_document_query(self):
+        doc = applied(
+            {"runs": [{"state": "error"}, {"state": "done"}]},
+            {"$pull": {"runs": {"state": "error"}}},
+        )
+        assert doc == {"runs": [{"state": "done"}]}
+
+    def test_pull_all(self):
+        assert applied({"a": [1, 2, 3, 2]}, {"$pullAll": {"a": [2, 3]}}) == {"a": [1]}
+
+
+class TestRenameReplaceMisc:
+    def test_rename(self):
+        doc = applied({"old": 5}, {"$rename": {"old": "new"}})
+        assert doc == {"new": 5}
+
+    def test_rename_missing_noop(self):
+        assert applied({"a": 1}, {"$rename": {"zzz": "yyy"}}) == {"a": 1}
+
+    def test_rename_to_nested(self):
+        doc = applied({"x": 1}, {"$rename": {"x": "meta.x"}})
+        assert doc == {"meta": {"x": 1}}
+
+    def test_rename_self_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"a": 1}, {"$rename": {"a": "a"}})
+
+    def test_replacement_preserves_id(self):
+        doc = applied({"_id": 7, "a": 1}, {"b": 2})
+        assert doc == {"b": 2, "_id": 7}
+
+    def test_set_on_insert_only_on_insert(self):
+        assert applied({}, {"$setOnInsert": {"created": 1}}) == {}
+        assert applied({}, {"$setOnInsert": {"created": 1}}, is_insert=True) == {
+            "created": 1
+        }
+
+    def test_current_date(self):
+        import time
+
+        doc = applied({}, {"$currentDate": {"ts": True}})
+        assert abs(doc["ts"] - time.time()) < 5
+
+    def test_mixed_operators_and_fields_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({}, {"$set": {"a": 1}, "b": 2})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({}, {"$explode": {"a": 1}})
+
+    def test_is_operator_update(self):
+        assert is_operator_update({"$set": {"a": 1}})
+        assert not is_operator_update({"a": 1})

@@ -1,0 +1,115 @@
+"""Tests for POSCAR reading/writing."""
+
+import pytest
+
+from repro.errors import MatgenError
+from repro.matgen import (
+    make_prototype,
+    read_poscar_file,
+    structure_from_poscar,
+    structure_to_poscar,
+    write_poscar_file,
+)
+
+
+@pytest.fixture
+def lifepo4():
+    return make_prototype("olivine", ["Li", "Fe"])
+
+
+class TestPoscarRoundtrip:
+    def test_roundtrip(self, lifepo4):
+        back = structure_from_poscar(structure_to_poscar(lifepo4))
+        assert back.matches(lifepo4)
+        assert back.reduced_formula == "LiFePO4"
+
+    def test_file_roundtrip(self, lifepo4, tmp_path):
+        path = str(tmp_path / "POSCAR")
+        write_poscar_file(lifepo4, path, comment="olivine test")
+        back = read_poscar_file(path)
+        assert back.matches(lifepo4)
+
+    def test_reads_rocket_run_directory_poscar(self, tmp_path):
+        """Interop with the run-dir writer in repro.dft.io."""
+        from repro.dft import FakeVASP, Resources, SCFParameters
+
+        nacl = make_prototype("rocksalt", ["Na", "Cl"])
+        run_dir = str(tmp_path / "run")
+        FakeVASP().run(
+            nacl, SCFParameters(amix=0.15, algo="All", nelm=500),
+            Resources(walltime_s=1e9, memory_mb=1e6), run_dir=run_dir,
+        )
+        back = read_poscar_file(f"{run_dir}/POSCAR")
+        assert back.matches(nacl)
+
+
+class TestPoscarParsing:
+    SAMPLE = """fcc Cu
+3.615
+ 1.0 0.0 0.0
+ 0.0 1.0 0.0
+ 0.0 0.0 1.0
+Cu
+4
+Direct
+ 0.0 0.0 0.0
+ 0.5 0.5 0.0
+ 0.5 0.0 0.5
+ 0.0 0.5 0.5
+"""
+
+    def test_scale_factor_applied(self):
+        s = structure_from_poscar(self.SAMPLE)
+        assert s.lattice.a == pytest.approx(3.615)
+        assert s.reduced_formula == "Cu"
+        assert s.num_sites == 4
+
+    def test_negative_scale_sets_volume(self):
+        text = self.SAMPLE.replace("3.615", "-47.24")
+        s = structure_from_poscar(text)
+        assert s.volume == pytest.approx(47.24)
+
+    def test_cartesian_mode(self):
+        text = """cart test
+1.0
+ 4.0 0.0 0.0
+ 0.0 4.0 0.0
+ 0.0 0.0 4.0
+Na Cl
+1 1
+Cartesian
+ 0.0 0.0 0.0
+ 2.0 2.0 2.0
+"""
+        s = structure_from_poscar(text)
+        assert s.sites[1].frac_coords == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_selective_dynamics_skipped(self):
+        text = self.SAMPLE.replace("Direct", "Selective dynamics\nDirect")
+        s = structure_from_poscar(text)
+        assert s.num_sites == 4
+
+    def test_vasp4_rejected(self):
+        text = self.SAMPLE.replace("Cu\n4", "4")
+        with pytest.raises(MatgenError):
+            structure_from_poscar(text)
+
+    def test_count_mismatch_rejected(self):
+        text = self.SAMPLE.replace("Cu\n4", "Cu Na\n4")
+        with pytest.raises(MatgenError):
+            structure_from_poscar(text)
+
+    def test_truncated_coordinates_rejected(self):
+        lines = self.SAMPLE.strip().splitlines()
+        with pytest.raises(MatgenError):
+            structure_from_poscar("\n".join(lines[:-2]))
+
+    def test_unknown_mode_rejected(self):
+        text = self.SAMPLE.replace("Direct", "Spherical")
+        with pytest.raises(MatgenError):
+            structure_from_poscar(text)
+
+    def test_unknown_element_rejected(self):
+        text = self.SAMPLE.replace("Cu\n4", "Xx\n4")
+        with pytest.raises(MatgenError):
+            structure_from_poscar(text)

@@ -1,0 +1,307 @@
+"""Tests for the Web UI, annotations, and user-submitted workflows."""
+
+import pytest
+
+from repro.api import (
+    AnnotationStore,
+    MaterialsAPI,
+    MaterialsAPIServer,
+    QueryEngine,
+    SandboxManager,
+    UserWorkflowManager,
+    WebUI,
+)
+from repro.builders import (
+    BandStructureBuilder,
+    MaterialsBuilder,
+    PhaseDiagramBuilder,
+    XRDBuilder,
+)
+from repro.docstore import DocumentStore
+from repro.errors import AuthError, BadRequestError, NotFoundError
+from repro.fireworks import LaunchPad, Rocket
+from repro.matgen import make_prototype
+
+
+@pytest.fixture
+def db():
+    from tests.test_builders import _insert_task
+
+    database = DocumentStore()["mp"]
+    for mid, s in {
+        "mps-nacl": make_prototype("rocksalt", ["Na", "Cl"]),
+        "mps-mgo": make_prototype("rocksalt", ["Mg", "O"]),
+        "mps-fe": make_prototype("bcc", ["Fe"]),
+    }.items():
+        _insert_task(database, s, mid)
+    MaterialsBuilder(database).run()
+    PhaseDiagramBuilder(database).run()
+    XRDBuilder(database).run()
+    BandStructureBuilder(database).run()
+    return database
+
+
+class TestAnnotations:
+    def test_annotate_and_read(self, db):
+        store = AnnotationStore(db)
+        store.annotate("alice", "materials", "mp-1",
+                       "Synthesized this last week; XRD matches.")
+        notes = store.for_target("materials", "mp-1")
+        assert len(notes) == 1
+        assert notes[0]["author"] == "alice"
+
+    def test_threaded_replies(self, db):
+        store = AnnotationStore(db)
+        root = store.annotate("alice", "materials", "mp-1", "Stable in air?")
+        store.annotate("bob", "materials", "mp-1", "Yes, for weeks.",
+                       reply_to=root)
+        notes = store.for_target("materials", "mp-1")
+        assert [n["depth"] for n in notes] == [0, 1]
+        assert notes[1]["author"] == "bob"
+
+    def test_reply_must_match_target(self, db):
+        store = AnnotationStore(db)
+        root = store.annotate("alice", "materials", "mp-1", "note")
+        with pytest.raises(BadRequestError):
+            store.annotate("bob", "materials", "mp-2", "reply", reply_to=root)
+
+    def test_retract_own_note_only(self, db):
+        store = AnnotationStore(db)
+        note = store.annotate("alice", "materials", "mp-1", "oops")
+        with pytest.raises(AuthError):
+            store.retract(note, "bob")
+        store.retract(note, "alice")
+        notes = store.for_target("materials", "mp-1")
+        assert notes[0]["retracted"] is True
+        assert "retracted" in notes[0]["text"]
+
+    def test_flagging_and_moderation_queue(self, db):
+        store = AnnotationStore(db)
+        note = store.annotate("spammer", "materials", "mp-1", "buy crystals")
+        store.flag(note, "alice", "spam")
+        store.flag(note, "bob", "spam")
+        flagged = store.flagged(min_flags=2)
+        assert len(flagged) == 1
+        # Duplicate flags from one user collapse ($addToSet).
+        store.flag(note, "alice", "spam")
+        assert len(store.flagged(min_flags=3)) == 0
+
+    def test_validation(self, db):
+        store = AnnotationStore(db)
+        with pytest.raises(BadRequestError):
+            store.annotate("alice", "materials", "mp-1", "   ")
+        with pytest.raises(AuthError):
+            store.annotate("", "materials", "mp-1", "anon")
+        with pytest.raises(BadRequestError):
+            store.annotate("alice", "materials", "mp-1", "x" * 5000)
+        with pytest.raises(NotFoundError):
+            from repro.docstore import ObjectId
+
+            store.annotate("a", "materials", "mp-1", "r", reply_to=ObjectId())
+
+    def test_stats(self, db):
+        store = AnnotationStore(db)
+        store.annotate("a", "materials", "mp-1", "x")
+        store.annotate("a", "batteries", "bat-1", "y")
+        assert store.stats() == {"materials": 1, "batteries": 1}
+
+
+class TestWebUI:
+    def test_index_page_lists_materials(self, db):
+        ui = WebUI(QueryEngine(db))
+        page = ui.index_page()
+        assert "NaCl" in page and "MgO" in page
+        assert "<table>" in page
+
+    def test_search_filters(self, db):
+        ui = WebUI(QueryEngine(db))
+        page = ui.index_page(search="NaCl")
+        assert "NaCl" in page
+        assert "MgO" not in page
+
+    def test_material_page_has_svg_visualizations(self, db):
+        ui = WebUI(QueryEngine(db))
+        mid = db["materials"].find_one({"reduced_formula": "NaCl"})["material_id"]
+        page = ui.material_page(mid)
+        assert page.count("<svg") == 2  # XRD + bands
+        assert "E_F" in page  # Fermi level marker
+        assert "2θ" in page
+
+    def test_material_page_shows_annotations(self, db):
+        annotations = AnnotationStore(db)
+        mid = db["materials"].find_one({"reduced_formula": "NaCl"})["material_id"]
+        annotations.annotate("alice", "materials", mid, "lovely rocksalt")
+        ui = WebUI(QueryEngine(db), annotations)
+        page = ui.material_page(mid)
+        assert "lovely rocksalt" in page
+
+    def test_unknown_material_404(self, db):
+        ui = WebUI(QueryEngine(db))
+        with pytest.raises(NotFoundError):
+            ui.material_page("mp-99999")
+
+    def test_html_escaping(self, db):
+        annotations = AnnotationStore(db)
+        mid = db["materials"].find_one({})["material_id"]
+        annotations.annotate("mallory", "materials", mid,
+                             "<script>alert(1)</script>")
+        ui = WebUI(QueryEngine(db), annotations)
+        page = ui.material_page(mid)
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_served_over_http(self, db):
+        from urllib.request import urlopen
+
+        qe = QueryEngine(db)
+        ui = WebUI(qe)
+        with MaterialsAPIServer(MaterialsAPI(qe), webui=ui) as server:
+            with urlopen(server.base_url + "/ui", timeout=10) as response:
+                body = response.read().decode()
+            assert response.status == 200
+            assert "Materials Browser" in body
+            mid = db["materials"].find_one({})["material_id"]
+            with urlopen(server.base_url + f"/ui/material/{mid}",
+                         timeout=10) as response:
+                assert "<svg" in response.read().decode()
+
+    def test_webui_queries_hit_the_query_log(self, db):
+        """Web UI and API share one back end + one observability path."""
+        qe = QueryEngine(db)
+        WebUI(qe).index_page()
+        assert any(e["user"] == "webui" for e in qe.query_log.entries)
+
+
+class TestUserWorkflows:
+    def make_manager(self, db, quota=10):
+        launchpad = LaunchPad(db)
+        sandboxes = SandboxManager(db)
+        return UserWorkflowManager(
+            launchpad, sandboxes, max_structures_per_user=quota,
+            core_team=["kristin"],
+        ), launchpad, sandboxes
+
+    def submit_two(self, manager):
+        structures = [
+            make_prototype("rocksalt", ["K", "Br"]),
+            make_prototype("rocksalt", ["Rb", "I"]),
+        ]
+        return manager.submit("alice", structures, description="halides")
+
+    def test_submission_is_gated(self, db):
+        manager, launchpad, _ = self.make_manager(db)
+        submission = self.submit_two(manager)
+        assert submission["state"] == "PENDING_APPROVAL"
+        # Nothing runs before approval.
+        assert Rocket(launchpad).rapidfire() == 0
+
+    def test_approval_releases_jobs(self, db):
+        manager, launchpad, _ = self.make_manager(db)
+        submission = self.submit_two(manager)
+        manager.approve(submission["submission_id"], "kristin")
+        assert Rocket(launchpad).rapidfire() == 2
+
+    def test_only_core_team_approves(self, db):
+        manager, _, _ = self.make_manager(db)
+        submission = self.submit_two(manager)
+        with pytest.raises(AuthError):
+            manager.approve(submission["submission_id"], "alice")
+
+    def test_results_route_to_private_sandbox(self, db):
+        manager, launchpad, sandboxes = self.make_manager(db)
+        submission = self.submit_two(manager)
+        manager.approve(submission["submission_id"], "kristin")
+        Rocket(launchpad).rapidfire()
+        result = manager.collect_results(submission["submission_id"])
+        assert result == {"routed": 2, "terminal": 2, "total": 2}
+        # Alice sees her results; others don't.
+        mine = sandboxes.visible_query("alice", "sandbox_results")
+        assert len(mine) == 2
+        assert not sandboxes.visible_query("bob", "sandbox_results")
+        # Submission is now COMPLETED; collect is idempotent.
+        again = manager.collect_results(submission["submission_id"])
+        assert again["routed"] == 0
+        record = manager.submissions_for("alice")[0]
+        assert record["state"] == "COMPLETED"
+
+    def test_quota_enforced(self, db):
+        manager, _, _ = self.make_manager(db, quota=3)
+        self.submit_two(manager)
+        assert manager.remaining_quota("alice") == 1
+        with pytest.raises(BadRequestError):
+            self.submit_two(manager)
+
+    def test_rejection_defuses(self, db):
+        manager, launchpad, _ = self.make_manager(db)
+        submission = self.submit_two(manager)
+        manager.reject(submission["submission_id"], "kristin", "out of scope")
+        assert Rocket(launchpad).rapidfire() == 0
+        record = manager.submissions_for("alice")[0]
+        assert record["state"] == "REJECTED"
+
+    def test_pending_queue(self, db):
+        manager, _, _ = self.make_manager(db)
+        self.submit_two(manager)
+        pending = manager.pending_approvals()
+        assert len(pending) == 1
+        assert pending[0]["user"] == "alice"
+
+    def test_empty_submission_rejected(self, db):
+        manager, _, _ = self.make_manager(db)
+        with pytest.raises(BadRequestError):
+            manager.submit("alice", [])
+
+    def test_cannot_use_foreign_sandbox(self, db):
+        manager, _, sandboxes = self.make_manager(db)
+        bobs = sandboxes.create_sandbox("bob", "private")
+        with pytest.raises(AuthError):
+            manager.submit("alice",
+                           [make_prototype("rocksalt", ["K", "Br"])],
+                           sandbox_id=bobs)
+
+
+class TestBatteryScreenPage:
+    @pytest.fixture
+    def battery_db(self):
+        from tests.test_builders import _insert_task
+        from repro.builders import BatteryBuilder
+
+        db = DocumentStore()["mp"]
+        lifepo4 = make_prototype("olivine", ["Li", "Fe"])
+        licoo2 = make_prototype("layered", ["Li", "Co"])
+        for mid, s in {
+            "mps-lifepo4": lifepo4,
+            "mps-fepo4": lifepo4.remove_species(["Li"]),
+            "mps-licoo2": licoo2,
+            "mps-coo2": licoo2.remove_species(["Li"]),
+        }.items():
+            _insert_task(db, s, mid)
+        MaterialsBuilder(db).run()
+        BatteryBuilder(db, "Li").run_intercalation()
+        return db
+
+    def test_fig1_page_renders_scatter(self, battery_db):
+        from repro.api import QueryEngine, WebUI
+
+        page = WebUI(QueryEngine(battery_db)).battery_screen_page()
+        assert "Figure 1" in page
+        assert page.count("<circle") == 2  # one dot per electrode
+        assert "known materials" in page
+        assert "FePO4" in page and "CoO2" in page
+
+    def test_fig1_page_over_http(self, battery_db):
+        from urllib.request import urlopen
+
+        from repro.api import MaterialsAPI, MaterialsAPIServer, QueryEngine, WebUI
+
+        qe = QueryEngine(battery_db)
+        with MaterialsAPIServer(MaterialsAPI(qe), webui=WebUI(qe)) as server:
+            with urlopen(server.base_url + "/ui/batteries", timeout=10) as r:
+                body = r.read().decode()
+        assert "<svg" in body and "known materials" in body
+
+    def test_empty_screen_page(self):
+        from repro.api import QueryEngine, WebUI
+
+        page = WebUI(QueryEngine(DocumentStore()["mp"])).battery_screen_page()
+        assert "No electrodes" in page

@@ -1,0 +1,221 @@
+"""Tests for XRD patterns, band structures, and densities of states."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MatgenError
+from repro.matgen import (
+    BandStructure,
+    DensityOfStates,
+    KPath,
+    Lattice,
+    Structure,
+    XRDCalculator,
+    compute_band_structure,
+    compute_dos,
+    make_prototype,
+)
+
+
+@pytest.fixture
+def nacl():
+    return make_prototype("rocksalt", ["Na", "Cl"])
+
+
+@pytest.fixture
+def fe_bcc():
+    return make_prototype("bcc", ["Fe"])
+
+
+class TestXRD:
+    def test_rocksalt_selection_rules(self, nacl):
+        """FCC lattice: reflections with mixed-parity hkl are extinct."""
+        pattern = XRDCalculator().get_pattern(nacl)
+        assert len(pattern) > 3
+        for hkl in pattern.hkls:
+            parities = {h % 2 for h in hkl}
+            assert len(parities) == 1, f"mixed-parity reflection {hkl} should be extinct"
+
+    def test_bragg_positions(self, nacl):
+        """Peak positions must satisfy Bragg's law for the lattice."""
+        calc = XRDCalculator()
+        pattern = calc.get_pattern(nacl)
+        for two_theta, d in zip(pattern.two_theta, pattern.d_spacings):
+            sin_t = math.sin(math.radians(two_theta / 2))
+            assert sin_t == pytest.approx(calc.wavelength / (2 * d), rel=1e-6)
+
+    def test_intensities_normalized(self, nacl):
+        pattern = XRDCalculator().get_pattern(nacl)
+        assert max(pattern.intensity) == pytest.approx(100.0)
+        assert all(0 < i <= 100.0 for i in pattern.intensity)
+
+    def test_strongest_peak(self, nacl):
+        peak = XRDCalculator().get_pattern(nacl).strongest_peak
+        assert peak["intensity"] == pytest.approx(100.0)
+        assert peak["hkl"] in [(2, 0, 0), (0, 0, 2), (0, 2, 0), (1, 1, 1)]
+
+    def test_peaks_within_angular_window(self, nacl):
+        pattern = XRDCalculator(two_theta_range=(20, 60)).get_pattern(nacl)
+        assert all(20 <= t <= 60 for t in pattern.two_theta)
+
+    def test_larger_cell_shifts_peaks_left(self, nacl):
+        """Bigger d-spacings diffract at lower angles."""
+        big = nacl.scale_volume(nacl.volume * 1.3)
+        p_small = XRDCalculator().get_pattern(nacl)
+        p_big = XRDCalculator().get_pattern(big)
+        assert min(p_big.two_theta) < min(p_small.two_theta)
+
+    def test_pattern_dict_shape(self, nacl):
+        d = XRDCalculator().get_pattern(nacl).as_dict()
+        assert d["wavelength"] == pytest.approx(1.54184)
+        assert all({"two_theta", "intensity", "hkl", "d"} <= set(p) for p in d["peaks"])
+
+    def test_invalid_wavelength(self):
+        with pytest.raises(MatgenError):
+            XRDCalculator(wavelength=-1)
+
+    def test_bcc_selection_rules(self, fe_bcc):
+        """BCC: h+k+l odd reflections are extinct."""
+        pattern = XRDCalculator().get_pattern(fe_bcc)
+        for hkl in pattern.hkls:
+            assert sum(hkl) % 2 == 0
+
+
+class TestKPath:
+    def test_default_path(self):
+        kpts, labels = KPath().kpoints()
+        assert labels[0] == "Γ"
+        assert labels[-1] == "R"
+        assert len(kpts) == len(labels)
+
+    def test_points_per_segment(self):
+        kpts, _ = KPath(points_per_segment=10).kpoints()
+        assert len(kpts) == 4 * 10 + 1
+
+    def test_custom_path_validation(self):
+        with pytest.raises(MatgenError):
+            KPath([("Γ", (0, 0, 0))])
+        with pytest.raises(MatgenError):
+            KPath(points_per_segment=1)
+
+
+class TestBandStructure:
+    def test_ionic_compound_has_gap(self, nacl):
+        bs = compute_band_structure(nacl)
+        assert not bs.is_metal
+        assert bs.band_gap > 1.0  # NaCl is a wide-gap insulator
+
+    def test_elemental_metal_is_metallic_or_small_gap(self, fe_bcc):
+        bs = compute_band_structure(fe_bcc)
+        # Zero ionicity: on-site energies identical; bands overlap.
+        assert bs.band_gap < 0.5
+
+    def test_gap_grows_with_ionicity(self):
+        """Electronegativity spread drives the gap, like real chemistry."""
+        gap_naF = compute_band_structure(make_prototype("rocksalt", ["Na", "F"])).band_gap
+        gap_mgO = compute_band_structure(make_prototype("rocksalt", ["Mg", "O"])).band_gap
+        gap_fe = compute_band_structure(make_prototype("bcc", ["Fe"])).band_gap
+        assert gap_naF > gap_mgO > gap_fe
+
+    def test_deterministic(self, nacl):
+        b1 = compute_band_structure(nacl)
+        b2 = compute_band_structure(nacl)
+        assert np.allclose(b1.bands, b2.bands)
+
+    def test_vbm_cbm(self, nacl):
+        bs = compute_band_structure(nacl)
+        assert bs.vbm["energy"] <= bs.fermi_level <= bs.cbm["energy"]
+        assert bs.band_gap == pytest.approx(bs.cbm["energy"] - bs.vbm["energy"])
+
+    def test_dict_roundtrip(self, nacl):
+        bs = compute_band_structure(nacl)
+        back = BandStructure.from_dict(bs.as_dict())
+        assert back.band_gap == pytest.approx(bs.band_gap)
+        assert back.formula == "NaCl"
+
+    def test_shape_validation(self):
+        with pytest.raises(MatgenError):
+            BandStructure(np.zeros((5, 3)), np.zeros((2, 4)), 0.0)
+
+
+class TestDOS:
+    def test_dos_gap_consistent_with_bands(self, nacl):
+        bs = compute_band_structure(nacl)
+        dos = compute_dos(bs, sigma=0.05)
+        assert dos.get_gap() == pytest.approx(bs.band_gap, abs=0.4)
+
+    def test_metal_detection(self, fe_bcc):
+        bs = compute_band_structure(fe_bcc)
+        dos = compute_dos(bs)
+        assert dos.is_metal == bs.is_metal or bs.band_gap < 0.3
+
+    def test_total_states_conserved(self, nacl):
+        bs = compute_band_structure(nacl)
+        dos = compute_dos(bs, sigma=0.05, n_points=2000)
+        total = dos.states_in_window(dos.energies[0], dos.energies[-1])
+        assert total == pytest.approx(bs.n_bands, rel=0.05)
+
+    def test_dict_roundtrip(self, nacl):
+        dos = compute_dos(compute_band_structure(nacl))
+        back = DensityOfStates.from_dict(dos.as_dict())
+        assert back.get_gap() == pytest.approx(dos.get_gap())
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(MatgenError):
+            DensityOfStates(np.array([0.0, 1.0]), np.array([1.0, -1.0]), 0.0)
+
+    def test_bad_sigma(self, nacl):
+        with pytest.raises(MatgenError):
+            compute_dos(compute_band_structure(nacl), sigma=0)
+
+
+class TestXRDAnalytic:
+    """Validate the structure-factor machinery against closed forms."""
+
+    def test_cscl_structure_factor_ratio(self):
+        """CsCl: F = f_Cs + f_Cl for even h+k+l, f_Cs - f_Cl for odd.
+
+        With Z_Cs = 55 and Z_Cl = 17 (and equal Debye-Waller factors at
+        equal sin(theta)/lambda), the |F|^2 ratio between an even and an
+        odd reflection at similar angle is ((55+17)/(55-17))^2 = 3.59 up
+        to the form-factor falloff, which we remove analytically.
+        """
+        import math
+
+        cscl = make_prototype("cscl", ["Cs", "Cl"])
+        calc = XRDCalculator(two_theta_range=(10, 90), debye_waller_b=0.0)
+        pattern = calc.get_pattern(cscl, scaled=False)
+        by_hkl = {p_hkl: (tt, inten) for tt, inten, p_hkl in zip(
+            pattern.two_theta, pattern.intensity, pattern.hkls)}
+
+        def lp(two_theta):
+            t = math.radians(two_theta / 2)
+            return (1 + math.cos(2 * t) ** 2) / (
+                math.sin(t) ** 2 * math.cos(t))
+
+        # (1,0,0): odd sum -> difference; multiplicity 6 (100,010,001 x +-).
+        # (1,1,0): even sum -> sum; multiplicity 12... compare F^2 per
+        # reflection after removing LP and multiplicity.
+        odd_tt, odd_i = by_hkl[(1, 0, 0)]
+        even_tt, even_i = by_hkl[(1, 1, 0)]
+        f2_odd = odd_i / lp(odd_tt) / 6
+        f2_even = even_i / lp(even_tt) / 12
+        expected = ((55 + 17) / (55 - 17)) ** 2
+        assert f2_even / f2_odd == pytest.approx(expected, rel=1e-6)
+
+    def test_friedel_pairs_merge(self, nacl):
+        """(hkl) and (-h,-k,-l) diffract identically and share one peak."""
+        pattern = XRDCalculator().get_pattern(nacl)
+        # No duplicate two_theta entries after merging.
+        assert len(set(round(t, 4) for t in pattern.two_theta)) == len(pattern)
+
+    def test_intensity_scales_with_z_squared(self):
+        """Heavier scatterers diffract (much) more strongly."""
+        light = make_prototype("rocksalt", ["Li", "F"])   # Z = 3, 9
+        heavy = make_prototype("rocksalt", ["Cs", "I"])   # Z = 55, 53
+        calc = XRDCalculator(debye_waller_b=0.0)
+        p_light = calc.get_pattern(light, scaled=False)
+        p_heavy = calc.get_pattern(heavy, scaled=False)
+        assert max(p_heavy.intensity) > 10 * max(p_light.intensity)
