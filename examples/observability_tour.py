@@ -1,0 +1,82 @@
+"""Observability tour: profiler, opcounters, traces, and /metrics.
+
+Runs a small workflow while every observability signal is switched on, then
+shows what each one captured: the MongoDB-style ``system.profile``
+collection, ``serverStatus`` opcounters, the trace tree of one firework
+launch, and the Prometheus-style ``/metrics`` document served live over
+HTTP.
+
+Run:  python examples/observability_tour.py
+"""
+
+import urllib.request
+
+from repro.api import MaterialsAPI, MaterialsAPIServer, QueryEngine
+from repro.builders import MaterialsBuilder
+from repro.docstore import DocumentStore
+from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
+from repro.matgen import make_prototype, mps_from_structure
+from repro.obs import get_registry, recent_traces
+
+ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
+
+
+def show_trace(spn, indent=0):
+    attrs = " ".join(f"{k}={v}" for k, v in spn.attributes.items())
+    print(f"[trace]     {'  ' * indent}{spn.name} "
+          f"{spn.duration_ms:.2f}ms {attrs}")
+    for child in spn.children:
+        show_trace(child, indent + 1)
+
+
+def main() -> None:
+    store = DocumentStore()
+    db = store["mp"]
+
+    # 1. Profiling level 2: record *every* operation, like `db.setProfilingLevel(2)`.
+    db.set_profiling_level(2)
+
+    # 2. Run one calculation under tracing — the launch opens a root span and
+    #    the SCF loop and each docstore write attach themselves as children.
+    structure = make_prototype("rocksalt", ["Na", "Cl"])
+    pad = LaunchPad(db)
+    pad.add_workflow(Workflow([
+        vasp_firework(structure, mps_id=mps_from_structure(structure)["mps_id"],
+                      incar=dict(ROBUST_INCAR), walltime_s=1e9, memory_mb=1e6)
+    ]))
+    Rocket(pad).rapidfire()
+    MaterialsBuilder(db).run()
+
+    for trace in recent_traces():
+        if trace.name == "firework.launch":
+            show_trace(trace)
+
+    # 3. The profiler fed a real, queryable system.profile collection.
+    slow = db["system.profile"].find({"op": "find"}).to_list()
+    print(f"[profiler]  {db['system.profile'].count_documents()} ops recorded; "
+          f"{len(slow)} finds, e.g. "
+          f"{ {k: slow[0][k] for k in ('ns', 'op', 'millis', 'nreturned')} }")
+
+    # 4. serverStatus-style opcounters aggregate the same op stream.
+    print(f"[status]    opcounters = {db.server_status()['opcounters']}")
+
+    # 5. Latency distributions live in the metrics registry.
+    summary = get_registry().histogram("repro_docstore_op_millis").summary(
+        db="mp", op="query")
+    print(f"[metrics]   query latency: p50={summary['p50']:.3f}ms "
+          f"p95={summary['p95']:.3f}ms p99={summary['p99']:.3f}ms "
+          f"(n={summary['count']})")
+
+    # 6. The API server scrapes the same registry at GET /metrics.
+    api = MaterialsAPI(QueryEngine(db))
+    with MaterialsAPIServer(api) as srv:
+        urllib.request.urlopen(
+            f"{srv.base_url}/rest/v1/materials/NaCl/vasp/band_gap").read()
+        text = urllib.request.urlopen(f"{srv.base_url}/metrics").read().decode()
+    lines = [ln for ln in text.splitlines()
+             if ln.startswith("repro_api_quer") or ln.startswith("# TYPE repro_api")]
+    print("[/metrics]  " + "\n[/metrics]  ".join(lines))
+
+
+if __name__ == "__main__":
+    main()

@@ -6,17 +6,26 @@ key arrives via the ``X-API-KEY`` header or an ``API_KEY`` query parameter,
 and responses are JSON with proper status codes.  This is the "Web API"
 box of the paper's architecture served over an actual socket, so the
 examples and benches exercise a genuine HTTP round trip.
+
+Two operational endpoints ride alongside the data API:
+
+* ``GET /metrics`` — the shared metrics registry in text exposition
+  format (counters, gauges, histogram quantiles);
+* ``GET /status`` — JSON: the backing database's ``serverStatus``
+  (opcounters, profiling level) plus a registry snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
 
 from ..docstore.documents import DocumentJSONEncoder
+from ..obs import get_logger, get_registry, log_event
 from .rest import MaterialsAPI
 
 __all__ = ["MaterialsAPIServer"]
@@ -27,6 +36,15 @@ class _Handler(BaseHTTPRequestHandler):
         api: MaterialsAPI = self.server.materials_api  # type: ignore[attr-defined]
         parsed = urlparse(self.path)
         params = parse_qs(parsed.query)
+        if parsed.path == "/metrics":
+            self._send_bytes(
+                200, get_registry().render_text().encode("utf-8"),
+                "text/plain; version=0.0.4",
+            )
+            return
+        if parsed.path == "/status":
+            self._send_json(200, self._status_document(api))
+            return
         if parsed.path == "/ui" or parsed.path.startswith("/ui/"):
             self._serve_ui(parsed.path, params)
             return
@@ -37,12 +55,35 @@ class _Handler(BaseHTTPRequestHandler):
         status = 200 if envelope.get("valid_response") else envelope.get(
             "status", 400
         )
-        payload = json.dumps(envelope, cls=DocumentJSONEncoder).encode("utf-8")
+        self._send_json(status, envelope)
+
+    @staticmethod
+    def _status_document(api: MaterialsAPI) -> dict:
+        db = getattr(api.qe, "db", None)
+        return {
+            "server": db.server_status() if db is not None else None,
+            "query_log": api.qe.query_log.summary(),
+            "metrics": get_registry().snapshot(),
+        }
+
+    def _send_json(self, status: int, document: Any) -> None:
+        payload = json.dumps(document, cls=DocumentJSONEncoder).encode("utf-8")
+        self._send_bytes(status, payload, "application/json")
+
+    def _send_bytes(self, status: int, payload: bytes,
+                    content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        registry = get_registry()
+        registry.counter(
+            "repro_http_requests_total", "HTTP requests served"
+        ).inc(1, status=status)
+        registry.counter(
+            "repro_http_response_bytes_total", "HTTP response payload bytes"
+        ).inc(len(payload))
 
     def _serve_ui(self, path: str, params: dict) -> None:
         """The Web UI pages (when a WebUI renderer is attached)."""
@@ -68,15 +109,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_html(404, f"<h1>404</h1><p>{exc}</p>")
 
     def _send_html(self, status: int, html_text: str) -> None:
-        payload = html_text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "text/html; charset=utf-8")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        self._send_bytes(status, html_text.encode("utf-8"),
+                         "text/html; charset=utf-8")
 
     def log_message(self, fmt: str, *args: Any) -> None:
-        pass  # quiet by default; the QueryLog is the observable record
+        # Route stdlib access lines through the structured (redacting)
+        # logger instead of stderr; DEBUG so they stay quiet by default.
+        log_event(get_logger("repro.api.http"), logging.DEBUG, "request",
+                  client=self.address_string(), line=fmt % args)
 
 
 class MaterialsAPIServer:

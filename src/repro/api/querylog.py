@@ -6,6 +6,10 @@ reproduces the paper's latency histogram; :meth:`QueryLog.time_series`
 reproduces the scatterplot inset; :meth:`QueryLog.summary` gives the
 headline numbers ("3315 distinct queries returning a total of 12,951,099
 records").
+
+The log also feeds the shared metrics registry (:mod:`repro.obs`), so
+``GET /metrics`` exposes the same latency distribution as
+``repro_api_query_millis`` quantiles without a second measurement path.
 """
 
 from __future__ import annotations
@@ -13,6 +17,8 @@ from __future__ import annotations
 import math
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import get_registry
 
 __all__ = ["QueryLog"]
 
@@ -46,6 +52,13 @@ class QueryLog:
                     "query": query_repr,
                 }
             )
+        registry = get_registry()
+        registry.counter(
+            "repro_api_queries_total", "queries served by the QueryEngine"
+        ).inc(1, collection=collection)
+        registry.histogram(
+            "repro_api_query_millis", "QueryEngine latency"
+        ).observe(float(millis), collection=collection)
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,40 @@
+"""``repro.builders`` — the paper's "builder" post-processing pipeline.
+
+The Materials Project datastore is grown in two stages: high-throughput
+calculations land as raw *task* documents, and a fleet of builders distills
+them into the curated *materials* collection plus derived collections
+(phase diagrams, batteries, diffraction patterns, band structures,
+symmetry).  A V&V runner continuously audits the result — the paper's
+"verification and validation before releasing a database" workflow.
+
+Every builder run is wrapped in a tracing span (``builder.<name>``), so a
+trace of a pipeline rebuild shows each builder with its docstore traffic
+as timed children — see :mod:`repro.obs`.
+"""
+
+from .core import MaterialsBuilder, pick_best_task
+from .derived import (
+    BandStructureBuilder,
+    BatteryBuilder,
+    PhaseDiagramBuilder,
+    SymmetryBuilder,
+    XRDBuilder,
+)
+from .incremental import IncrementalMaterialsBuilder
+from .loader import TaskLoader
+from .vnv import Rule, Violation, VnVRunner
+
+__all__ = [
+    "TaskLoader",
+    "MaterialsBuilder",
+    "IncrementalMaterialsBuilder",
+    "PhaseDiagramBuilder",
+    "BandStructureBuilder",
+    "XRDBuilder",
+    "SymmetryBuilder",
+    "BatteryBuilder",
+    "VnVRunner",
+    "Rule",
+    "Violation",
+    "pick_best_task",
+]

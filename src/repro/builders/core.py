@@ -1,0 +1,190 @@
+"""The materials builder: raw tasks → curated materials collection.
+
+This is the heart of the paper's pipeline: every completed calculation is
+a *task*; all tasks computed for the same MPS input are one *material*,
+represented by its best (highest-quality, then lowest-energy) task.  The
+builder is idempotent and keeps ``material_id`` stable across rebuilds —
+published identifiers must never change just because the pipeline reran.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..dft.energy import reference_energy_per_atom
+from ..errors import BuilderError
+from ..matgen.structure import Structure
+from ..obs import get_registry, span
+
+__all__ = ["MaterialsBuilder", "pick_best_task", "ensure_index"]
+
+
+def ensure_index(collection, field: str, unique: bool = False) -> None:
+    """Create a single-field index if no index on ``field`` exists yet."""
+    existing = {info["field"] for info in collection.index_information().values()}
+    if field not in existing:
+        collection.create_index(field, unique=unique)
+
+
+def pick_best_task(tasks: List[dict]) -> dict:
+    """The canonical task for a material: highest ENCUT, then lowest energy.
+
+    A higher plane-wave cutoff means a better-converged calculation; among
+    equals the variational principle prefers the lower energy per atom.
+    """
+    if not tasks:
+        raise BuilderError("cannot pick a best task from an empty group")
+
+    def quality(task: dict) -> tuple:
+        parameters = task.get("parameters") or {}
+        encut = parameters.get("ENCUT") or 0
+        epa = task.get("energy_per_atom")
+        epa = float("inf") if epa is None else epa
+        return (-encut, epa)
+
+    return min(tasks, key=quality)
+
+
+class MaterialsBuilder:
+    """Groups completed tasks by ``mps_id`` and projects one material each."""
+
+    def __init__(self, db):
+        self.db = db
+        ensure_index(db["tasks"], "mps_id")
+        ensure_index(db["tasks"], "state")
+        ensure_index(db["materials"], "mps_id", unique=True)
+        ensure_index(db["materials"], "material_id", unique=True)
+
+    # -- identifier allocation -------------------------------------------
+
+    def _next_material_id(self) -> str:
+        counter = self.db["counters"].find_one_and_update(
+            {"_id": "material_id"},
+            {"$inc": {"seq": 1}},
+            upsert=True,
+            return_document="after",
+        )
+        return f"mp-{int(counter['seq'])}"
+
+    # -- projection -------------------------------------------------------
+
+    def _completed_tasks(self) -> List[dict]:
+        return [
+            t for t in self.db["tasks"].find({"state": "COMPLETED"})
+            if t.get("mps_id")
+        ]
+
+    def _material_doc(self, mps_id: str, tasks: List[dict]) -> dict:
+        best = pick_best_task(tasks)
+        doc: Dict[str, Any] = {
+            "mps_id": mps_id,
+            "energy": best.get("energy"),
+            "energy_per_atom": best.get("energy_per_atom"),
+            "band_gap": best.get("band_gap"),
+            "is_metal": best.get("is_metal"),
+            "structure": best.get("structure"),
+            "provenance": {
+                "task_id": best.get("_id"),
+                "n_tasks": len(tasks),
+                "parameters": best.get("parameters") or {},
+                "functional": best.get("functional"),
+                "code_version": best.get("code_version"),
+                "completed_at": best.get("completed_at"),
+            },
+            "last_updated": time.time(),
+        }
+        structure = None
+        if best.get("structure"):
+            structure = Structure.from_dict(best["structure"])
+        if structure is not None:
+            composition = structure.composition
+            doc.update({
+                "formula": structure.formula,
+                "reduced_formula": structure.reduced_formula,
+                "chemical_system": structure.chemical_system,
+                "elements": structure.elements,
+                "nelements": len(structure.elements),
+                "nsites": structure.num_sites,
+            })
+            energy = best.get("energy")
+            if energy is not None:
+                reference = sum(
+                    amount * reference_energy_per_atom(element.symbol)
+                    for element, amount in composition.items()
+                )
+                doc["formation_energy_per_atom"] = (
+                    (energy - reference) / composition.num_atoms
+                )
+        else:
+            doc.update({
+                "formula": best.get("formula"),
+                "reduced_formula": best.get("formula"),
+                "elements": best.get("elements") or [],
+            })
+        return doc
+
+    def _upsert_material(self, mps_id: str, tasks: List[dict]) -> str:
+        """Build and store one material; returns ``"built"`` or ``"updated"``."""
+        materials = self.db["materials"]
+        doc = self._material_doc(mps_id, tasks)
+        existing = materials.find_one({"mps_id": mps_id})
+        if existing is not None:
+            doc["material_id"] = existing["material_id"]
+            materials.update_one({"mps_id": mps_id}, {"$set": doc})
+            return "updated"
+        doc["material_id"] = self._next_material_id()
+        materials.insert_one(doc)
+        return "built"
+
+    # -- incremental entry points (used by IncrementalMaterialsBuilder) ---
+
+    def refresh(self, mps_id: str) -> bool:
+        """Rebuild one material group; retires it if no tasks remain."""
+        tasks = [
+            t for t in self.db["tasks"].find(
+                {"mps_id": mps_id, "state": "COMPLETED"}
+            )
+        ]
+        if not tasks:
+            result = self.db["materials"].delete_many({"mps_id": mps_id})
+            return result.deleted_count > 0
+        self._upsert_material(mps_id, tasks)
+        return True
+
+    def retire_orphans(self) -> int:
+        """Drop materials whose mps group has no completed tasks left."""
+        live = {t["mps_id"] for t in self._completed_tasks()}
+        materials = self.db["materials"]
+        retired = 0
+        for mat in materials.find({}, {"mps_id": 1}):
+            if mat.get("mps_id") not in live:
+                materials.delete_many({"_id": mat["_id"]})
+                retired += 1
+        return retired
+
+    # -- batch rebuild -----------------------------------------------------
+
+    def run(self) -> dict:
+        with span("builder.materials", db=self.db.name):
+            tasks = self._completed_tasks()
+            groups: Dict[str, List[dict]] = {}
+            for task in tasks:
+                groups.setdefault(task["mps_id"], []).append(task)
+            built = updated = 0
+            for mps_id in sorted(groups):
+                outcome = self._upsert_material(mps_id, groups[mps_id])
+                if outcome == "built":
+                    built += 1
+                else:
+                    updated += 1
+            retired = self.retire_orphans()
+            get_registry().counter(
+                "repro_builder_documents_total", "documents built per builder"
+            ).inc(built + updated, builder="materials")
+            return {
+                "tasks_considered": len(tasks),
+                "materials_built": built,
+                "materials_updated": updated,
+                "materials_retired": retired,
+            }

@@ -1,0 +1,313 @@
+"""Derived-property builders: phase diagrams, batteries, XRD, bands, symmetry.
+
+Each builder reads the curated ``materials`` collection and projects one
+derived collection, exactly the "materials → derived collections" stage of
+the paper's pipeline.  All of them are idempotent — rerunning against an
+unchanged materials collection builds nothing new — and each run is traced
+as a ``builder.<name>`` span.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from ..dft.energy import reference_energy_per_atom
+from ..errors import MatgenError
+from ..matgen.bandstructure import compute_band_structure
+from ..matgen.battery import ConversionElectrode, InsertionElectrode
+from ..matgen.composition import Composition
+from ..matgen.elements import Element
+from ..matgen.phasediagram import PDEntry, PhaseDiagram
+from ..matgen.structure import Structure
+from ..matgen.symmetry import SymmetryFinder
+from ..matgen.xrd import XRDCalculator
+from ..obs import get_registry, span
+
+__all__ = [
+    "PhaseDiagramBuilder",
+    "BatteryBuilder",
+    "XRDBuilder",
+    "BandStructureBuilder",
+    "SymmetryBuilder",
+]
+
+
+def _usable_materials(db) -> List[dict]:
+    """Materials with enough data to enter thermodynamic constructions."""
+    return [
+        m for m in db["materials"].find({})
+        if m.get("formula") and m.get("energy") is not None
+        and m.get("elements")
+    ]
+
+
+def _count_built(builder: str, n: int) -> None:
+    get_registry().counter(
+        "repro_builder_documents_total", "documents built per builder"
+    ).inc(n, builder=builder)
+
+
+class PhaseDiagramBuilder:
+    """One hull per chemical system spanned by the materials collection.
+
+    Every diagram gets elemental reference entries injected (the hull
+    needs an endpoint per element), and each material is annotated with
+    ``e_above_hull``/``is_stable`` from its own system's diagram.
+    """
+
+    def __init__(self, db):
+        self.db = db
+
+    def run(self) -> dict:
+        with span("builder.phase_diagrams", db=self.db.name):
+            materials = _usable_materials(self.db)
+            systems: Dict[frozenset, None] = {}
+            for m in materials:
+                systems.setdefault(frozenset(m["elements"]))
+            built = 0
+            for elements in sorted(systems, key=lambda s: sorted(s)):
+                if self._build_system(elements, materials):
+                    built += 1
+            _count_built("phase_diagrams", built)
+            return {"systems_built": built}
+
+    def _build_system(self, elements: frozenset, materials: List[dict]) -> bool:
+        members = [
+            m for m in materials if set(m["elements"]) <= elements
+        ]
+        entries = [
+            PDEntry(m["formula"], m["energy"], entry_id=m["material_id"])
+            for m in members
+        ]
+        entries += [
+            PDEntry(symbol, reference_energy_per_atom(symbol),
+                    entry_id=f"ref-{symbol}")
+            for symbol in sorted(elements)
+        ]
+        try:
+            pd = PhaseDiagram(entries)
+        except MatgenError:
+            return False
+        doc = pd.summary()
+        doc["n_materials"] = len(members)
+        doc["built_at"] = time.time()
+        self.db["phase_diagrams"].update_one(
+            {"chemical_system": doc["chemical_system"]},
+            {"$set": doc},
+            upsert=True,
+        )
+        # Hull annotations, from each material's own chemical system.
+        for material, entry in zip(members, entries):
+            if frozenset(material["elements"]) != elements:
+                continue
+            self.db["materials"].update_one(
+                {"material_id": material["material_id"]},
+                {"$set": {
+                    "e_above_hull": pd.get_e_above_hull(entry),
+                    "is_stable": pd.is_stable(entry),
+                }},
+            )
+        return True
+
+
+class BatteryBuilder:
+    """Electrode screening — the computation behind the paper's Figure 1."""
+
+    def __init__(self, db, working_ion: str):
+        self.db = db
+        self.working_ion = working_ion
+        self.ion = Element(working_ion)
+
+    def _framework_of(self, material: dict) -> Tuple[str, bool]:
+        """(ion-free framework reduced formula, contains-ion flag)."""
+        composition = Composition(material["formula"])
+        amounts = {
+            element: amount for element, amount in composition.items()
+            if element != self.ion
+        }
+        if not amounts:
+            return "", False
+        frame = Composition(amounts)
+        return frame.reduced_formula, self.ion in composition
+
+    def run_intercalation(self) -> dict:
+        with span("builder.batteries.intercalation", ion=self.working_ion):
+            groups: Dict[str, List[dict]] = {}
+            ionic: Dict[str, bool] = {}
+            for material in _usable_materials(self.db):
+                frame, has_ion = self._framework_of(material)
+                if not frame:
+                    continue
+                groups.setdefault(frame, []).append(material)
+                ionic[frame] = ionic.get(frame, False) or has_ion
+            built = 0
+            for frame in sorted(groups):
+                members = groups[frame]
+                if len(members) < 2 or not ionic[frame]:
+                    continue
+                entries = [
+                    PDEntry(m["formula"], m["energy"],
+                            entry_id=m["material_id"])
+                    for m in members
+                ]
+                try:
+                    electrode = InsertionElectrode(
+                        entries, self.working_ion,
+                        reference_energy_per_atom(self.working_ion),
+                    )
+                except MatgenError:
+                    continue
+                doc = electrode.get_summary_dict()
+                doc["material_ids"] = sorted(m["material_id"] for m in members)
+                doc["built_at"] = time.time()
+                self.db["batteries"].update_one(
+                    {"battery_type": "intercalation",
+                     "working_ion": self.working_ion,
+                     "framework": doc["framework"]},
+                    {"$set": doc},
+                    upsert=True,
+                )
+                built += 1
+            _count_built("batteries", built)
+            return {"intercalation_built": built}
+
+    def run_conversion(self, max_hosts: int = 10) -> dict:
+        with span("builder.batteries.conversion", ion=self.working_ion):
+            materials = _usable_materials(self.db)
+            hosts = [
+                m for m in materials
+                if self.working_ion not in m["elements"]
+            ]
+            hosts.sort(key=lambda m: m["material_id"])
+            built = 0
+            for host in hosts[:max_hosts]:
+                if self._build_conversion(host, materials):
+                    built += 1
+            _count_built("batteries", built)
+            return {"conversion_built": built}
+
+    def _build_conversion(self, host: dict, materials: List[dict]) -> bool:
+        elements = set(host["elements"]) | {self.working_ion}
+        entries = [
+            PDEntry(m["formula"], m["energy"], entry_id=m["material_id"])
+            for m in materials if set(m["elements"]) <= elements
+        ]
+        entries += [
+            PDEntry(symbol, reference_energy_per_atom(symbol),
+                    entry_id=f"ref-{symbol}")
+            for symbol in sorted(elements)
+        ]
+        try:
+            pd = PhaseDiagram(entries)
+            electrode = ConversionElectrode(
+                PDEntry(host["formula"], host["energy"],
+                        entry_id=host["material_id"]),
+                pd,
+                self.working_ion,
+            )
+        except MatgenError:
+            return False
+        doc = electrode.get_summary_dict()
+        if doc.get("capacity_grav", 0) <= 0:
+            return False
+        doc["material_id"] = host["material_id"]
+        doc["built_at"] = time.time()
+        self.db["batteries"].update_one(
+            {"battery_type": "conversion",
+             "working_ion": self.working_ion,
+             "host": doc["host"],
+             "material_id": host["material_id"]},
+            {"$set": doc},
+            upsert=True,
+        )
+        return True
+
+
+class _PerMaterialBuilder:
+    """Shared skeleton: one derived document per material, idempotent."""
+
+    #: Derived collection name — set by subclasses.
+    target = ""
+    span_name = ""
+    counter_key = ""
+
+    def __init__(self, db):
+        self.db = db
+
+    def run(self) -> dict:
+        with span(self.span_name, db=self.db.name):
+            target = self.db[self.target]
+            built = 0
+            for material in self.db["materials"].find({}):
+                material_id = material.get("material_id")
+                if material_id is None or not material.get("structure"):
+                    continue
+                if target.find_one({"material_id": material_id}) is not None:
+                    continue
+                structure = Structure.from_dict(material["structure"])
+                doc = self._build_one(material, structure)
+                if doc is None:
+                    continue
+                doc.update({
+                    "material_id": material_id,
+                    "reduced_formula": material.get("reduced_formula"),
+                    "built_at": time.time(),
+                })
+                target.insert_one(doc)
+                built += 1
+            _count_built(self.target, built)
+            return {self.counter_key: built}
+
+    def _build_one(self, material: dict, structure: Structure):
+        raise NotImplementedError
+
+
+class XRDBuilder(_PerMaterialBuilder):
+    """Computed powder diffraction patterns (Cu Kα) per material."""
+
+    target = "xrd"
+    span_name = "builder.xrd"
+    counter_key = "xrd_built"
+
+    def _build_one(self, material: dict, structure: Structure):
+        pattern = XRDCalculator().get_pattern(structure)
+        doc = pattern.as_dict()
+        doc["n_peaks"] = len(doc["peaks"])
+        return doc
+
+
+class BandStructureBuilder(_PerMaterialBuilder):
+    """Band structures along the standard k-path per material."""
+
+    target = "bandstructures"
+    span_name = "builder.bandstructures"
+    counter_key = "bandstructures_built"
+
+    def _build_one(self, material: dict, structure: Structure):
+        bs = compute_band_structure(structure)
+        return {
+            "band_gap": bs.band_gap,
+            "is_metal": bs.is_metal,
+            "n_bands": bs.n_bands,
+            "bands": bs.as_dict(),
+        }
+
+
+class SymmetryBuilder(_PerMaterialBuilder):
+    """Space-group analysis; also annotates the material itself."""
+
+    target = "symmetry"
+    span_name = "builder.symmetry"
+    counter_key = "symmetry_built"
+
+    def _build_one(self, material: dict, structure: Structure):
+        summary = SymmetryFinder(structure).summary()
+        self.db["materials"].update_one(
+            {"material_id": material["material_id"]},
+            {"$set": {
+                "lattice_system": summary["lattice_system"],
+                "n_symmetry_ops": summary["n_operations"],
+            }},
+        )
+        return dict(summary)

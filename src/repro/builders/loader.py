@@ -1,0 +1,86 @@
+"""The task loader: run directories on disk → task documents.
+
+Mirrors the paper's ingestion path for calculations that did not come
+through the workflow engine — a crawler walks a tree of VASP-style run
+directories, reduces each to a small summary document (the bulky raw
+files optionally land in the content-addressed :class:`FileStore`), and
+records FIZZLED runs with their failure signature so nothing is lost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from ..dft.io import parse_run_directory
+from ..errors import DFTError
+from ..matgen.structure import Structure
+from ..obs import get_registry, span
+from .core import ensure_index
+
+__all__ = ["TaskLoader", "ARCHIVE_FILES"]
+
+#: Raw outputs worth keeping verbatim (everything else is rederivable).
+ARCHIVE_FILES = ("OUTCAR", "OSZICAR", "EIGENVAL")
+
+#: A directory is a run directory if it contains one of these.
+_RUN_MARKERS = ("run_summary.json", "OUTCAR")
+
+
+class TaskLoader:
+    """Loads run directories into the ``tasks`` collection."""
+
+    def __init__(self, db, file_store=None, tasks_collection: str = "tasks"):
+        self.db = db
+        self.tasks = db[tasks_collection]
+        self.file_store = file_store
+        ensure_index(self.tasks, "run_dir")
+
+    def load_run_directory(self, run_dir: str,
+                           mps_id: Optional[str] = None) -> dict:
+        """Parse one run directory and insert its task document.
+
+        Raises :class:`DFTError` when the directory cannot be parsed at
+        all; a parseable FAILED run becomes a FIZZLED task instead.
+        """
+        doc = parse_run_directory(run_dir)
+        status = doc.get("status", "UNKNOWN")
+        doc["state"] = "COMPLETED" if status == "COMPLETED" else "FIZZLED"
+        if mps_id is not None:
+            doc["mps_id"] = mps_id
+        if doc.get("structure"):
+            structure = Structure.from_dict(doc["structure"])
+            doc.setdefault("formula", structure.reduced_formula)
+            doc.setdefault("elements", structure.elements)
+        doc["loaded_at"] = time.time()
+        if self.file_store is not None:
+            doc["raw_files"] = self.file_store.archive_directory(
+                run_dir, list(ARCHIVE_FILES)
+            )
+        self.tasks.insert_one(doc)
+        get_registry().counter(
+            "repro_loader_tasks_total", "tasks ingested from disk"
+        ).inc(1, state=doc["state"])
+        return doc
+
+    def load_tree(self, root: str) -> Dict[str, int]:
+        """Walk ``root`` and load every run directory not yet ingested."""
+        with span("builder.loader", root=root):
+            loaded = skipped = unparseable = 0
+            for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+                if not any(marker in filenames for marker in _RUN_MARKERS):
+                    continue
+                if self.tasks.count_documents({"run_dir": dirpath}) > 0:
+                    skipped += 1
+                    continue
+                try:
+                    self.load_run_directory(dirpath)
+                    loaded += 1
+                except DFTError:
+                    unparseable += 1
+            return {
+                "loaded": loaded,
+                "skipped_existing": skipped,
+                "unparseable": unparseable,
+            }

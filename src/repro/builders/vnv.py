@@ -1,0 +1,262 @@
+"""Verification & validation: the audits run before releasing a database.
+
+The paper stresses catching "a calculation bug before releasing a
+database"; this runner encodes that as a battery of rules over the live
+collections — schema conformance, internal arithmetic, physical ranges,
+referential integrity, regression against known compounds, and a
+MapReduce consistency sweep.  ``run_all`` files a report document into
+``vnv_reports`` so the audit history is itself queryable.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List
+
+from ..errors import MatgenError, ValidationError
+from ..matgen.mps import validate_mps
+from ..obs import get_registry, span
+
+__all__ = ["Violation", "Rule", "VnVRunner"]
+
+#: Physically plausible DFT ranges (eV); far outside means corruption.
+FORMATION_ENERGY_RANGE = (-20.0, 10.0)
+BAND_GAP_RANGE = (0.0, 25.0)
+
+#: Max energy-per-atom disagreement between duplicate tasks of one MPS (eV).
+ENERGY_SPREAD_TOLERANCE = 1.0
+
+#: Reference values for compounds whose properties are beyond doubt.
+KNOWN_COMPOUNDS = {
+    "NaCl": {"min_band_gap": 0.5, "max_formation_epa": -0.2},
+}
+
+
+class Violation:
+    """One failed check: which rule fired and why."""
+
+    __slots__ = ("rule", "message")
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        self.message = message
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "message": self.message}
+
+    def __repr__(self) -> str:
+        return f"Violation({self.rule!r}, {self.message!r})"
+
+
+class Rule:
+    """A named audit: a callable from the database to violations."""
+
+    __slots__ = ("name", "check")
+
+    def __init__(self, name: str, check: Callable):
+        self.name = name
+        self.check = check
+
+    def __call__(self, db) -> List[Violation]:
+        return self.check(db)
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+# -- individual rules --------------------------------------------------------
+
+
+def _rule_mps_schema(db) -> List[Violation]:
+    violations = []
+    for record in db["mps"].find({}):
+        try:
+            validate_mps(record)
+        except MatgenError as exc:
+            violations.append(Violation(
+                "mps_schema", f"{record.get('mps_id')}: {exc}"
+            ))
+    return violations
+
+
+def _rule_task_energy_arithmetic(db) -> List[Violation]:
+    """energy, energy_per_atom, and the structure must agree."""
+    violations = []
+    for task in db["tasks"].find({"state": "COMPLETED"}):
+        energy = task.get("energy")
+        epa = task.get("energy_per_atom")
+        structure = task.get("structure")
+        if not (_finite(energy) and _finite(epa) and isinstance(structure, dict)):
+            continue
+        nsites = len(structure.get("sites") or [])
+        if not nsites:
+            continue
+        expected = energy / nsites
+        if abs(epa - expected) > 1e-4 * max(1.0, abs(expected)):
+            violations.append(Violation(
+                "task_energy_arithmetic",
+                f"task {task.get('_id')}: energy_per_atom={epa} but "
+                f"energy/nsites={expected:.6f}",
+            ))
+    return violations
+
+
+def _rule_formation_energy_range(db) -> List[Violation]:
+    lo, hi = FORMATION_ENERGY_RANGE
+    violations = []
+    for material in db["materials"].find({}):
+        value = material.get("formation_energy_per_atom")
+        if value is None:
+            continue
+        if not _finite(value) or not lo <= value <= hi:
+            violations.append(Violation(
+                "material_formation_energy_range",
+                f"{material.get('material_id')}: "
+                f"formation_energy_per_atom={value} outside [{lo}, {hi}]",
+            ))
+    return violations
+
+
+def _rule_band_gap_range(db) -> List[Violation]:
+    lo, hi = BAND_GAP_RANGE
+    violations = []
+    for material in db["materials"].find({}):
+        value = material.get("band_gap")
+        if value is None:
+            continue
+        if not _finite(value) or not lo <= value <= hi:
+            violations.append(Violation(
+                "material_band_gap_range",
+                f"{material.get('material_id')}: band_gap={value} "
+                f"outside [{lo}, {hi}]",
+            ))
+    return violations
+
+
+# -- the runner --------------------------------------------------------------
+
+
+class VnVRunner:
+    """Runs every rule and files the report (paper's pre-release V&V)."""
+
+    def __init__(self, db):
+        self.db = db
+        self.rules = [
+            Rule("mps_schema", _rule_mps_schema),
+            Rule("task_energy_arithmetic", _rule_task_energy_arithmetic),
+            Rule("material_formation_energy_range",
+                 _rule_formation_energy_range),
+            Rule("material_band_gap_range", _rule_band_gap_range),
+        ]
+
+    def run_rule(self, rule: Rule) -> List[Violation]:
+        with span(f"vnv.{rule.name}"):
+            return rule(self.db)
+
+    def run_referential_integrity(self) -> List[Violation]:
+        """Every material's provenance must point at a live task."""
+        with span("vnv.referential_integrity"):
+            violations = []
+            tasks = self.db["tasks"]
+            for material in self.db["materials"].find({}):
+                provenance = material.get("provenance")
+                if not isinstance(provenance, dict):
+                    continue
+                task_id = provenance.get("task_id")
+                if task_id is None:
+                    continue
+                if tasks.find_one({"_id": task_id}) is None:
+                    violations.append(Violation(
+                        "ref:material_task",
+                        f"{material.get('material_id')}: provenance task "
+                        f"{task_id} not found",
+                    ))
+            return violations
+
+    def run_known_compounds(self) -> List[Violation]:
+        """Regression check against compounds with well-known properties."""
+        with span("vnv.known_compounds"):
+            violations = []
+            for formula, expected in KNOWN_COMPOUNDS.items():
+                material = self.db["materials"].find_one(
+                    {"reduced_formula": formula}
+                )
+                if material is None:
+                    continue
+                rule = f"known:{formula}"
+                gap = material.get("band_gap")
+                if _finite(gap) and gap < expected["min_band_gap"]:
+                    violations.append(Violation(
+                        rule,
+                        f"band_gap={gap} below known minimum "
+                        f"{expected['min_band_gap']}",
+                    ))
+                formation = material.get("formation_energy_per_atom")
+                if _finite(formation) and (
+                    formation > expected["max_formation_epa"]
+                ):
+                    violations.append(Violation(
+                        rule,
+                        f"formation_energy_per_atom={formation} above known "
+                        f"maximum {expected['max_formation_epa']}",
+                    ))
+            return violations
+
+    def run_mapreduce_rule(self) -> List[Violation]:
+        """Duplicate tasks for one MPS must agree on the energy."""
+        with span("vnv.energy_spread"):
+            def mapper(doc):
+                if (doc.get("state") == "COMPLETED" and doc.get("mps_id")
+                        and _finite(doc.get("energy_per_atom"))):
+                    yield doc["mps_id"], doc["energy_per_atom"]
+
+            def reducer(key, values):
+                return {"spread": max(values) - min(values), "n": len(values)}
+
+            violations = []
+            for row in self.db["tasks"].map_reduce(mapper, reducer):
+                if not isinstance(row["value"], dict):
+                    continue  # single task: Mongo passes it through unreduced
+                spread = row["value"]["spread"]
+                if spread > ENERGY_SPREAD_TOLERANCE:
+                    violations.append(Violation(
+                        "mr:energy_spread",
+                        f"{row['_id']}: {row['value']['n']} tasks disagree by "
+                        f"{spread:.3f} eV/atom",
+                    ))
+            return violations
+
+    def run_all(self) -> dict:
+        with span("vnv.run_all", db=self.db.name):
+            started = time.perf_counter()
+            violations: List[Violation] = []
+            for rule in self.rules:
+                violations.extend(self.run_rule(rule))
+            violations.extend(self.run_referential_integrity())
+            violations.extend(self.run_known_compounds())
+            violations.extend(self.run_mapreduce_rule())
+            report = {
+                "clean": not violations,
+                "violations": [v.as_dict() for v in violations],
+                "n_violations": len(violations),
+                "elapsed_s": time.perf_counter() - started,
+            }
+            self.db["vnv_reports"].insert_one({**report, "ts": time.time()})
+            get_registry().counter(
+                "repro_vnv_violations_total", "V&V violations found"
+            ).inc(len(violations), db=self.db.name)
+            return report
+
+    def assert_clean(self) -> dict:
+        """Run everything; raise if any rule fired (pre-release gate)."""
+        report = self.run_all()
+        if not report["clean"]:
+            summary = "; ".join(
+                f"{v['rule']}: {v['message']}" for v in report["violations"][:5]
+            )
+            raise ValidationError(
+                f"{report['n_violations']} V&V violations: {summary}"
+            )
+        return report

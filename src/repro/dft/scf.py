@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from ..errors import ConvergenceError, InputError
 from ..matgen.structure import Structure
+from ..obs import span
 from .energy import total_energy
 
 __all__ = ["SCFParameters", "SCFResult", "run_scf", "structure_difficulty"]
@@ -149,6 +150,14 @@ def run_scf(structure: Structure, params: Optional[SCFParameters] = None) -> SCF
     bias.  The residual trace follows the contraction factor exactly, so
     iteration counts respond to AMIX/ALGO the way a real code's would.
     """
+    with span("scf.run", formula=structure.reduced_formula) as scf_span:
+        result = _run_scf(structure, params)
+        scf_span.set_attribute("n_iterations", result.n_iterations)
+        return result
+
+
+def _run_scf(structure: Structure,
+             params: Optional[SCFParameters]) -> SCFResult:
     params = params or SCFParameters()
     rho = _contraction_factor(structure, params)
     n_atoms = structure.num_sites

@@ -17,6 +17,7 @@ would give, at much lower cost.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional
 
 from ..errors import DocstoreError, DuplicateKeyError
@@ -111,14 +112,45 @@ class Collection:
     def _id_key(value: Any) -> Any:
         return value.binary if isinstance(value, ObjectId) else value
 
+    def _observe(
+        self,
+        op: str,
+        kind: str,
+        query: Any,
+        started: float,
+        nreturned: int = 0,
+        n_ops: int = 1,
+        docs_examined: Optional[int] = None,
+        plan: Optional[str] = None,
+    ) -> None:
+        """Report a finished operation to the database's instrumentation
+        funnel (opcounters, profiler, metrics, tracing).  A no-op for
+        detached collections and ``system.*`` namespaces."""
+        db = self.database
+        if db is None or self.name.startswith("system."):
+            return
+        observer = getattr(db, "_observe_op", None)
+        if observer is None:
+            return
+        observer(
+            self.name, op, kind, query, time.perf_counter() - started,
+            nreturned=nreturned, n_ops=n_ops,
+            docs_examined=docs_examined, plan=plan,
+        )
+
     # -- inserts ----------------------------------------------------------
 
     def insert_one(self, document: Mapping[str, Any]) -> InsertResult:
         """Insert a single document, assigning an ObjectId if needed."""
-        return InsertResult([self._insert(document)])
+        t0 = time.perf_counter()
+        result = InsertResult([self._insert(document)])
+        self._observe("insert", "insert", {}, t0)
+        return result
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertResult:
+        t0 = time.perf_counter()
         ids = [self._insert(d) for d in documents]
+        self._observe("insert", "insert", {}, t0, n_ops=len(ids))
         return InsertResult(ids)
 
     def _insert(self, document: Mapping[str, Any], _notify: bool = True) -> Any:
@@ -162,13 +194,26 @@ class Collection:
                     yield doc
 
     def explain(self, query: Optional[Mapping[str, Any]] = None) -> dict:
-        """Run the planner for ``query`` and report the chosen plan."""
+        """Run the planner for ``query`` and report the chosen plan.
+
+        The report carries MongoDB ``executionStats``-style fields: the
+        ``stage`` (IXSCAN/COLLSCAN), the ``index`` consulted (also exposed
+        as ``indexUsed``), ``docsExamined``, ``nReturned``, and the wall
+        time in ``executionTimeMillis``.
+        """
         query = query or {}
         matcher = compile_query(query)
-        count = sum(1 for _ in self._candidates(query, matcher))
-        plan = self._last_plan
-        out = plan.to_dict() if plan else {"stage": "COLLSCAN", "index": None}
+        t0 = time.perf_counter()
+        with self._lock:
+            count = sum(1 for _ in self._candidates(query, matcher))
+            plan = self._last_plan
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        out = plan.to_dict() if plan else {
+            "stage": "COLLSCAN", "index": None, "docsExamined": 0,
+        }
+        out["indexUsed"] = out.get("index")
         out["nReturned"] = count
+        out["executionTimeMillis"] = elapsed_ms
         return out
 
     def find(
@@ -181,8 +226,15 @@ class Collection:
         matcher = compile_query(query)
 
         def source() -> Iterator[dict]:
+            t0 = time.perf_counter()
             with self._lock:
                 matched = [deep_copy_doc(d) for d in self._candidates(query, matcher)]
+                plan = self._last_plan
+            self._observe(
+                "find", "query", query, t0, nreturned=len(matched),
+                docs_examined=plan.candidates_examined if plan else None,
+                plan=plan.kind if plan else None,
+            )
             return iter(matched)
 
         return Cursor(source, projection)
@@ -195,18 +247,26 @@ class Collection:
         """First matching document or None."""
         query = query or {}
         matcher = compile_query(query)
+        t0 = time.perf_counter()
         with self._lock:
             for doc in self._candidates(query, matcher):
-                return apply_projection(doc, projection)
+                result = apply_projection(doc, projection)
+                self._observe("findOne", "query", query, t0, nreturned=1)
+                return result
+        self._observe("findOne", "query", query, t0, nreturned=0)
         return None
 
     def count_documents(self, query: Optional[Mapping[str, Any]] = None) -> int:
         query = query or {}
+        t0 = time.perf_counter()
         if not query:
-            return len(self._docs)
-        matcher = compile_query(query)
-        with self._lock:
-            return sum(1 for _ in self._candidates(query, matcher))
+            n = len(self._docs)
+        else:
+            matcher = compile_query(query)
+            with self._lock:
+                n = sum(1 for _ in self._candidates(query, matcher))
+        self._observe("count", "command", query, t0, nreturned=n)
+        return n
 
     def distinct(
         self, field: str, query: Optional[Mapping[str, Any]] = None
@@ -221,7 +281,11 @@ class Collection:
         update: Mapping[str, Any],
         upsert: bool = False,
     ) -> UpdateResult:
-        return self._update(query, update, multi=False, upsert=upsert)
+        t0 = time.perf_counter()
+        result = self._update(query, update, multi=False, upsert=upsert)
+        self._observe("update", "update", query, t0,
+                      nreturned=result.matched_count)
+        return result
 
     def update_many(
         self,
@@ -229,7 +293,11 @@ class Collection:
         update: Mapping[str, Any],
         upsert: bool = False,
     ) -> UpdateResult:
-        return self._update(query, update, multi=True, upsert=upsert)
+        t0 = time.perf_counter()
+        result = self._update(query, update, multi=True, upsert=upsert)
+        self._observe("update", "update", query, t0,
+                      nreturned=result.matched_count)
+        return result
 
     def replace_one(
         self,
@@ -239,7 +307,11 @@ class Collection:
     ) -> UpdateResult:
         if is_operator_update(replacement):
             raise DocstoreError("replace_one requires a plain document")
-        return self._update(query, replacement, multi=False, upsert=upsert)
+        t0 = time.perf_counter()
+        result = self._update(query, replacement, multi=False, upsert=upsert)
+        self._observe("update", "update", query, t0,
+                      nreturned=result.matched_count)
+        return result
 
     def _update(
         self,
@@ -340,6 +412,7 @@ class Collection:
         if return_document not in ("before", "after"):
             raise DocstoreError("return_document must be 'before' or 'after'")
         matcher = compile_query(query)
+        t0 = time.perf_counter()
         with self._lock:
             candidates = list(self._candidates(query, matcher))
             if sort:
@@ -354,9 +427,13 @@ class Collection:
                 if upsert:
                     new_doc = self._build_upsert_doc(query, update)
                     new_id = self._insert(new_doc)
+                    self._observe("findAndModify", "update", query, t0,
+                                  nreturned=1)
                     if return_document == "after":
                         stored = self.find_one({"_id": new_id}, projection)
                         return stored
+                else:
+                    self._observe("findAndModify", "update", query, t0)
                 return None
             target = candidates[0]
             pos = self._id_to_pos[self._id_key(target["_id"])]
@@ -365,6 +442,7 @@ class Collection:
             result = before if return_document == "before" else deep_copy_doc(
                 self._docs[pos]
             )
+            self._observe("findAndModify", "update", query, t0, nreturned=1)
             return apply_projection(result, projection) if projection else result
 
     def find_one_and_delete(
@@ -374,6 +452,7 @@ class Collection:
     ) -> Optional[dict]:
         """Atomically find one matching document and remove it."""
         matcher = compile_query(query)
+        t0 = time.perf_counter()
         with self._lock:
             candidates = list(self._candidates(query, matcher))
             if sort:
@@ -385,9 +464,11 @@ class Collection:
                         reverse=direction == -1,
                     )
             if not candidates:
+                self._observe("findAndModify", "delete", query, t0)
                 return None
             target = candidates[0]
             self._delete_by_id(target["_id"])
+            self._observe("findAndModify", "delete", query, t0, nreturned=1)
             return deep_copy_doc(target)
 
     # -- deletes -------------------------------------------------------------
@@ -401,6 +482,7 @@ class Collection:
     def _delete(self, query: Mapping[str, Any], multi: bool) -> DeleteResult:
         matcher = compile_query(query)
         deleted = 0
+        t0 = time.perf_counter()
         with self._lock:
             ids = [
                 self._docs[pos]["_id"]
@@ -412,6 +494,7 @@ class Collection:
             for _id in ids:
                 self._delete_by_id(_id)
                 deleted += 1
+        self._observe("delete", "delete", query, t0, nreturned=deleted)
         return DeleteResult(deleted)
 
     def _delete_by_id(self, _id: Any) -> None:
@@ -538,9 +621,13 @@ class Collection:
         """Run an aggregation pipeline (see :mod:`repro.docstore.aggregation`)."""
         from .aggregation import run_pipeline
 
+        t0 = time.perf_counter()
         with self._lock:
             docs = [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]
-        return run_pipeline(docs, pipeline, database=self.database)
+        out = run_pipeline(docs, pipeline, database=self.database)
+        self._observe("aggregate", "command", {"pipeline": len(pipeline)}, t0,
+                      nreturned=len(out))
+        return out
 
     def map_reduce(
         self,

@@ -1,9 +1,25 @@
 """Databases and the client entry point.
 
 A :class:`Database` is a namespace of collections; :class:`DocumentStore`
-plays the role of ``MongoClient`` — it owns databases, the optional
-persistence layer, and the profiling switch that records per-query latency
-(the data behind the paper's Figure 5).
+plays the role of ``MongoClient`` — it owns databases and the optional
+persistence layer.
+
+Every collection operation reports into :meth:`Database._observe_op`, the
+single instrumentation funnel behind four consumers:
+
+* **opcounters** — MongoDB ``serverStatus``-style totals per op category
+  (insert/query/update/delete/getmore/command), see :meth:`server_status`;
+* **the profiler** — MongoDB semantics: level 0 off, level 1 records read
+  ops plus anything slower than ``slowms``, level 2 records every op, all
+  into a queryable ``system.profile`` collection (the data behind the
+  paper's Figure 5);
+* **the metrics registry** — ``repro_docstore_ops_total`` and
+  ``repro_docstore_op_millis`` in :mod:`repro.obs.metrics`;
+* **tracing** — when a span is current (e.g. inside a firework launch),
+  each op attaches itself as a timed ``docstore.<op>`` child span.
+
+``system.*`` collections are exempt from observation, so the profiler can
+write its own records without recursing.
 """
 
 from __future__ import annotations
@@ -13,9 +29,24 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..errors import CollectionNotFound, DocstoreError
+from ..obs import current_span, get_registry
 from .collection import Collection
 
 __all__ = ["Database", "DocumentStore"]
+
+#: Op categories reported by ``serverStatus``-style opcounters.
+OPCOUNTER_KEYS = ("insert", "query", "update", "delete", "getmore", "command")
+
+#: Default slow-op threshold (ms) for profiling level 1, as in MongoDB.
+DEFAULT_SLOWMS = 100.0
+
+#: Profile records kept before the oldest are evicted (capped collection).
+PROFILE_CAP = 4096
+
+#: Op names treated as reads: recorded at profiling level 1 regardless of
+#: latency (our level 1 is "reads + slow ops" so the Fig. 5 query log can
+#: be collected without drowning in write records).
+_READ_OPS = frozenset({"find", "findOne", "aggregate", "getmore"})
 
 
 class Database:
@@ -29,7 +60,9 @@ class Database:
         self._collections: Dict[str, Collection] = {}
         self._lock = threading.RLock()
         self._profile_level = 0
-        self._profile_log: List[dict] = []
+        self._slowms = DEFAULT_SLOWMS
+        self._opcounters: Dict[str, int] = {k: 0 for k in OPCOUNTER_KEYS}
+        self._started_at = time.time()
 
     def __getitem__(self, name: str) -> Collection:
         return self.get_collection(name)
@@ -48,14 +81,14 @@ class Database:
                         f"collection {name!r} not found in db {self.name!r}"
                     )
                 coll = Collection(name, database=self)
-                if self._profile_level > 0:
-                    self._attach_profiler(coll)
                 self._collections[name] = coll
             return coll
 
     def list_collection_names(self) -> List[str]:
+        """User collection names (``system.*`` namespaces excluded)."""
         with self._lock:
-            return sorted(self._collections)
+            return sorted(n for n in self._collections
+                          if not n.startswith("system."))
 
     def drop_collection(self, name: str) -> None:
         with self._lock:
@@ -63,73 +96,149 @@ class Database:
             if coll is not None:
                 coll.drop()
 
+    # -- the instrumentation funnel ---------------------------------------
+
+    def _observe_op(
+        self,
+        coll_name: str,
+        op: str,
+        kind: str,
+        query: Any,
+        elapsed_s: float,
+        nreturned: int = 0,
+        n_ops: int = 1,
+        docs_examined: Optional[int] = None,
+        plan: Optional[str] = None,
+    ) -> None:
+        """Called by :class:`Collection` after every operation.
+
+        ``op`` is the precise operation name (``find``, ``insert``,
+        ``findAndModify``...), ``kind`` its opcounter category.
+        """
+        if coll_name.startswith("system."):
+            return
+        millis = elapsed_s * 1e3
+        with self._lock:
+            self._opcounters[kind] = self._opcounters.get(kind, 0) + n_ops
+
+        registry = get_registry()
+        registry.counter(
+            "repro_docstore_ops_total", "datastore operations by category"
+        ).inc(n_ops, db=self.name, op=kind)
+        registry.histogram(
+            "repro_docstore_op_millis", "datastore op latency"
+        ).observe(millis, db=self.name, op=kind)
+
+        parent = current_span()
+        if parent is not None:
+            parent.record(
+                f"docstore.{op}", duration_ms=millis,
+                ns=f"{self.name}.{coll_name}", nreturned=nreturned,
+            )
+
+        level = self._profile_level
+        if level >= 2 or (level == 1 and (op in _READ_OPS
+                                          or millis >= self._slowms)):
+            self._record_profile(coll_name, op, query, millis, nreturned,
+                                 docs_examined, plan)
+
     # -- profiling (per-query timing, powers Fig. 5 reproduction) ---------
 
-    def set_profiling_level(self, level: int) -> None:
-        """0 = off, 1+ = record every find/aggregate with wall time."""
+    def set_profiling_level(self, level: int,
+                            slowms: Optional[float] = None) -> None:
+        """0 = off; 1 = reads and slow ops; 2 = every operation.
+
+        Mirrors ``db.setProfilingLevel(level, slowms)``: records land in
+        the queryable ``system.profile`` collection.
+        """
+        if level not in (0, 1, 2):
+            raise DocstoreError(f"profiling level must be 0, 1, or 2: {level}")
         with self._lock:
             self._profile_level = level
-            if level > 0:
-                for coll in self._collections.values():
-                    self._attach_profiler(coll)
+            if slowms is not None:
+                self._slowms = float(slowms)
 
-    def _attach_profiler(self, coll: Collection) -> None:
-        if getattr(coll, "_profiled", False):
-            return
-        coll._profiled = True  # type: ignore[attr-defined]
-        original_find = coll.find
-        original_agg = coll.aggregate
-        db = self
+    def get_profiling_level(self) -> int:
+        return self._profile_level
 
-        def timed_find(query=None, projection=None):
-            cursor = original_find(query, projection)
-            original_execute = cursor._execute
-
-            def timed_execute():
-                t0 = time.perf_counter()
-                docs = original_execute()
-                elapsed = time.perf_counter() - t0
-                db._record_profile(coll.name, "find", query or {}, elapsed, len(docs))
-                return docs
-
-            cursor._execute = timed_execute  # type: ignore[method-assign]
-            return cursor
-
-        def timed_aggregate(pipeline):
-            t0 = time.perf_counter()
-            out = original_agg(pipeline)
-            elapsed = time.perf_counter() - t0
-            db._record_profile(coll.name, "aggregate", {"pipeline": len(pipeline)}, elapsed, len(out))
-            return out
-
-        coll.find = timed_find  # type: ignore[method-assign]
-        coll.aggregate = timed_aggregate  # type: ignore[method-assign]
+    @property
+    def slowms(self) -> float:
+        return self._slowms
 
     def _record_profile(
-        self, ns: str, op: str, query: Any, elapsed_s: float, nreturned: int
+        self,
+        ns: str,
+        op: str,
+        query: Any,
+        millis: float,
+        nreturned: int,
+        docs_examined: Optional[int],
+        plan: Optional[str],
     ) -> None:
-        self._profile_log.append(
-            {
-                "ns": f"{self.name}.{ns}",
-                "op": op,
-                "query": query,
-                "millis": elapsed_s * 1e3,
-                "nreturned": nreturned,
-                "ts": time.time(),
-            }
-        )
+        entry = {
+            "ns": f"{self.name}.{ns}",
+            "op": op,
+            "query": query,
+            "millis": millis,
+            "nreturned": nreturned,
+            "ts": time.time(),
+        }
+        if docs_examined is not None:
+            entry["docsExamined"] = docs_examined
+        if plan is not None:
+            entry["planSummary"] = plan
+        profile = self.get_collection("system.profile")
+        with profile._lock:
+            try:
+                profile._insert(entry, _notify=False)
+            except DocstoreError:
+                # Query held a value the store cannot hold; keep its repr.
+                entry["query"] = repr(query)
+                profile._insert(entry, _notify=False)
+            # Capped-collection behavior: evict the oldest records.
+            while len(profile) > PROFILE_CAP:
+                oldest = min(profile._docs)
+                profile._delete_by_id(profile._docs[oldest]["_id"])
 
     @property
     def profile_log(self) -> List[dict]:
-        """Recorded query timings (like Mongo's system.profile collection)."""
-        return list(self._profile_log)
+        """Recorded op timings (the ``system.profile`` contents)."""
+        with self._lock:
+            profile = self._collections.get("system.profile")
+        return profile.all_documents() if profile is not None else []
 
     def clear_profile_log(self) -> None:
-        self._profile_log.clear()
+        with self._lock:
+            profile = self._collections.get("system.profile")
+        if profile is not None:
+            with profile._lock:
+                for _id in [d["_id"] for d in profile._docs.values()]:
+                    profile._delete_by_id(_id)
+
+    # -- serverStatus / dbStats -------------------------------------------
+
+    def server_status(self) -> dict:
+        """MongoDB ``serverStatus``-style snapshot of this database."""
+        with self._lock:
+            opcounters = dict(self._opcounters)
+            level = self._profile_level
+            slowms = self._slowms
+        return {
+            "db": self.name,
+            "uptime_s": time.time() - self._started_at,
+            "opcounters": opcounters,
+            "profiling": {"level": level, "slowms": slowms},
+            "collections": len(self.list_collection_names()),
+            "objects": sum(
+                len(c) for n, c in self._collections.items()
+                if not n.startswith("system.")
+            ),
+        }
 
     def command_stats(self) -> dict:
         """dbStats-like summary across collections."""
-        stats = [c.stats() for c in self._collections.values()]
+        stats = [c.stats() for n, c in self._collections.items()
+                 if not n.startswith("system.")]
         return {
             "db": self.name,
             "collections": len(stats),
@@ -186,6 +295,19 @@ class DocumentStore:
             if db is not None:
                 for coll_name in db.list_collection_names():
                     db.drop_collection(coll_name)
+
+    def server_status(self) -> dict:
+        """Aggregate serverStatus across every database."""
+        with self._lock:
+            databases = list(self._databases.values())
+        opcounters = {k: 0 for k in OPCOUNTER_KEYS}
+        for db in databases:
+            for key, value in db.server_status()["opcounters"].items():
+                opcounters[key] = opcounters.get(key, 0) + value
+        return {
+            "databases": sorted(db.name for db in databases),
+            "opcounters": opcounters,
+        }
 
     def snapshot(self) -> None:
         """Write a full snapshot to the persistence directory."""

@@ -20,6 +20,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from ..obs import get_registry
 from .server import RemoteClient
 
 __all__ = ["DatastoreProxy"]
@@ -94,6 +95,13 @@ class DatastoreProxy:
             self.requests_forwarded += 1
             self.bytes_up += up
             self.bytes_down += down
+        registry = get_registry()
+        registry.counter(
+            "repro_proxy_requests_total", "requests relayed by the proxy"
+        ).inc(1)
+        registry.counter(
+            "repro_wire_bytes_total", "wire-protocol traffic"
+        ).inc(up + down, direction="proxy")
 
     @property
     def port(self) -> int:

@@ -22,6 +22,7 @@ import threading
 from typing import Any, List, Mapping, Optional
 
 from ..errors import DocstoreError, WireProtocolError
+from ..obs import get_registry
 from .database import DocumentStore
 from .documents import document_from_json, document_to_json
 
@@ -41,8 +42,12 @@ class _Handler(socketserver.StreamRequestHandler):
             except Exception as exc:  # noqa: BLE001 - wire boundary
                 response = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
             payload = document_to_json(response) + "\n"
+            encoded = payload.encode("utf-8")
+            get_registry().counter(
+                "repro_wire_bytes_total", "wire-protocol traffic"
+            ).inc(len(line) + len(encoded), direction="server")
             try:
-                self.wfile.write(payload.encode("utf-8"))
+                self.wfile.write(encoded)
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
                 break
@@ -98,6 +103,9 @@ class DatastoreServer:
         with self._stats_lock:
             self.requests_served += 1
         op = request["op"]
+        get_registry().counter(
+            "repro_wire_requests_total", "wire-protocol requests dispatched"
+        ).inc(1, op=str(op))
         if op == "ping":
             return {"ok": True, "result": "pong"}
         if op == "list_databases":

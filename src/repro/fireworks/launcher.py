@@ -24,6 +24,7 @@ from ..dft.scf import SCFParameters
 from ..dft.vasp import FakeVASP, Resources
 from ..errors import DFTError, ReproError, WorkflowError
 from ..matgen.structure import Structure
+from ..obs import get_registry, span
 from .launchpad import LaunchPad
 from .model import component_from_spec
 
@@ -87,12 +88,24 @@ class Rocket:
             return None
         self.launches += 1
 
-        outcome = self._execute(fw_doc)
-        analyzer = component_from_spec(fw_doc.get("analyzer"))
+        # The root span of one unit of work: the docstore ops issued while
+        # it is open (task insert, engine-state updates) attach themselves
+        # as timed children, giving the full launch → SCF → write trace.
+        with span("firework.launch", fw_id=fw_doc["fw_id"],
+                  worker=self.worker_name) as launch_span:
+            with span("firework.execute", fw_id=fw_doc["fw_id"]):
+                outcome = self._execute(fw_doc)
+            launch_span.set_attribute("status", outcome.get("status"))
+            analyzer = component_from_spec(fw_doc.get("analyzer"))
 
-        t0 = time.perf_counter()
-        self.launchpad.apply_actions(fw_doc, analyzer.analyze(fw_doc, outcome))
-        self.db_overhead_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self.launchpad.apply_actions(
+                fw_doc, analyzer.analyze(fw_doc, outcome)
+            )
+            self.db_overhead_s += time.perf_counter() - t0
+        get_registry().counter(
+            "repro_firework_launches_total", "fireworks executed"
+        ).inc(1, status=str(outcome.get("status")))
         return fw_doc
 
     def _execute(self, fw_doc: Mapping[str, Any]) -> Dict[str, Any]:

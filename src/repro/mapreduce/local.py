@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List
 
+from ..obs import get_registry, span
 from .core import MapReduceJob, MRResult
 
 __all__ = ["LocalExecutor"]
@@ -23,6 +24,14 @@ class LocalExecutor:
     name = "local-single-thread"
 
     def run(self, job: MapReduceJob, documents: Iterable[dict]) -> MRResult:
+        with span("mapreduce.run", executor=self.name, job=job.name):
+            result = self._run(job, documents)
+        get_registry().histogram(
+            "repro_mapreduce_wall_seconds", "MapReduce job wall time"
+        ).observe(result.wall_time_s, executor=self.name)
+        return result
+
+    def _run(self, job: MapReduceJob, documents: Iterable[dict]) -> MRResult:
         t0 = time.perf_counter()
         groups: dict = {}
         key_objects: dict = {}

@@ -20,6 +20,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Tuple
 
 from ..errors import ReproError
+from ..obs import get_registry, span
 from .core import MapReduceJob, MRResult, partition_for_key
 
 __all__ = ["ParallelExecutor"]
@@ -116,6 +117,14 @@ class ParallelExecutor:
         the figure the §IV-B2 benchmark reports (documented in
         EXPERIMENTS.md).
         """
+        with span("mapreduce.run", executor=self.name, job=job.name):
+            result = self._run(job, documents)
+        get_registry().histogram(
+            "repro_mapreduce_wall_seconds", "MapReduce job wall time"
+        ).observe(result.wall_time_s, executor=self.name)
+        return result
+
+    def _run(self, job: MapReduceJob, documents: Iterable[dict]) -> MRResult:
         docs = list(documents)
         t0 = time.perf_counter()
         splits = self._split(docs, self.n_workers)

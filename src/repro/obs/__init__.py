@@ -1,0 +1,50 @@
+"""``repro.obs`` — the unified observability layer.
+
+The paper's operational evidence (Figure 5's latency histogram, the admin
+profiling one datastore across four simultaneous roles) requires one
+coherent instrumentation substrate.  This package provides it:
+
+* :mod:`.metrics` — a thread-safe registry of counters, gauges, and
+  histograms (p50/p95/p99) with a text exposition format for ``/metrics``;
+* :mod:`.tracing` — hierarchical spans with a context-local current-span
+  stack, so one trace covers firework launch → SCF iterations → docstore
+  writes → builder runs → API queries;
+* :mod:`.logging` — structured logging through a shared redacting
+  formatter that scrubs credentials.
+
+The docstore feeds all three automatically (opcounters, the MongoDB-style
+profiler's ``system.profile`` collection, and per-op child spans); the wire
+protocol, workflow engine, MapReduce executors, builders, and HTTP front
+end layer their own signals on top.
+"""
+
+from .logging import RedactingFormatter, get_logger, log_event, redact
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    set_registry,
+)
+from .tracing import Span, clear_traces, current_span, recent_traces, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "percentile",
+    "Span",
+    "span",
+    "current_span",
+    "recent_traces",
+    "clear_traces",
+    "RedactingFormatter",
+    "get_logger",
+    "log_event",
+    "redact",
+]

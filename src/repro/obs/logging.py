@@ -1,0 +1,83 @@
+"""Structured logging with a shared redacting formatter.
+
+Every layer logs through ``get_logger("repro.<layer>")``; handlers share
+one :class:`RedactingFormatter` that scrubs credentials (API keys, tokens,
+passwords) before a line can reach a terminal or file — the observability
+layer must never leak the secrets the auth layer protects.
+
+Lines are ``key=value`` structured::
+
+    2026-08-05 12:00:01 INFO repro.api.http event=request path=/rest/v1/... status=200
+
+Use :func:`log_event` to emit such lines without hand-formatting.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+from typing import Any
+
+__all__ = ["RedactingFormatter", "get_logger", "log_event", "redact"]
+
+#: Credential-ish keys whose values must never appear in log output.
+_SECRET_KEYS = ("api_key", "apikey", "api-key", "x-api-key", "password",
+                "secret", "token", "authorization")
+
+_SECRET_RE = re.compile(
+    r"(?i)\b(" + "|".join(re.escape(k) for k in _SECRET_KEYS) +
+    r")\s*([=:])\s*([^\s,;&\"']+)"
+)
+
+_ENV_LEVEL = "REPRO_LOG_LEVEL"
+
+
+def redact(text: str) -> str:
+    """Replace credential values with ``****`` wherever they appear."""
+    return _SECRET_RE.sub(lambda m: f"{m.group(1)}{m.group(2)}****", text)
+
+
+class RedactingFormatter(logging.Formatter):
+    """Standard formatter that scrubs secrets from the rendered line."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)s %(name)s %(message)s",
+            datefmt="%Y-%m-%d %H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        return redact(super().format(record))
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger wired to the shared redacting handler (idempotent).
+
+    The root ``repro`` logger gets one stream handler; child loggers
+    propagate to it, so each line is emitted exactly once.  The level comes
+    from ``REPRO_LOG_LEVEL`` (default WARNING, so libraries stay quiet).
+    """
+    root = logging.getLogger("repro")
+    if not any(getattr(h, "_repro_obs", False) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(RedactingFormatter())
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.setLevel(os.environ.get(_ENV_LEVEL, "WARNING").upper())
+        root.propagate = False
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              **fields: Any) -> None:
+    """Emit one structured ``event k=v ...`` line (values redacted)."""
+    if not logger.isEnabledFor(level):
+        return
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text:
+            text = '"' + text.replace('"', "'") + '"'
+        parts.append(f"{key}={text}")
+    logger.log(level, " ".join(parts))

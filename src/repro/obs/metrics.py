@@ -1,0 +1,333 @@
+"""Thread-safe metrics registry: counters, gauges, and histograms.
+
+One process-wide registry (``get_registry()``) collects everything the
+deployment knows about itself: datastore opcounters, wire-protocol traffic,
+firework launches, API query latency.  The registry renders in a
+Prometheus-style text exposition format so ``GET /metrics`` on the
+Materials API server is scrapeable::
+
+    # TYPE repro_docstore_ops_total counter
+    repro_docstore_ops_total{db="mp",op="query"} 42
+    # TYPE repro_api_query_millis histogram
+    repro_api_query_millis_count 10
+    repro_api_query_millis{quantile="0.5"} 1.2
+
+Histograms keep a bounded sample reservoir and report p50/p95/p99 with
+nearest-rank percentile math (empty series → 0.0; a single sample is every
+percentile of itself).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "percentile",
+]
+
+#: Samples kept per histogram series (oldest evicted first).
+HISTOGRAM_RESERVOIR = 10_000
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = min(len(ordered) - 1,
+            max(0, int(math.ceil(p / 100.0 * len(ordered))) - 1))
+    return ordered[k]
+
+
+class _Metric:
+    """Common bookkeeping for one named metric and its labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter with optional labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labeled series."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        with self._lock:
+            return dict(self._series)
+
+    def render(self) -> List[str]:
+        lines = [f"# TYPE {self.name} counter"]
+        with self._lock:
+            for key in sorted(self._series):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} {self._series[key]:g}"
+                )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, active sessions)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# TYPE {self.name} gauge"]
+        with self._lock:
+            for key in sorted(self._series):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} {self._series[key]:g}"
+                )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.samples: Deque[float] = deque(maxlen=HISTOGRAM_RESERVOIR)
+
+
+class Histogram(_Metric):
+    """Latency/size distribution with p50/p95/p99 summary quantiles."""
+
+    kind = "histogram"
+    quantiles = (50.0, 95.0, 99.0)
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries()
+            series.count += 1
+            series.sum += float(value)
+            series.samples.append(float(value))
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.sum if series else 0.0
+
+    def percentile(self, p: float, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            samples = list(series.samples) if series else []
+        return percentile(samples, p)
+
+    def summary(self, **labels: Any) -> dict:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            samples = list(series.samples) if series else []
+            count = series.count if series else 0
+            total = series.sum if series else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+            "max": max(samples) if samples else 0.0,
+        }
+
+    def render(self) -> List[str]:
+        lines = [f"# TYPE {self.name} histogram"]
+        with self._lock:
+            items = [
+                (key, series.count, series.sum, list(series.samples))
+                for key, series in sorted(self._series.items())
+            ]
+        for key, count, total, samples in items:
+            lines.append(f"{self.name}_count{_render_labels(key)} {count:g}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {total:g}")
+            for q in self.quantiles:
+                lines.append(
+                    f"{self.name}{_render_labels(key, ('quantile', f'{q / 100:g}'))}"
+                    f" {percentile(samples, q):g}"
+                )
+        return lines
+
+
+class MetricsRegistry:
+    """A named family of metrics, rendered together.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call fixes the metric's type, and a later call under a different type
+    raises, so two subsystems cannot silently fight over one name.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help_text: str) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ReproError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help_text)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render_text(self) -> str:
+        """The /metrics exposition document."""
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view (histograms reduced to their summaries)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out: Dict[str, Any] = {}
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    keys = list(metric._series)
+                out[metric.name] = {
+                    "type": metric.kind,
+                    "series": {
+                        _render_labels(k) or "{}": metric.summary(**dict(k))
+                        for k in keys
+                    },
+                }
+            else:
+                out[metric.name] = {
+                    "type": metric.kind,
+                    "series": {
+                        _render_labels(k) or "{}": v
+                        for k, v in metric._series.items()  # type: ignore[attr-defined]
+                    },
+                }
+        return out
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (returns the previous one)."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,166 @@
+"""Hierarchical tracing spans with a context-local current-span stack.
+
+One trace follows a unit of work across every layer the paper's datastore
+serves simultaneously: a firework launch opens a root span, the SCF loop
+and the analyzer open children, and every docstore operation executed while
+a span is current attaches itself as a timed child (see
+``Database._observe_op``).  The result is a tree like::
+
+    firework.launch (fw_id=3) 812.4ms
+      docstore.findAndModify (engines) 0.3ms
+      scf.run (n_iterations=24) 801.1ms
+      docstore.insert (tasks) 0.4ms
+      docstore.update (engines) 0.2ms
+
+Spans use :mod:`contextvars`, so concurrent rockets in different threads
+each get their own stack.  The context manager is exception-safe: a raise
+inside the block marks the span ``error`` and still pops it.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "recent_traces",
+    "clear_traces",
+]
+
+#: Finished root spans kept for inspection (oldest evicted).
+TRACE_BUFFER = 256
+
+_ids = itertools.count(1)
+_current: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+_finished: Deque["Span"] = deque(maxlen=TRACE_BUFFER)
+_finished_lock = threading.Lock()
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("name", "span_id", "trace_id", "parent", "children",
+                 "attributes", "start_s", "end_s", "status", "error")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.span_id = next(_ids)
+        self.trace_id = parent.trace_id if parent is not None else self.span_id
+        self.parent = parent
+        self.children: List[Span] = []
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def finish(self) -> "Span":
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return (end - self.start_s) * 1e3
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def record(self, name: str, duration_ms: float = 0.0,
+               **attributes: Any) -> "Span":
+        """Attach an already-measured child (the docstore-op hook path)."""
+        child = Span(name, parent=self, attributes=attributes)
+        child.start_s = self.start_s  # cosmetic; duration is authoritative
+        child.end_s = child.start_s + duration_ms / 1e3
+        self.children.append(child)
+        return child
+
+    # -- introspection ---------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name_prefix: str) -> List["Span"]:
+        """Descendant spans (and self) whose name starts with the prefix."""
+        return [s for s in self.walk() if s.name.startswith(name_prefix)]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration_ms:.2f}ms, "
+                f"{self.status}, children={len(self.children)})")
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span in this context, or None."""
+    return _current.get()
+
+
+@contextmanager
+def span(name: str, **attributes: Any) -> Iterator[Span]:
+    """Open a span as the current one; exception-safe; nests naturally."""
+    parent = _current.get()
+    s = Span(name, parent=parent, attributes=attributes)
+    if parent is not None:
+        parent.children.append(s)
+    token = _current.set(s)
+    try:
+        yield s
+    except BaseException as exc:
+        s.status = "error"
+        s.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        s.finish()
+        _current.reset(token)
+        if parent is None:
+            with _finished_lock:
+                _finished.append(s)
+        _record_span_metric(s)
+
+
+def _record_span_metric(s: Span) -> None:
+    from .metrics import get_registry
+
+    get_registry().histogram(
+        "repro_span_millis", "span durations by name"
+    ).observe(s.duration_ms, name=s.name)
+
+
+def recent_traces(n: Optional[int] = None) -> List[Span]:
+    """Most recent finished root spans, newest last."""
+    with _finished_lock:
+        traces = list(_finished)
+    return traces if n is None else traces[-n:]
+
+
+def clear_traces() -> None:
+    with _finished_lock:
+        _finished.clear()
