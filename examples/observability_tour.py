@@ -3,8 +3,9 @@
 Runs a small workflow while every observability signal is switched on, then
 shows what each one captured: the MongoDB-style ``system.profile``
 collection, ``serverStatus`` opcounters, the trace tree of one firework
-launch, and the Prometheus-style ``/metrics`` document served live over
-HTTP.
+launch, a *stitched* distributed trace crossing client → proxy → server,
+the provenance DAG of a built material, and the Prometheus-style
+``/metrics`` document served live over HTTP.
 
 Run:  python examples/observability_tour.py
 """
@@ -13,10 +14,17 @@ import urllib.request
 
 from repro.api import MaterialsAPI, MaterialsAPIServer, QueryEngine
 from repro.builders import MaterialsBuilder
-from repro.docstore import DocumentStore
+from repro.docstore import DatastoreProxy, DatastoreServer, DocumentStore
 from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
 from repro.matgen import make_prototype, mps_from_structure
-from repro.obs import get_registry, recent_traces
+from repro.obs import (
+    format_provenance,
+    format_trace,
+    get_registry,
+    provenance_graph,
+    recent_traces,
+    span,
+)
 
 ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
 
@@ -67,15 +75,41 @@ def main() -> None:
           f"p95={summary['p95']:.3f}ms p99={summary['p99']:.3f}ms "
           f"(n={summary['count']})")
 
-    # 6. The API server scrapes the same registry at GET /metrics.
+    # 6. Distributed tracing: the same query issued through the full
+    #    client → proxy → server wire topology, under one root span.  Each
+    #    hop joins the trace via the "$trace" wire field; exporting the
+    #    server-side buffer and stitching yields one tree across processes.
+    with DatastoreServer(store) as server:
+        with DatastoreProxy("127.0.0.1", server.port) as proxy:
+            with proxy.client() as client:
+                with span("tour.remote_query") as root:
+                    client["mp"]["tasks"].find({"state": "COMPLETED"})
+                exported = client.export_traces(root.trace_id)
+    stitched = format_trace([root.to_dict()] + exported)
+    for line in stitched.splitlines():
+        print(f"[stitched]  {line}")
+
+    # 7. The provenance ledger: every material resolves back through its
+    #    source tasks to the fireworks and workflow that produced them.
+    material = db["materials"].find_one({})
+    graph = provenance_graph(db, material["material_id"])
+    print(f"[provenance] {len(graph['nodes'])} nodes, "
+          f"{len(graph['edges'])} edges for {material['material_id']}")
+    for line in format_provenance(graph).splitlines():
+        print(f"[provenance] {line}")
+
+    # 8. The API server scrapes the same registry at GET /metrics, lists
+    #    in-flight ops at GET /ops, and serves the DAG at GET /provenance.
     api = MaterialsAPI(QueryEngine(db))
     with MaterialsAPIServer(api) as srv:
         urllib.request.urlopen(
             f"{srv.base_url}/rest/v1/materials/NaCl/vasp/band_gap").read()
         text = urllib.request.urlopen(f"{srv.base_url}/metrics").read().decode()
+        ops = urllib.request.urlopen(f"{srv.base_url}/ops").read().decode()
     lines = [ln for ln in text.splitlines()
              if ln.startswith("repro_api_quer") or ln.startswith("# TYPE repro_api")]
     print("[/metrics]  " + "\n[/metrics]  ".join(lines))
+    print(f"[/ops]      {ops}")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,10 @@ Two operational endpoints ride alongside the data API:
 * ``GET /metrics`` — the shared metrics registry in text exposition
   format (counters, gauges, histogram quantiles);
 * ``GET /status`` — JSON: the backing database's ``serverStatus``
-  (opcounters, profiling level) plus a registry snapshot.
+  (opcounters, profiling level) plus a registry snapshot;
+* ``GET /ops`` — live ``currentOp()`` output for the backing store;
+* ``GET /provenance/<material_id>`` — the provenance DAG walked back
+  from one material to its source tasks and workflows.
 """
 
 from __future__ import annotations
@@ -45,6 +48,12 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path == "/status":
             self._send_json(200, self._status_document(api))
             return
+        if parsed.path == "/ops":
+            self._send_json(200, self._ops_document(api))
+            return
+        if parsed.path.startswith("/provenance/"):
+            self._serve_provenance(api, parsed.path.rsplit("/", 1)[-1])
+            return
         if parsed.path == "/ui" or parsed.path.startswith("/ui/"):
             self._serve_ui(parsed.path, params)
             return
@@ -65,6 +74,27 @@ class _Handler(BaseHTTPRequestHandler):
             "query_log": api.qe.query_log.summary(),
             "metrics": get_registry().snapshot(),
         }
+
+    @staticmethod
+    def _ops_document(api: MaterialsAPI) -> dict:
+        """``db.currentOp()`` of the store behind the API (``/ops``)."""
+        db = getattr(api.qe, "db", None)
+        store = getattr(db, "client", None) if db is not None else None
+        inprog = store.current_op() if store is not None else []
+        return {"inprog": inprog}
+
+    def _serve_provenance(self, api: MaterialsAPI, material_id: str) -> None:
+        from ..errors import NotFoundError
+        from ..obs import provenance_graph
+
+        db = getattr(api.qe, "db", None)
+        if db is None:
+            self._send_json(404, {"error": "no backing database"})
+            return
+        try:
+            self._send_json(200, provenance_graph(db, material_id))
+        except NotFoundError as exc:
+            self._send_json(404, {"error": str(exc)})
 
     def _send_json(self, status: int, document: Any) -> None:
         payload = json.dumps(document, cls=DocumentJSONEncoder).encode("utf-8")

@@ -15,7 +15,7 @@ from typing import Any, Dict, List, Optional
 from ..dft.energy import reference_energy_per_atom
 from ..errors import BuilderError
 from ..matgen.structure import Structure
-from ..obs import get_registry, span
+from ..obs import current_span, get_registry, span
 
 __all__ = ["MaterialsBuilder", "pick_best_task", "ensure_index"]
 
@@ -85,12 +85,15 @@ class MaterialsBuilder:
             "is_metal": best.get("is_metal"),
             "structure": best.get("structure"),
             "provenance": {
+                "builder": "materials",
                 "task_id": best.get("_id"),
+                "source_task_ids": [t["_id"] for t in tasks if "_id" in t],
                 "n_tasks": len(tasks),
                 "parameters": best.get("parameters") or {},
                 "functional": best.get("functional"),
                 "code_version": best.get("code_version"),
                 "completed_at": best.get("completed_at"),
+                "trace_id": getattr(current_span(), "trace_id", None),
             },
             "last_updated": time.time(),
         }
@@ -127,7 +130,9 @@ class MaterialsBuilder:
     def _upsert_material(self, mps_id: str, tasks: List[dict]) -> str:
         """Build and store one material; returns ``"built"`` or ``"updated"``."""
         materials = self.db["materials"]
+        t0 = time.perf_counter()
         doc = self._material_doc(mps_id, tasks)
+        doc["provenance"]["built_wall_ms"] = (time.perf_counter() - t0) * 1e3
         existing = materials.find_one({"mps_id": mps_id})
         if existing is not None:
             doc["material_id"] = existing["material_id"]

@@ -22,7 +22,7 @@ from ..matgen.phasediagram import PDEntry, PhaseDiagram
 from ..matgen.structure import Structure
 from ..matgen.symmetry import SymmetryFinder
 from ..matgen.xrd import XRDCalculator
-from ..obs import get_registry, span
+from ..obs import current_span, get_registry, span
 
 __all__ = [
     "PhaseDiagramBuilder",
@@ -46,6 +46,16 @@ def _count_built(builder: str, n: int) -> None:
     get_registry().counter(
         "repro_builder_documents_total", "documents built per builder"
     ).inc(n, builder=builder)
+
+
+def _stamp(builder: str, source_material_ids: List[str]) -> dict:
+    """The ``provenance`` subdocument every derived builder writes."""
+    return {
+        "builder": builder,
+        "source_material_ids": sorted(source_material_ids),
+        "trace_id": getattr(current_span(), "trace_id", None),
+        "built_at": time.time(),
+    }
 
 
 class PhaseDiagramBuilder:
@@ -92,6 +102,9 @@ class PhaseDiagramBuilder:
         doc = pd.summary()
         doc["n_materials"] = len(members)
         doc["built_at"] = time.time()
+        doc["provenance"] = _stamp(
+            "phase_diagrams", [m["material_id"] for m in members]
+        )
         self.db["phase_diagrams"].update_one(
             {"chemical_system": doc["chemical_system"]},
             {"$set": doc},
@@ -161,6 +174,9 @@ class BatteryBuilder:
                 doc = electrode.get_summary_dict()
                 doc["material_ids"] = sorted(m["material_id"] for m in members)
                 doc["built_at"] = time.time()
+                doc["provenance"] = _stamp(
+                    "batteries", [m["material_id"] for m in members]
+                )
                 self.db["batteries"].update_one(
                     {"battery_type": "intercalation",
                      "working_ion": self.working_ion,
@@ -213,6 +229,7 @@ class BatteryBuilder:
             return False
         doc["material_id"] = host["material_id"]
         doc["built_at"] = time.time()
+        doc["provenance"] = _stamp("batteries", [host["material_id"]])
         self.db["batteries"].update_one(
             {"battery_type": "conversion",
              "working_ion": self.working_ion,
@@ -253,6 +270,7 @@ class _PerMaterialBuilder:
                     "material_id": material_id,
                     "reduced_formula": material.get("reduced_formula"),
                     "built_at": time.time(),
+                    "provenance": _stamp(self.target, [material_id]),
                 })
                 target.insert_one(doc)
                 built += 1

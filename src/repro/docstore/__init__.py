@@ -12,6 +12,8 @@ engine, and web back-end (§III-A).  Public surface:
 * :class:`DatastoreProxy` — the HPC worker-node proxy hop (§IV-A2).
 * :class:`ShardedCollection`, :class:`ReplicaSet` — scale-out paths the
   paper identifies for future growth (§IV-D2).
+* :class:`OperationRegistry` / :func:`query_shape` — the live-ops table
+  behind ``currentOp()``/``killOp()`` (MongoDB-style op introspection).
 """
 
 from .objectid import ObjectId
@@ -30,6 +32,7 @@ from .collection import Collection
 from .database import Database, DocumentStore
 from .aggregation import run_pipeline
 from .mapreduce import map_reduce, MapReduceResult
+from .ops import ActiveOp, OperationRegistry, query_shape
 from .server import DatastoreServer, RemoteClient, RemoteCollection
 from .proxy import DatastoreProxy
 from .sharding import ShardedCollection, hash_shard_key
@@ -55,6 +58,9 @@ __all__ = [
     "run_pipeline",
     "map_reduce",
     "MapReduceResult",
+    "ActiveOp",
+    "OperationRegistry",
+    "query_shape",
     "DatastoreServer",
     "RemoteClient",
     "RemoteCollection",

@@ -17,6 +17,7 @@ from collections import deque
 from typing import Any, Deque, List, Optional
 
 from ..errors import DocstoreError
+from ..obs import active_span
 from .collection import Collection
 
 __all__ = ["ChangeEvent", "ChangeStream"]
@@ -81,17 +82,27 @@ class ChangeStream:
     # -- consumption --------------------------------------------------------
 
     def drain(self, max_events: Optional[int] = None) -> List[ChangeEvent]:
-        """Remove and return pending events (oldest first)."""
-        with self._lock:
-            if self._overflowed:
-                self._overflowed = False
-                self._events.clear()
-                raise DocstoreError(
-                    "change stream overflowed; consumer must full-resync"
-                )
-            out: List[ChangeEvent] = []
-            while self._events and (max_events is None or len(out) < max_events):
-                out.append(self._events.popleft())
+        """Remove and return pending events (oldest first).
+
+        Inside an active trace the delivery is a ``changestream.drain``
+        span carrying the event count, so incremental-builder traces show
+        how much change volume each pass consumed.
+        """
+        with active_span("changestream.drain",
+                         ns=self.collection.name) as s:
+            with self._lock:
+                if self._overflowed:
+                    self._overflowed = False
+                    self._events.clear()
+                    raise DocstoreError(
+                        "change stream overflowed; consumer must full-resync"
+                    )
+                out: List[ChangeEvent] = []
+                while self._events and (max_events is None
+                                        or len(out) < max_events):
+                    out.append(self._events.popleft())
+            if s is not None:
+                s.set_attribute("events", len(out))
             return out
 
     def pending(self) -> int:

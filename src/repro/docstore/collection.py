@@ -112,6 +112,22 @@ class Collection:
     def _id_key(value: Any) -> Any:
         return value.binary if isinstance(value, ObjectId) else value
 
+    @property
+    def namespace(self) -> str:
+        db = self.database
+        return f"{db.name}.{self.name}" if db is not None else self.name
+
+    def _ops_registry(self):
+        """The owning store's active-ops table, or None when detached.
+
+        ``system.*`` namespaces are exempt so the profiler's own writes
+        never appear in ``currentOp`` output.
+        """
+        if self.name.startswith("system."):
+            return None
+        client = getattr(self.database, "client", None)
+        return getattr(client, "_ops", None)
+
     def _observe(
         self,
         op: str,
@@ -227,9 +243,21 @@ class Collection:
 
         def source() -> Iterator[dict]:
             t0 = time.perf_counter()
-            with self._lock:
-                matched = [deep_copy_doc(d) for d in self._candidates(query, matcher)]
-                plan = self._last_plan
+            registry = self._ops_registry()
+            active = (registry.register("find", self.namespace, query)
+                      if registry is not None else None)
+            try:
+                with self._lock:
+                    matched = []
+                    for doc in self._candidates(query, matcher):
+                        if active is not None:
+                            # Cooperative killOp check point, per candidate.
+                            active.check_killed()
+                        matched.append(deep_copy_doc(doc))
+                    plan = self._last_plan
+            finally:
+                if registry is not None:
+                    registry.finish(active)
             self._observe(
                 "find", "query", query, t0, nreturned=len(matched),
                 docs_examined=plan.candidates_examined if plan else None,

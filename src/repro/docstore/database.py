@@ -140,7 +140,9 @@ class Database:
         if level >= 2 or (level == 1 and (op in _READ_OPS
                                           or millis >= self._slowms)):
             self._record_profile(coll_name, op, query, millis, nreturned,
-                                 docs_examined, plan)
+                                 docs_examined, plan,
+                                 trace_id=parent.trace_id
+                                 if parent is not None else None)
 
     # -- profiling (per-query timing, powers Fig. 5 reproduction) ---------
 
@@ -174,6 +176,7 @@ class Database:
         nreturned: int,
         docs_examined: Optional[int],
         plan: Optional[str],
+        trace_id: Optional[str] = None,
     ) -> None:
         entry = {
             "ns": f"{self.name}.{ns}",
@@ -183,6 +186,10 @@ class Database:
             "nreturned": nreturned,
             "ts": time.time(),
         }
+        if trace_id is not None:
+            # Distributed tracing: the profile entry names the trace that
+            # caused it, so a slow server-side op links back to the client.
+            entry["trace_id"] = trace_id
         if docs_examined is not None:
             entry["docsExamined"] = docs_examined
         if plan is not None:
@@ -257,8 +264,11 @@ class DocumentStore:
     """
 
     def __init__(self, persistence_dir: Optional[str] = None):
+        from .ops import OperationRegistry
+
         self._databases: Dict[str, Database] = {}
         self._lock = threading.RLock()
+        self._ops = OperationRegistry()
         self.persistence_dir = persistence_dir
         self._persistence = None
         if persistence_dir is not None:
@@ -308,6 +318,16 @@ class DocumentStore:
             "databases": sorted(db.name for db in databases),
             "opcounters": opcounters,
         }
+
+    # -- live operation introspection -------------------------------------
+
+    def current_op(self) -> List[dict]:
+        """Every in-flight operation on this store (``db.currentOp()``)."""
+        return self._ops.current_op()
+
+    def kill_op(self, opid: int) -> bool:
+        """Cooperatively terminate the operation ``opid`` (``db.killOp``)."""
+        return self._ops.kill_op(opid)
 
     def snapshot(self) -> None:
         """Write a full snapshot to the persistence directory."""

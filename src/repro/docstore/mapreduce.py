@@ -51,6 +51,7 @@ def map_reduce(
     mapper: Mapper,
     reducer: Reducer,
     finalize: Optional[Finalizer] = None,
+    kill_check: Optional[Callable[[], None]] = None,
 ) -> MapReduceResult:
     """Run a single-threaded MapReduce over ``documents``.
 
@@ -58,12 +59,18 @@ def map_reduce(
     must be associative/commutative over its value list; it is *only*
     invoked for keys with more than one value (single-value keys pass
     through), which is a classic Mongo gotcha we reproduce intentionally.
+
+    ``kill_check`` is invoked once per input document; ``killOp`` hands in
+    a callable that raises :class:`~repro.errors.OperationKilled`, so a
+    runaway job dies between documents rather than holding the store.
     """
     t0 = time.perf_counter()
     emitted: Dict[Any, Tuple[Any, List[Any]]] = {}
     input_count = 0
     emit_count = 0
     for doc in documents:
+        if kill_check is not None:
+            kill_check()
         input_count += 1
         for key, value in mapper(doc):
             emit_count += 1
@@ -100,6 +107,18 @@ def collection_map_reduce(
     query: Optional[Mapping[str, Any]] = None,
     finalize: Optional[Finalizer] = None,
 ) -> List[dict]:
-    """MapReduce over a collection, optionally pre-filtered by ``query``."""
+    """MapReduce over a collection, optionally pre-filtered by ``query``.
+
+    Registers in the owning store's active-ops table so ``currentOp()``
+    lists the job and ``killOp`` can terminate it between documents.
+    """
     docs = collection.find(query or {}).to_list()
-    return map_reduce(docs, mapper, reducer, finalize).rows
+    registry = getattr(collection, "_ops_registry", lambda: None)()
+    if registry is None:
+        return map_reduce(docs, mapper, reducer, finalize).rows
+    active = registry.register("mapreduce", collection.namespace, query or {})
+    try:
+        return map_reduce(docs, mapper, reducer, finalize,
+                          kill_check=active.check_killed).rows
+    finally:
+        registry.finish(active)

@@ -1,0 +1,157 @@
+"""Live operation introspection: MongoDB-style ``currentOp`` / ``killOp``.
+
+Saxton (2022) makes the operational case: running a sharded MongoDB on HPC
+lives or dies on per-shard operation visibility — "what is this server
+executing right now, and can I stop the scan that is eating it?".  This
+module is that capability for the reproduction's store: every long-running
+dispatched operation registers itself in a process-wide active-ops table
+with an opid, its namespace, the query *shape* (field names and operators,
+values elided), elapsed time, and a cooperative kill flag.
+
+The kill is cooperative, exactly like MongoDB's: ``killOp(opid)`` only sets
+the flag; the executing operation notices at its next check point (cursor
+scans check per candidate document, MapReduce per input document) and
+raises :class:`~repro.errors.OperationKilled` out of the caller's stack.
+
+Exposure: :meth:`DocumentStore.current_op` / :meth:`DocumentStore.kill_op`
+in-process, ``op: "current_op"`` / ``op: "kill_op"`` on the wire protocol,
+and ``GET /ops`` on the Materials API httpd.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from ..errors import OperationKilled
+from ..obs import current_span, get_registry
+
+__all__ = ["ActiveOp", "OperationRegistry", "query_shape"]
+
+#: List elements beyond this many are collapsed into "..." in a shape.
+_SHAPE_LIST_CAP = 4
+
+
+def query_shape(query: Any) -> Any:
+    """The structure of a query with its values elided.
+
+    ``{"state": "READY", "spec.nelectrons": {"$lte": 200}}`` becomes
+    ``{"state": "?str", "spec.nelectrons": {"$lte": "?int"}}`` — enough for
+    an operator to recognize the query family without ``currentOp`` leaking
+    document contents into logs or the HTTP surface.
+    """
+    if isinstance(query, Mapping):
+        return {str(k): query_shape(v) for k, v in query.items()}
+    if isinstance(query, (list, tuple)):
+        shaped = [query_shape(v) for v in query[:_SHAPE_LIST_CAP]]
+        if len(query) > _SHAPE_LIST_CAP:
+            shaped.append("...")
+        return shaped
+    return f"?{type(query).__name__}"
+
+
+class ActiveOp:
+    """One in-flight operation: identity, shape, and the kill flag."""
+
+    __slots__ = ("opid", "op", "ns", "shape", "started_s", "started_wall",
+                 "trace_id", "_killed")
+
+    def __init__(self, opid: int, op: str, ns: str, query: Any):
+        self.opid = opid
+        self.op = op
+        self.ns = ns
+        self.shape = query_shape(query) if query is not None else None
+        self.started_s = time.perf_counter()
+        self.started_wall = time.time()
+        s = current_span()
+        self.trace_id = s.trace_id if s is not None else None
+        self._killed = threading.Event()
+
+    @property
+    def killed(self) -> bool:
+        return self._killed.is_set()
+
+    def kill(self) -> None:
+        self._killed.set()
+
+    def check_killed(self) -> None:
+        """The cooperative check point; raises if ``killOp`` targeted us."""
+        if self._killed.is_set():
+            raise OperationKilled(
+                f"operation {self.opid} ({self.op} on {self.ns}) "
+                "terminated by killOp"
+            )
+
+    def describe(self) -> dict:
+        """The ``currentOp``-style document for this op."""
+        return {
+            "opid": self.opid,
+            "op": self.op,
+            "ns": self.ns,
+            "query_shape": self.shape,
+            "elapsed_ms": (time.perf_counter() - self.started_s) * 1e3,
+            "started_at": self.started_wall,
+            "trace_id": self.trace_id,
+            "killed": self.killed,
+        }
+
+
+class OperationRegistry:
+    """Thread-safe table of every in-flight operation on one store."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[int, ActiveOp] = {}
+        self._lock = threading.Lock()
+        self._opids = itertools.count(1)
+
+    def register(self, op: str, ns: str, query: Any = None) -> ActiveOp:
+        active = ActiveOp(next(self._opids), op, ns, query)
+        with self._lock:
+            self._ops[active.opid] = active
+        get_registry().gauge(
+            "repro_docstore_active_ops", "operations currently executing"
+        ).inc(1, op=op)
+        return active
+
+    def finish(self, active: Optional[ActiveOp]) -> None:
+        if active is None:
+            return
+        with self._lock:
+            self._ops.pop(active.opid, None)
+        get_registry().gauge(
+            "repro_docstore_active_ops", "operations currently executing"
+        ).dec(1, op=active.op)
+
+    @contextmanager
+    def track(self, op: str, ns: str, query: Any = None) -> Iterator[ActiveOp]:
+        """Register for the duration of a block; always deregisters."""
+        active = self.register(op, ns, query)
+        try:
+            yield active
+        finally:
+            self.finish(active)
+
+    def current_op(self) -> List[dict]:
+        """Snapshot of every in-flight op, oldest first (``db.currentOp``)."""
+        with self._lock:
+            ops = sorted(self._ops.values(), key=lambda a: a.opid)
+        return [a.describe() for a in ops]
+
+    def kill_op(self, opid: int) -> bool:
+        """Flag ``opid`` for termination; True if it was in flight."""
+        with self._lock:
+            active = self._ops.get(opid)
+        if active is None:
+            return False
+        active.kill()
+        get_registry().counter(
+            "repro_docstore_ops_killed_total", "operations killed via killOp"
+        ).inc(1, op=active.op)
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ops)

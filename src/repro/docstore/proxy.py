@@ -10,6 +10,12 @@ response.  It counts traffic and adds a configurable forwarding latency so
 the proxy-overhead benchmark (bench_proxy_numa) can quantify the cost of the
 extra hop.  Combined with :mod:`repro.hpc.network`, worker-node clients are
 *only* permitted to open connections to the proxy.
+
+Traced requests (a ``"$trace"`` field on the wire) are joined rather than
+passed through blindly: the proxy opens its own ``proxy.forward`` span as a
+remote child of the caller and rewrites the context so the upstream server
+parents under the *proxy* span — the stitched trace then shows the extra
+hop the paper had to pay.
 """
 
 from __future__ import annotations
@@ -20,10 +26,34 @@ import threading
 import time
 from typing import Any, Optional
 
-from ..obs import get_registry
+from ..obs import get_registry, remote_span, trace_context
+from .documents import document_from_json, document_to_json
 from .server import RemoteClient
 
 __all__ = ["DatastoreProxy"]
+
+
+def _retrace(line: bytes) -> tuple:
+    """Split one wire line into its ``$trace`` context and re-sender.
+
+    Returns ``(ctx, resend)`` where ``resend(new_ctx)`` yields the line
+    with the context replaced.  Unparseable or untraced lines forward
+    verbatim (``ctx is None``): the proxy must never break the protocol
+    it is relaying.
+    """
+    try:
+        request = document_from_json(line.decode("utf-8"))
+        ctx = request.get("$trace") if isinstance(request, dict) else None
+    except Exception:  # noqa: BLE001 - relay anything, valid or not
+        return None, None
+    if ctx is None:
+        return None, None
+
+    def resend(new_ctx: dict) -> bytes:
+        request["$trace"] = new_ctx
+        return (document_to_json(request) + "\n").encode("utf-8")
+
+    return ctx, resend
 
 
 class _ProxyHandler(socketserver.StreamRequestHandler):
@@ -40,8 +70,16 @@ class _ProxyHandler(socketserver.StreamRequestHandler):
                     break
                 if proxy.forward_latency_s > 0:
                     time.sleep(proxy.forward_latency_s)
-                upstream.sendall(line)
-                response = upstream_file.readline()
+                ctx, resend = _retrace(line)
+                if ctx is not None:
+                    with remote_span("proxy.forward", ctx,
+                                     upstream=proxy.upstream_port):
+                        line = resend(trace_context())
+                        upstream.sendall(line)
+                        response = upstream_file.readline()
+                else:
+                    upstream.sendall(line)
+                    response = upstream_file.readline()
                 if not response:
                     break
                 proxy._count(len(line), len(response))

@@ -20,6 +20,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..errors import ReplicationError
+from ..obs import active_span
 from .database import Database
 from .documents import deep_copy_doc
 
@@ -174,9 +175,12 @@ class ReplicaSet:
         targets = [node] if node is not None else self.secondaries
         applied = 0
         for target in targets:
-            for entry in self.oplog.entries_after(target.applied_optime):
-                target.apply(entry)
-                applied += 1
+            entries = self.oplog.entries_after(target.applied_optime)
+            with active_span("replication.apply", node=target.name,
+                             entries=len(entries)):
+                for entry in entries:
+                    target.apply(entry)
+                    applied += 1
         return applied
 
     def start_background_replication(self, interval_s: float = 0.01) -> None:

@@ -12,6 +12,11 @@ The protocol is a JSON request/response pair per line::
 
     {"op": "find", "db": "mp", "coll": "tasks", "query": {...}, ...}
     {"ok": true, "result": [...]}
+
+Distributed tracing rides the same line: a traced client attaches a
+``"$trace"`` field (``{"trace_id": ..., "span_id": ...}``) to each request
+and the server reconstructs the remote parent, so one trace stitches
+client → proxy → server → per-shard fan-out across processes.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import threading
 from typing import Any, List, Mapping, Optional
 
 from ..errors import DocstoreError, WireProtocolError
-from ..obs import get_registry
+from ..obs import export_traces, get_registry, remote_span, span, trace_context
 from .database import DocumentStore
 from .documents import document_from_json, document_to_json
 
@@ -36,16 +41,34 @@ class _Handler(socketserver.StreamRequestHandler):
             line = self.rfile.readline()
             if not line:
                 break
+            error_type = None
             try:
                 request = document_from_json(line.decode("utf-8"))
                 response = server.dispatch(request)
             except Exception as exc:  # noqa: BLE001 - wire boundary
-                response = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
-            payload = document_to_json(response) + "\n"
+                error_type = type(exc).__name__
+                response = {"ok": False, "error": error_type, "message": str(exc)}
+            try:
+                payload = document_to_json(response) + "\n"
+            except Exception as exc:  # noqa: BLE001 - unserializable result
+                error_type = type(exc).__name__
+                payload = document_to_json(
+                    {"ok": False, "error": error_type, "message": str(exc)}
+                ) + "\n"
             encoded = payload.encode("utf-8")
-            get_registry().counter(
+            # Traffic is accounted whether or not dispatch raised: the bytes
+            # crossed the wire either way, and error responses are traffic
+            # too.  Failed exchanges carry the exception type as a label.
+            registry = get_registry()
+            labels = {"direction": "server"}
+            if error_type is not None:
+                registry.counter(
+                    "repro_wire_errors_total", "wire-protocol failed exchanges"
+                ).inc(1, error=error_type)
+                labels["error"] = error_type
+            registry.counter(
                 "repro_wire_bytes_total", "wire-protocol traffic"
-            ).inc(len(line) + len(encoded), direction="server")
+            ).inc(len(line) + len(encoded), **labels)
             try:
                 self.wfile.write(encoded)
                 self.wfile.flush()
@@ -97,9 +120,23 @@ class DatastoreServer:
     # -- request dispatch -------------------------------------------------
 
     def dispatch(self, request: Mapping[str, Any]) -> dict:
-        """Execute one wire request against the store."""
+        """Execute one wire request against the store.
+
+        When the request carries a ``"$trace"`` context the whole dispatch
+        runs under a server-side span whose trace id is the *client's*, so
+        profiler entries and child spans recorded here join the caller's
+        distributed trace.
+        """
         if not isinstance(request, Mapping) or "op" not in request:
             raise WireProtocolError("request must be a document with an 'op'")
+        ctx = request.get("$trace")
+        if ctx is None:
+            return self._dispatch(request)
+        with remote_span(f"wire.{request['op']}", ctx,
+                         db=request.get("db"), coll=request.get("coll")):
+            return self._dispatch(request)
+
+    def _dispatch(self, request: Mapping[str, Any]) -> dict:
         with self._stats_lock:
             self.requests_served += 1
         op = request["op"]
@@ -110,6 +147,13 @@ class DatastoreServer:
             return {"ok": True, "result": "pong"}
         if op == "list_databases":
             return {"ok": True, "result": self.store.list_database_names()}
+        if op == "current_op":
+            return {"ok": True, "result": self.store.current_op()}
+        if op == "kill_op":
+            return {"ok": True, "result": self.store.kill_op(request["opid"])}
+        if op == "export_traces":
+            return {"ok": True,
+                    "result": export_traces(request.get("trace_id"))}
         db_name = request.get("db")
         if not isinstance(db_name, str):
             raise WireProtocolError("request missing 'db'")
@@ -311,7 +355,23 @@ class RemoteClient:
         return _RemoteDatabase(self, db)
 
     def request(self, request: Mapping[str, Any]) -> Any:
-        """Send one request document, return the unwrapped result."""
+        """Send one request document, return the unwrapped result.
+
+        Inside an active trace, the roundtrip runs under a ``client.<op>``
+        span and the request carries its ``"$trace"`` context, so the
+        server (and any proxy in between) joins the same trace.  Untraced
+        callers pay nothing: no span, no extra wire field.
+        """
+        ctx = trace_context()
+        if ctx is None:
+            return self._roundtrip(request)
+        with span(f"client.{request.get('op')}", host=self.host,
+                  port=self.port):
+            traced = dict(request)
+            traced["$trace"] = trace_context()
+            return self._roundtrip(traced)
+
+    def _roundtrip(self, request: Mapping[str, Any]) -> Any:
         payload = (document_to_json(request) + "\n").encode("utf-8")
         with self._lock:
             self._sock.sendall(payload)
@@ -327,6 +387,18 @@ class RemoteClient:
 
     def ping(self) -> bool:
         return self.request({"op": "ping"}) == "pong"
+
+    def current_op(self) -> List[dict]:
+        """``db.currentOp()`` against the remote store."""
+        return self.request({"op": "current_op"})
+
+    def kill_op(self, opid: int) -> bool:
+        """``db.killOp(opid)`` against the remote store."""
+        return self.request({"op": "kill_op", "opid": opid})
+
+    def export_traces(self, trace_id: Optional[str] = None) -> List[dict]:
+        """Finished span dicts buffered in the *server* process."""
+        return self.request({"op": "export_traces", "trace_id": trace_id})
 
     def close(self) -> None:
         try:

@@ -18,6 +18,7 @@ import hashlib
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..errors import ShardingError
+from ..obs import active_span
 from .collection import Collection, DeleteResult, InsertResult, UpdateResult
 from .documents import MISSING, document_to_json, get_path
 from .matching import ordering_key
@@ -29,6 +30,16 @@ def hash_shard_key(value: Any) -> int:
     """Stable hash of a shard-key value (md5 of its canonical JSON)."""
     payload = document_to_json(value, sort_keys=True, default=str)
     return int.from_bytes(hashlib.md5(payload.encode()).digest()[:8], "big")
+
+
+def _materialize(result: Any) -> List[dict]:
+    """Normalize a shard ``find`` result to a list.
+
+    Local :class:`Collection` shards return a cursor;
+    :class:`~repro.docstore.server.RemoteCollection` shards (each behind
+    its own server, the paper's scale-out topology) return plain lists.
+    """
+    return result.to_list() if hasattr(result, "to_list") else list(result)
 
 
 class ShardedCollection:
@@ -129,7 +140,13 @@ class ShardedCollection:
         return shard.insert_one(document)
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> InsertResult:
-        ids = [self.insert_one(d).inserted_id for d in documents]
+        ids = []
+        for d in documents:
+            r = self.insert_one(d)
+            # Remote shards answer with a plain wire dict, local shards
+            # with an InsertResult.
+            ids.append(r["inserted_id"] if isinstance(r, dict)
+                       else r.inserted_id)
         return InsertResult(ids)
 
     def find(
@@ -137,13 +154,25 @@ class ShardedCollection:
         query: Optional[Mapping[str, Any]] = None,
         projection: Optional[Mapping[str, Any]] = None,
     ) -> List[dict]:
-        """Scatter-gather find; returns a merged, materialized list."""
+        """Scatter-gather find; returns a merged, materialized list.
+
+        Inside an active trace the fan-out is recorded as a
+        ``sharded.find`` span with one ``shard.find`` child per shard
+        consulted, so the stitched trace shows which shards a routed
+        query actually touched.
+        """
         query = query or {}
         targets = self._route_query(query)
         self.last_targets = targets
         out: List[dict] = []
-        for i in targets:
-            out.extend(self.shards[i].find(query, projection).to_list())
+        with active_span("sharded.find", coll=self.name,
+                         targets=len(targets)) as fan:
+            for i in targets:
+                with active_span("shard.find", shard=i):
+                    res = self.shards[i].find(query, projection)
+                    out.extend(_materialize(res))
+            if fan is not None:
+                fan.set_attribute("nreturned", len(out))
         return out
 
     def find_one(
@@ -152,17 +181,20 @@ class ShardedCollection:
         projection: Optional[Mapping[str, Any]] = None,
     ) -> Optional[dict]:
         query = query or {}
-        for i in self._route_query(query):
-            doc = self.shards[i].find_one(query, projection)
-            if doc is not None:
-                return doc
+        with active_span("sharded.find_one", coll=self.name):
+            for i in self._route_query(query):
+                doc = self.shards[i].find_one(query, projection)
+                if doc is not None:
+                    return doc
         return None
 
     def count_documents(self, query: Optional[Mapping[str, Any]] = None) -> int:
         query = query or {}
-        return sum(
-            self.shards[i].count_documents(query) for i in self._route_query(query)
-        )
+        with active_span("sharded.count", coll=self.name):
+            return sum(
+                self.shards[i].count_documents(query)
+                for i in self._route_query(query)
+            )
 
     def update_many(
         self, query: Mapping[str, Any], update: Mapping[str, Any]
@@ -186,9 +218,14 @@ class ShardedCollection:
         from .aggregation import run_pipeline
 
         docs: List[dict] = []
-        for shard in self.shards:
-            docs.extend(shard.all_documents())
-        return run_pipeline(docs, pipeline)
+        with active_span("sharded.aggregate", coll=self.name,
+                         shards=len(self.shards)):
+            for shard in self.shards:
+                if hasattr(shard, "all_documents"):
+                    docs.extend(shard.all_documents())
+                else:
+                    docs.extend(shard.find({}))
+            return run_pipeline(docs, pipeline)
 
     # -- admin -----------------------------------------------------------------
 

@@ -37,6 +37,10 @@ class WireProtocolError(DocstoreError):
     """Malformed message on the socket wire protocol."""
 
 
+class OperationKilled(DocstoreError):
+    """A cooperative in-flight operation was terminated via ``killOp``."""
+
+
 class NetworkPolicyError(ReproError):
     """A simulated host attempted a connection its network policy forbids."""
 

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..docstore.database import Database
 from ..errors import WorkflowError
+from ..obs import current_span
 from .model import Workflow, component_from_spec
 
 __all__ = ["LaunchPad"]
@@ -207,6 +208,22 @@ class LaunchPad:
                 "completed_at": time.time(),
             }
         )
+        # Provenance ledger stamp: everything needed to trace this result
+        # back — which firework and workflow produced it, which parent
+        # tasks fed it, under which code version and trace.
+        parent = current_span()
+        source_task_ids = [
+            t["_id"] for t in self._parent_tasks(fw_doc) if "_id" in t
+        ]
+        task_doc["provenance"] = {
+            "source": "launcher",
+            "fw_id": fw_doc["fw_id"],
+            "workflow_id": fw_doc.get("workflow_id"),
+            "source_task_ids": source_task_ids,
+            "code_version": task_doc.get("code_version"),
+            "trace_id": parent.trace_id if parent is not None else None,
+            "wall_time_s": task_doc.get("walltime_used_s"),
+        }
         task_id = self.tasks.insert_one(task_doc).inserted_id
         self.engines.update_one(
             {"fw_id": fw_doc["fw_id"]},

@@ -15,9 +15,10 @@ queue slots and a smoothed effective wallclock.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import HPCError
+from ..obs import span
 from .batch import BatchJob
 
 __all__ = ["FarmTask", "TaskFarm"]
@@ -104,6 +105,31 @@ class TaskFarm:
         loads = self.slot_loads
         s_farm = statistics.pstdev(loads) / (sum(loads) / len(loads))
         return s_ind / s_farm if s_farm > 1e-12 else float("inf")
+
+    def execute(self, runner: Callable[[FarmTask], Any]) -> Dict[str, Any]:
+        """Run every task through ``runner``, slot by slot, under spans.
+
+        The farm run is one ``taskfarm.execute`` root (or child, when a
+        trace is already open) with a ``taskfarm.slot`` span per slot and a
+        ``taskfarm.task`` span per task, so the trace tree mirrors the LPT
+        packing.  A task exception is captured on its span and recorded in
+        ``failures`` without aborting the rest of the farm.
+        """
+        results: Dict[str, Any] = {}
+        failures: Dict[str, str] = {}
+        with span("taskfarm.execute", tasks=len(self.tasks),
+                  slots=self.n_slots):
+            for i, slot in enumerate(self.slots):
+                with span("taskfarm.slot", slot=i, tasks=len(slot)):
+                    for task in slot:
+                        try:
+                            with span("taskfarm.task", task=task.name):
+                                results[task.name] = runner(task)
+                        except Exception as exc:  # noqa: BLE001
+                            failures[task.name] = (
+                                f"{type(exc).__name__}: {exc}"
+                            )
+        return {"results": results, "failures": failures}
 
     def as_batch_job(self, priority: int = 0) -> BatchJob:
         """The whole farm as one queue entry."""

@@ -8,9 +8,14 @@ coherent instrumentation substrate.  This package provides it:
   histograms (p50/p95/p99) with a text exposition format for ``/metrics``;
 * :mod:`.tracing` — hierarchical spans with a context-local current-span
   stack, so one trace covers firework launch → SCF iterations → docstore
-  writes → builder runs → API queries;
+  writes → builder runs → API queries; spans carry globally-unique
+  trace/span ids and a ``"$trace"`` wire context, so one trace also
+  stitches client → proxy → server → per-shard fan-out across processes;
 * :mod:`.logging` — structured logging through a shared redacting
-  formatter that scrubs credentials.
+  formatter that scrubs credentials;
+* :mod:`.provenance` — the workflow provenance ledger: walks the
+  ``provenance`` subdocuments stamped by the launcher and the builders
+  into an exportable DAG (``provenance_graph``).
 
 The docstore feeds all three automatically (opcounters, the MongoDB-style
 profiler's ``system.profile`` collection, and per-op child spans); the wire
@@ -28,7 +33,20 @@ from .metrics import (
     percentile,
     set_registry,
 )
-from .tracing import Span, clear_traces, current_span, recent_traces, span
+from .tracing import (
+    Span,
+    active_span,
+    clear_traces,
+    current_span,
+    export_traces,
+    format_trace,
+    recent_traces,
+    remote_span,
+    span,
+    stitch_spans,
+    trace_context,
+)
+from .provenance import format_provenance, provenance_graph
 
 __all__ = [
     "Counter",
@@ -40,9 +58,17 @@ __all__ = [
     "percentile",
     "Span",
     "span",
+    "remote_span",
+    "active_span",
     "current_span",
+    "trace_context",
     "recent_traces",
     "clear_traces",
+    "export_traces",
+    "stitch_spans",
+    "format_trace",
+    "provenance_graph",
+    "format_provenance",
     "RedactingFormatter",
     "get_logger",
     "log_event",

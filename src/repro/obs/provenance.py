@@ -1,0 +1,150 @@
+"""Workflow provenance: walk stamped ``provenance`` links into a DAG.
+
+AiiDA 1.0 (Huber et al., 2020) argues that provenance capture — every
+derived datum traceable to the calculation and inputs that produced it —
+is what makes a high-throughput materials store trustworthy.  Here every
+producer stamps its outputs with a ``provenance`` subdocument:
+
+* the FireWorks launcher stamps each task with its firework, workflow,
+  parent task ids, code version, trace id, and wall time;
+* :class:`~repro.builders.core.MaterialsBuilder` stamps each material with
+  the builder name and the full list of source task ids;
+* the derived builders (phase diagrams, batteries, XRD, bands, symmetry)
+  stamp their documents with the source material ids.
+
+:func:`provenance_graph` walks those links backwards from a material into
+an exportable node/edge DAG (served at ``GET /provenance/<material_id>``),
+and :func:`format_provenance` renders it as an indented text tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import NotFoundError
+
+__all__ = ["provenance_graph", "format_provenance"]
+
+
+def _add_node(graph: Dict[str, Any], node_id: str, kind: str,
+              **attrs: Any) -> bool:
+    """Register a node once; returns False if it already exists."""
+    if node_id in graph["_seen"]:
+        return False
+    graph["_seen"].add(node_id)
+    graph["nodes"].append({"id": node_id, "kind": kind, **attrs})
+    return True
+
+
+def _add_edge(graph: Dict[str, Any], src: str, dst: str,
+              relation: str) -> None:
+    graph["edges"].append({"from": src, "to": dst, "relation": relation})
+
+
+def _walk_task(graph: Dict[str, Any], db, task_id: Any, from_node: str,
+               relation: str) -> None:
+    """Add one task node (and its firework/workflow ancestry) to the DAG."""
+    node_id = f"task:{task_id}"
+    task = db["tasks"].find_one({"_id": task_id})
+    fresh = _add_node(
+        graph, node_id, "task",
+        state=(task or {}).get("state"),
+        code_version=(task or {}).get("code_version"),
+        mps_id=(task or {}).get("mps_id"),
+    )
+    _add_edge(graph, from_node, node_id, relation)
+    if not fresh or task is None:
+        return
+
+    prov = task.get("provenance") or {}
+    graph["trace_ids"].add(prov.get("trace_id"))
+    fw_id = prov.get("fw_id", task.get("fw_id"))
+    if fw_id is not None:
+        fw_node = f"firework:{fw_id}"
+        engine = db["engines"].find_one({"fw_id": fw_id})
+        _add_node(graph, fw_node, "firework",
+                  state=(engine or {}).get("state"),
+                  launches=(engine or {}).get("launches"))
+        _add_edge(graph, node_id, fw_node, "produced_by")
+        workflow_id = prov.get("workflow_id", task.get("workflow_id"))
+        if workflow_id is not None:
+            wf_node = f"workflow:{workflow_id}"
+            _add_node(graph, wf_node, "workflow")
+            _add_edge(graph, fw_node, wf_node, "part_of")
+    # Inputs of this calculation: the parent fireworks' tasks.
+    for parent_id in prov.get("source_task_ids") or []:
+        _walk_task(graph, db, parent_id, node_id, "derived_from")
+
+
+def provenance_graph(db, material_id: str) -> dict:
+    """The backward provenance DAG of one material as nodes and edges.
+
+    Walks material → source tasks → fireworks → workflows, following each
+    task's own ``source_task_ids`` recursively, so a detoured or multi-step
+    calculation resolves all the way back to its root inputs.  Raises
+    :class:`~repro.errors.NotFoundError` for an unknown material id.
+    """
+    material = db["materials"].find_one({"material_id": material_id})
+    if material is None:
+        raise NotFoundError(f"no material {material_id!r}")
+
+    graph: Dict[str, Any] = {
+        "root": f"material:{material_id}",
+        "material_id": material_id,
+        "nodes": [],
+        "edges": [],
+        "trace_ids": set(),
+        "_seen": set(),
+    }
+    prov = material.get("provenance") or {}
+    graph["trace_ids"].add(prov.get("trace_id"))
+    _add_node(
+        graph, graph["root"], "material",
+        formula=material.get("reduced_formula") or material.get("formula"),
+        mps_id=material.get("mps_id"),
+        builder=prov.get("builder"),
+        code_version=prov.get("code_version"),
+    )
+    task_ids: List[Any] = list(prov.get("source_task_ids") or [])
+    if not task_ids and prov.get("task_id") is not None:
+        task_ids = [prov["task_id"]]
+    for task_id in task_ids:
+        _walk_task(graph, db, task_id, graph["root"], "built_from")
+
+    graph.pop("_seen")
+    graph["trace_ids"] = sorted(t for t in graph["trace_ids"] if t)
+    return graph
+
+
+def _children_of(graph: dict, node_id: str) -> List[tuple]:
+    return [(e["to"], e["relation"]) for e in graph["edges"]
+            if e["from"] == node_id]
+
+
+def _node_label(graph: dict, node_id: str) -> str:
+    node = next((n for n in graph["nodes"] if n["id"] == node_id), {})
+    extras = " ".join(
+        f"{k}={v}" for k, v in node.items()
+        if k not in ("id", "kind") and v is not None
+    )
+    return f"{node_id}" + (f" ({extras})" if extras else "")
+
+
+def _render_node(graph: dict, node_id: str, relation: Optional[str],
+                 indent: int, lines: List[str], seen: set) -> None:
+    arrow = f"<-{relation}- " if relation else ""
+    lines.append("  " * indent + arrow + _node_label(graph, node_id))
+    if node_id in seen:
+        return
+    seen.add(node_id)
+    for child, rel in _children_of(graph, node_id):
+        _render_node(graph, child, rel, indent + 1, lines, seen)
+
+
+def format_provenance(graph: dict) -> str:
+    """Render a :func:`provenance_graph` result as an indented text tree."""
+    lines: List[str] = []
+    _render_node(graph, graph["root"], None, 0, lines, set())
+    if graph.get("trace_ids"):
+        lines.append(f"traces: {', '.join(graph['trace_ids'])}")
+    return "\n".join(lines)
