@@ -1,0 +1,194 @@
+"""Continuous observability benchmark: core datastore op latencies.
+
+Measures p50/p95/p99 wall latency of the three operations the fleet
+health monitor watches hardest — indexed ``find``, ``insert_one``, and a
+group-by ``aggregate`` — over a synthetic materials-shaped collection,
+and writes ``BENCH_obs.json`` at the repo root.  CI re-runs this on every
+push and fails the build when p95 regresses more than the tolerance in
+:mod:`check_bench_regression` against the committed baseline
+(``benchmarks/baseline_obs.json``).
+
+Raw milliseconds are meaningless across runner generations, so the
+harness also times a fixed pure-Python *calibration* workload.  The
+regression gate scales the baseline by the calibration ratio before
+comparing — a machine that is 2x slower on the calibration loop is
+allowed 2x slower benchmark numbers.
+
+Run directly (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.docstore import DocumentStore
+from repro.obs import percentile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
+
+N_DOCS = 2000
+ITERS = 300
+
+
+def calibrate(rounds: int = 5) -> float:
+    """Milliseconds for a fixed pure-Python workload (machine-speed
+    yardstick; the gate normalizes by this)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc += i * i % 7
+        data = [(i * 2654435761) % 1000 for i in range(20_000)]
+        data.sort()
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def _timed(fn: Callable[[int], None], iters: int, batch: int = 1,
+           repeats: int = 3,
+           setup: Optional[Callable[[], None]] = None) -> Dict[str, float]:
+    """Latency stats for ``fn``: ``iters`` samples of ``batch`` calls each,
+    best of ``repeats`` full passes.
+
+    Batching lifts sub-100us operations above timer/scheduler noise;
+    taking the *minimum* p95 across passes discards one-off interference
+    spikes (a genuine code regression raises every pass, so it still
+    raises the minimum); ``setup`` runs before each pass so benchmarks
+    that mutate state start every pass from the same place; and the
+    cyclic GC is paused during timing so collection pauses land between
+    samples, not inside them.
+    """
+    passes: List[Dict[str, float]] = []
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        counter = 0
+        samples: List[float] = []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(iters):
+                t0 = time.perf_counter()
+                for _ in range(batch):
+                    fn(counter)
+                    counter += 1
+                samples.append((time.perf_counter() - t0) * 1e3 / batch)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        passes.append({
+            "p50_ms": percentile(samples, 50),
+            "p95_ms": percentile(samples, 95),
+            "p99_ms": percentile(samples, 99),
+            "mean_ms": sum(samples) / len(samples),
+        })
+    best = min(passes, key=lambda s: s["p95_ms"])
+    best["iters"] = iters
+    best["batch"] = batch
+    best["repeats"] = repeats
+    return best
+
+
+def _build_collection(n_docs: int):
+    store = DocumentStore()
+    coll = store["bench"]["materials"]
+    coll.create_index("material_id", unique=True)
+    coll.create_index("nelements")
+    coll.insert_many([
+        {
+            "material_id": f"mp-{i}",
+            "nelements": i % 7 + 1,
+            "formation_energy_per_atom": (i * 37 % 500) / 100.0 - 2.5,
+            "band_gap": (i * 13 % 80) / 10.0,
+            "elasticity": {"G_VRH": i % 200, "K_VRH": i % 350},
+        }
+        for i in range(n_docs)
+    ])
+    return store, coll
+
+
+def run_benchmarks(n_docs: int = N_DOCS,
+                   iters: int = ITERS) -> Dict[str, dict]:
+    store, coll = _build_collection(n_docs)
+    db = store["bench"]
+
+    def bench_find(i: int) -> None:
+        coll.find_one({"material_id": f"mp-{i * 7 % n_docs}"})
+
+    # Inserts land in a scratch collection recreated before each pass, so
+    # the write benchmark never grows the read benchmarks' collection and
+    # every pass starts from the same (indexed, empty) state.
+    def reset_inserts() -> None:
+        db.drop_collection("inserts")
+        db["inserts"].create_index("material_id", unique=True)
+
+    def bench_insert(i: int) -> None:
+        db["inserts"].insert_one({
+            "material_id": f"mp-new-{i}",
+            "nelements": i % 7 + 1,
+            "band_gap": 0.0,
+        })
+
+    def bench_aggregate(i: int) -> None:
+        coll.aggregate([
+            {"$match": {"nelements": {"$lte": 5}}},
+            {"$group": {"_id": "$nelements",
+                        "mean_gap": {"$avg": "$band_gap"},
+                        "n": {"$sum": 1}}},
+        ])
+
+    # The micro-ops (tens of us) need heavy batching and extra passes to
+    # sit still under a 20% gate; aggregate (tens of ms) does not.
+    return {
+        "find": _timed(bench_find, max(iters // 3, 50), batch=100,
+                       repeats=5),
+        "insert": _timed(bench_insert, max(iters // 3, 50), batch=100,
+                         repeats=5, setup=reset_inserts),
+        "aggregate": _timed(bench_aggregate, max(iters // 10, 10)),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    parser.add_argument("--n-docs", type=int, default=N_DOCS)
+    parser.add_argument("--iters", type=int, default=ITERS)
+    args = parser.parse_args(argv)
+
+    calibration_ms = calibrate()
+    benchmarks = run_benchmarks(args.n_docs, args.iters)
+    doc = {
+        "meta": {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "n_docs": args.n_docs,
+            "iters": args.iters,
+            "calibration_ms": calibration_ms,
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {calibration_ms:.2f} ms")
+    for name, stats in benchmarks.items():
+        print(f"{name:10s} p50 {stats['p50_ms']:8.4f} ms   "
+              f"p95 {stats['p95_ms']:8.4f} ms   "
+              f"p99 {stats['p99_ms']:8.4f} ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""The continuous-benchmark regression gate.
+
+Compares a fresh ``BENCH_obs.json`` (from :mod:`bench_obs`) against the
+committed baseline and exits non-zero when any benchmark's p95 regresses
+by more than ``--tolerance`` (default 20%).
+
+Both files carry a ``calibration_ms`` measurement of the same fixed
+pure-Python workload; the baseline's p95 is scaled by
+``current_calibration / baseline_calibration`` before the tolerance is
+applied, so a slower CI runner doesn't read as a code regression (and a
+faster one doesn't mask a real regression).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline benchmarks/baseline_obs.json --current BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(baseline: dict, current: dict,
+            tolerance: float = 0.20) -> List[dict]:
+    """Per-benchmark comparison rows; ``row["regressed"]`` marks failures."""
+    base_cal = baseline["meta"]["calibration_ms"]
+    cur_cal = current["meta"]["calibration_ms"]
+    speed_ratio = cur_cal / base_cal if base_cal else 1.0
+    rows = []
+    for name, base in sorted(baseline["benchmarks"].items()):
+        cur = current["benchmarks"].get(name)
+        if cur is None:
+            rows.append({"name": name, "regressed": True,
+                         "reason": "benchmark missing from current run"})
+            continue
+        allowed = base["p95_ms"] * speed_ratio * (1.0 + tolerance)
+        rows.append({
+            "name": name,
+            "baseline_p95_ms": base["p95_ms"],
+            "scaled_baseline_p95_ms": base["p95_ms"] * speed_ratio,
+            "current_p95_ms": cur["p95_ms"],
+            "allowed_p95_ms": allowed,
+            "speed_ratio": speed_ratio,
+            "regressed": cur["p95_ms"] > allowed,
+        })
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "benchmarks", "baseline_obs.json"))
+    parser.add_argument(
+        "--current", default=os.path.join(REPO_ROOT, "BENCH_obs.json"))
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional p95 regression")
+    args = parser.parse_args(argv)
+
+    rows = compare(_load(args.baseline), _load(args.current),
+                   args.tolerance)
+    failed = False
+    for row in rows:
+        if "reason" in row:
+            print(f"FAIL  {row['name']}: {row['reason']}")
+            failed = True
+            continue
+        verdict = "FAIL" if row["regressed"] else "ok"
+        print(f"{verdict:4s}  {row['name']:10s} "
+              f"p95 {row['current_p95_ms']:8.4f} ms vs "
+              f"allowed {row['allowed_p95_ms']:8.4f} ms "
+              f"(baseline {row['baseline_p95_ms']:.4f} ms x "
+              f"speed {row['speed_ratio']:.2f} x "
+              f"tolerance {1 + args.tolerance:.2f})")
+        failed = failed or row["regressed"]
+    if failed:
+        print(f"\nbenchmark regression: p95 exceeded "
+              f"{args.tolerance:.0%} over the calibrated baseline",
+              file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,6 @@ The log also feeds the shared metrics registry (:mod:`repro.obs`), so
 
 from __future__ import annotations
 
-import math
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -108,11 +107,9 @@ class QueryLog:
         return sorted((e["ts"], e["millis"]) for e in self.entries)
 
     def percentile(self, p: float) -> float:
-        values = sorted(e["millis"] for e in self.entries)
-        if not values:
-            return 0.0
-        k = min(len(values) - 1, max(0, int(math.ceil(p / 100.0 * len(values))) - 1))
-        return values[k]
+        from ..obs import percentile as _percentile
+
+        return _percentile([e["millis"] for e in self.entries], p)
 
     def summary(self) -> dict:
         entries = self.entries

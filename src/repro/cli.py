@@ -2,15 +2,20 @@
 
 A downstream operator's entry points over a persistent datastore directory::
 
-    python -m repro.cli populate --data-dir ./mpdb --n 40
-    python -m repro.cli status   --data-dir ./mpdb
-    python -m repro.cli query    --data-dir ./mpdb --formula NaCl
-    python -m repro.cli vnv      --data-dir ./mpdb
-    python -m repro.cli serve    --data-dir ./mpdb --port 8899
+    python -m repro.cli populate  --data-dir ./mpdb --n 40
+    python -m repro.cli status    --data-dir ./mpdb
+    python -m repro.cli query     --data-dir ./mpdb --formula NaCl
+    python -m repro.cli vnv       --data-dir ./mpdb
+    python -m repro.cli serve     --data-dir ./mpdb --port 8899
+    python -m repro.cli mongostat --data-dir ./mpdb --n 5 --interval 1
+    python -m repro.cli mongotop  --data-dir ./mpdb --n 3
+    python -m repro.cli advise    --data-dir ./mpdb --verify
 
 Every command opens the same snapshot+journal-backed store, so state
 persists between invocations — a one-machine analog of operating the
-production deployment.
+production deployment.  ``mongostat``/``mongotop`` also run against a
+live wire-protocol server (``--host``/--port``), sampling the fleet the
+way their MongoDB namesakes do.
 """
 
 from __future__ import annotations
@@ -155,6 +160,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _monitor_target(args: argparse.Namespace):
+    """``(target, close)`` for the sampler commands: a live wire-protocol
+    server when ``--host`` is given, the local persistent store otherwise."""
+    if args.host:
+        if args.port is None:
+            raise SystemExit("--host requires --port")
+        from .docstore.server import RemoteClient
+
+        client = RemoteClient(args.host, args.port)
+        return client, client.close
+    return _open_store(args), (lambda: None)
+
+
+def cmd_mongostat(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import ServerStatusSampler, format_stat_table
+
+    target, close = _monitor_target(args)
+    try:
+        sampler = ServerStatusSampler(target)
+        for i in range(args.n):
+            if i:
+                time.sleep(args.interval)
+            sample = sampler.sample()
+            if args.json:
+                print(json.dumps(sample, default=str))
+            else:
+                print(format_stat_table([sample], header=(i == 0)))
+            sys.stdout.flush()
+    finally:
+        close()
+    return 0
+
+
+def cmd_mongotop(args: argparse.Namespace) -> int:
+    import time
+
+    from .obs import TopSampler, format_top_table
+
+    target, close = _monitor_target(args)
+    try:
+        sampler = TopSampler(target[args.db])
+        for i in range(args.n):
+            if i:
+                time.sleep(args.interval)
+            sample = sampler.sample()
+            if args.json:
+                print(json.dumps(sample, default=str))
+            else:
+                if i:
+                    print()
+                print(format_top_table(sample))
+            sys.stdout.flush()
+    finally:
+        close()
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from .obs import IndexAdvisor
+
+    store = _open_store(args)
+    advisor = IndexAdvisor(store[args.db], min_millis=args.min_millis,
+                           min_occurrences=args.min_occurrences)
+    recs = advisor.analyze()
+    if args.json:
+        print(json.dumps({
+            "recommendations": [r.to_dict() for r in recs],
+            "unused_indexes": advisor.unused_indexes(),
+        }, default=str))
+        return 0
+    if not recs:
+        print("no missing-index candidates in system.profile "
+              "(is profiling enabled? try db.set_profiling_level)")
+    for rec in recs:
+        print(f"{rec.ns}: {rec.command}")
+        print(f"  seen {rec.occurrences}x, avg {rec.avg_millis:.2f} ms, "
+              f"docsExamined {rec.docs_examined_before} -> "
+              f"~{rec.estimated_docs_examined_after} "
+              f"({rec.estimated_reduction:.0%} fewer)")
+        if args.verify:
+            result = advisor.verify(rec, keep=args.keep)
+            print(f"  explain(): {result['before']['stage']} "
+                  f"{result['before']['docsExamined']} docs -> "
+                  f"{result['after']['stage']} "
+                  f"{result['after']['docsExamined']} docs"
+                  + ("  [index kept]" if args.keep else "  [index dropped]"))
+    unused = advisor.unused_indexes()
+    for ix in unused:
+        print(f"{ix['ns']}: index {ix['name']} ({ix['field']}) "
+              f"unused since creation — drop candidate")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Materials Project reproduction CLI"
@@ -184,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="serve the Materials API + Web UI")
     p.add_argument("--port", type=int, default=8899)
     p.set_defaults(fn=cmd_serve)
+
+    for name, help_text in (
+        ("mongostat", "sample opcounter deltas (mongostat analog)"),
+        ("mongotop", "sample per-collection read/write time (mongotop)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--n", type=int, default=5, help="samples to take")
+        p.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between samples")
+        p.add_argument("--json", action="store_true",
+                       help="one JSON document per sample")
+        p.add_argument("--host", help="sample a live wire-protocol server")
+        p.add_argument("--port", type=int, help="server port (with --host)")
+        if name == "mongotop":
+            p.add_argument("--db", default="mp", help="database to watch")
+            p.set_defaults(fn=cmd_mongotop)
+        else:
+            p.set_defaults(fn=cmd_mongostat)
+
+    p = sub.add_parser("advise",
+                       help="recommend indexes from system.profile")
+    p.add_argument("--db", default="mp")
+    p.add_argument("--min-millis", type=float, default=0.0,
+                   help="ignore profile entries faster than this")
+    p.add_argument("--min-occurrences", type=int, default=1,
+                   help="require a query shape this many times")
+    p.add_argument("--verify", action="store_true",
+                   help="replay explain() with the index created")
+    p.add_argument("--keep", action="store_true",
+                   help="keep indexes created during --verify")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_advise)
     return parser
 
 

@@ -89,6 +89,8 @@ class Collection:
         self._indexes = IndexManager()
         self._lock = threading.RLock()
         self._last_plan: Optional[QueryPlan] = None
+        # $indexStats-style usage accounting: name -> {"ops", "since"}.
+        self._index_usage: Dict[str, dict] = {}
         # Optional observers (oplog for replication, query timing log).
         self._change_listeners: List[Callable[[str, dict], None]] = []
 
@@ -198,6 +200,10 @@ class Collection:
         if plan is not None:
             index, positions = plan
             self._last_plan = QueryPlan("IXSCAN", index.name, len(positions))
+            usage = self._index_usage.setdefault(
+                index.name, {"ops": 0, "since": time.time()}
+            )
+            usage["ops"] += 1
             for pos in sorted(positions):
                 doc = self._docs.get(pos)
                 if doc is not None and matcher.matches(doc):
@@ -558,17 +564,43 @@ class Collection:
             except DuplicateKeyError:
                 self._indexes.drop(index.name)
                 raise
+            self._index_usage.setdefault(
+                index.name, {"ops": 0, "since": time.time()}
+            )
             return index.name
 
     def drop_index(self, name: str) -> None:
         with self._lock:
             self._indexes.drop(name)
+            self._index_usage.pop(name, None)
 
     def index_information(self) -> Dict[str, dict]:
         return {
             ix.name: {"field": ix.field, "unique": ix.unique, "entries": len(ix)}
             for ix in self._indexes.all()
         }
+
+    def index_stats(self) -> List[dict]:
+        """``$indexStats``-style usage accounting, one document per index.
+
+        ``accesses.ops`` counts queries the planner answered with the
+        index; ``accesses.since`` is when counting began.  An index with
+        zero ops since creation is a drop candidate — the advisor's
+        :meth:`~repro.obs.advisor.IndexAdvisor.unused_indexes` reads this.
+        """
+        with self._lock:
+            return [
+                {
+                    "name": ix.name,
+                    "field": ix.field,
+                    "unique": ix.unique,
+                    "entries": len(ix),
+                    "accesses": dict(self._index_usage.get(
+                        ix.name, {"ops": 0, "since": None}
+                    )),
+                }
+                for ix in self._indexes.all()
+            ]
 
     @property
     def last_plan(self) -> Optional[QueryPlan]:

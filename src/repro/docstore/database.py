@@ -9,6 +9,8 @@ single instrumentation funnel behind four consumers:
 
 * **opcounters** — MongoDB ``serverStatus``-style totals per op category
   (insert/query/update/delete/getmore/command), see :meth:`server_status`;
+* **top accounting** — ``mongotop``-style cumulative read/write time per
+  collection, see :meth:`top`;
 * **the profiler** — MongoDB semantics: level 0 off, level 1 records read
   ops plus anything slower than ``slowms``, level 2 records every op, all
   into a queryable ``system.profile`` collection (the data behind the
@@ -48,6 +50,10 @@ PROFILE_CAP = 4096
 #: be collected without drowning in write records).
 _READ_OPS = frozenset({"find", "findOne", "aggregate", "getmore"})
 
+#: Opcounter categories classified as writes by per-collection ``top()``
+#: accounting; everything else (query/getmore/command) counts as a read.
+_WRITE_KINDS = frozenset({"insert", "update", "delete"})
+
 
 class Database:
     """A named namespace of collections, created lazily on access."""
@@ -62,6 +68,7 @@ class Database:
         self._profile_level = 0
         self._slowms = DEFAULT_SLOWMS
         self._opcounters: Dict[str, int] = {k: 0 for k in OPCOUNTER_KEYS}
+        self._top: Dict[str, Dict[str, float]] = {}
         self._started_at = time.time()
 
     def __getitem__(self, name: str) -> Collection:
@@ -118,8 +125,16 @@ class Database:
         if coll_name.startswith("system."):
             return
         millis = elapsed_s * 1e3
+        side = "write" if kind in _WRITE_KINDS else "read"
         with self._lock:
             self._opcounters[kind] = self._opcounters.get(kind, 0) + n_ops
+            bucket = self._top.setdefault(coll_name, {
+                "total_ms": 0.0, "read_ms": 0.0, "write_ms": 0.0,
+                "read_count": 0, "write_count": 0,
+            })
+            bucket["total_ms"] += millis
+            bucket[f"{side}_ms"] += millis
+            bucket[f"{side}_count"] += n_ops
 
         registry = get_registry()
         registry.counter(
@@ -242,6 +257,20 @@ class Database:
             ),
         }
 
+    def top(self) -> Dict[str, dict]:
+        """Per-collection cumulative read/write time (``mongotop`` source).
+
+        Keys are full namespaces (``db.collection``); values carry
+        cumulative ``total_ms``/``read_ms``/``write_ms`` and op counts.
+        The :class:`repro.obs.health.TopSampler` diffs two calls to render
+        per-interval activity.
+        """
+        with self._lock:
+            return {
+                f"{self.name}.{coll}": dict(bucket)
+                for coll, bucket in self._top.items()
+            }
+
     def command_stats(self) -> dict:
         """dbStats-like summary across collections."""
         stats = [c.stats() for n, c in self._collections.items()
@@ -311,12 +340,18 @@ class DocumentStore:
         with self._lock:
             databases = list(self._databases.values())
         opcounters = {k: 0 for k in OPCOUNTER_KEYS}
+        objects = collections = 0
         for db in databases:
-            for key, value in db.server_status()["opcounters"].items():
+            status = db.server_status()
+            for key, value in status["opcounters"].items():
                 opcounters[key] = opcounters.get(key, 0) + value
+            objects += status["objects"]
+            collections += status["collections"]
         return {
             "databases": sorted(db.name for db in databases),
             "opcounters": opcounters,
+            "objects": objects,
+            "collections": collections,
         }
 
     # -- live operation introspection -------------------------------------

@@ -24,7 +24,8 @@ import socket
 import socketserver
 import threading
 import time
-from typing import Any, Optional
+from collections import deque
+from typing import Any, Deque, List, Optional
 
 from ..obs import get_registry, remote_span, trace_context
 from .documents import document_from_json, document_to_json
@@ -68,6 +69,7 @@ class _ProxyHandler(socketserver.StreamRequestHandler):
                 line = self.rfile.readline()
                 if not line:
                     break
+                t0 = time.perf_counter()
                 if proxy.forward_latency_s > 0:
                     time.sleep(proxy.forward_latency_s)
                 ctx, resend = _retrace(line)
@@ -82,7 +84,8 @@ class _ProxyHandler(socketserver.StreamRequestHandler):
                     response = upstream_file.readline()
                 if not response:
                     break
-                proxy._count(len(line), len(response))
+                proxy._count(len(line), len(response),
+                             elapsed_ms=(time.perf_counter() - t0) * 1e3)
                 self.wfile.write(response)
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
@@ -127,12 +130,18 @@ class DatastoreProxy:
         self.requests_forwarded = 0
         self.bytes_up = 0
         self.bytes_down = 0
+        # (wall ts, forward millis) per relayed request, injected latency
+        # included — the wire-level SLI the SLO engine can window over.
+        self._latency_log: Deque[tuple] = deque(maxlen=4096)
 
-    def _count(self, up: int, down: int) -> None:
+    def _count(self, up: int, down: int,
+               elapsed_ms: Optional[float] = None) -> None:
         with self._lock:
             self.requests_forwarded += 1
             self.bytes_up += up
             self.bytes_down += down
+            if elapsed_ms is not None:
+                self._latency_log.append((time.time(), elapsed_ms))
         registry = get_registry()
         registry.counter(
             "repro_proxy_requests_total", "requests relayed by the proxy"
@@ -140,6 +149,15 @@ class DatastoreProxy:
         registry.counter(
             "repro_wire_bytes_total", "wire-protocol traffic"
         ).inc(up + down, direction="proxy")
+        if elapsed_ms is not None:
+            registry.histogram(
+                "repro_proxy_forward_millis", "proxy forwarding latency"
+            ).observe(elapsed_ms)
+
+    def latency_events(self) -> List[tuple]:
+        """Recent ``(wall_ts, millis)`` forward timings (oldest first)."""
+        with self._lock:
+            return list(self._latency_log)
 
     @property
     def port(self) -> int:

@@ -154,12 +154,18 @@ class DatastoreServer:
         if op == "export_traces":
             return {"ok": True,
                     "result": export_traces(request.get("trace_id"))}
+        if op == "server_status":
+            return {"ok": True, "result": self.store.server_status()}
         db_name = request.get("db")
         if not isinstance(db_name, str):
             raise WireProtocolError("request missing 'db'")
         db = self.store.get_database(db_name)
         if op == "list_collections":
             return {"ok": True, "result": db.list_collection_names()}
+        if op == "db_status":
+            return {"ok": True, "result": db.server_status()}
+        if op == "top":
+            return {"ok": True, "result": db.top()}
         coll_name = request.get("coll")
         if not isinstance(coll_name, str):
             raise WireProtocolError("request missing 'coll'")
@@ -245,6 +251,14 @@ class DatastoreServer:
     def _op_stats(coll: Any, req: Mapping[str, Any]) -> Any:
         return coll.stats()
 
+    @staticmethod
+    def _op_index_stats(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.index_stats()
+
+    @staticmethod
+    def _op_explain(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.explain(req.get("query") or {})
+
 
 class RemoteCollection:
     """Client-side handle mirroring the in-process Collection API subset."""
@@ -322,6 +336,14 @@ class RemoteCollection:
     def stats(self) -> dict:
         return self._call("stats")
 
+    def index_stats(self) -> List[dict]:
+        """``$indexStats``-style per-index usage accounting."""
+        return self._call("index_stats")
+
+    def explain(self, query: Optional[Mapping[str, Any]] = None) -> dict:
+        """Run the remote planner for ``query`` (advisor replay support)."""
+        return self._call("explain", query=query or {})
+
 
 class _RemoteDatabase:
     def __init__(self, client: "RemoteClient", name: str):
@@ -336,6 +358,14 @@ class _RemoteDatabase:
 
     def list_collection_names(self) -> List[str]:
         return self._client.request({"op": "list_collections", "db": self.name})
+
+    def server_status(self) -> dict:
+        """The remote database's ``serverStatus`` (mongostat source)."""
+        return self._client.request({"op": "db_status", "db": self.name})
+
+    def top(self) -> dict:
+        """Per-collection read/write time on the server (mongotop source)."""
+        return self._client.request({"op": "top", "db": self.name})
 
 
 class RemoteClient:
@@ -387,6 +417,10 @@ class RemoteClient:
 
     def ping(self) -> bool:
         return self.request({"op": "ping"}) == "pong"
+
+    def server_status(self) -> dict:
+        """Aggregate ``serverStatus`` across the remote store's databases."""
+        return self.request({"op": "server_status"})
 
     def current_op(self) -> List[dict]:
         """``db.currentOp()`` against the remote store."""

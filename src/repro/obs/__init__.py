@@ -21,6 +21,17 @@ The docstore feeds all three automatically (opcounters, the MongoDB-style
 profiler's ``system.profile`` collection, and per-op child spans); the wire
 protocol, workflow engine, MapReduce executors, builders, and HTTP front
 end layer their own signals on top.
+
+Fleet-health tooling builds on that substrate:
+
+* :mod:`.health` — mongostat/mongotop-style interval samplers plus the
+  :class:`HealthMonitor` rolling replication lag, shard balance, and
+  changestream backlog gauges into one ``GET /health`` report;
+* :mod:`.slo` — threshold and error-budget burn-rate rules evaluated by
+  an :class:`SLOEngine` that opens/resolves alert documents in a capped
+  ``system.alerts`` history collection;
+* :mod:`.advisor` — the slow-query index advisor mining ``system.profile``
+  COLLSCAN shapes into verified ``create_index`` recommendations.
 """
 
 from .logging import RedactingFormatter, get_logger, log_event, redact
@@ -47,6 +58,22 @@ from .tracing import (
     trace_context,
 )
 from .provenance import format_provenance, provenance_graph
+from .health import (
+    HealthMonitor,
+    ServerStatusSampler,
+    TopSampler,
+    format_stat_table,
+    format_top_table,
+)
+from .slo import (
+    AlertHistory,
+    BurnRateRule,
+    LatencyWindowSource,
+    SLOEngine,
+    ThresholdRule,
+    default_rules,
+)
+from .advisor import IndexAdvisor, IndexRecommendation
 
 __all__ = [
     "Counter",
@@ -73,4 +100,17 @@ __all__ = [
     "get_logger",
     "log_event",
     "redact",
+    "ServerStatusSampler",
+    "TopSampler",
+    "HealthMonitor",
+    "format_stat_table",
+    "format_top_table",
+    "ThresholdRule",
+    "BurnRateRule",
+    "LatencyWindowSource",
+    "AlertHistory",
+    "SLOEngine",
+    "default_rules",
+    "IndexAdvisor",
+    "IndexRecommendation",
 ]

@@ -1,0 +1,254 @@
+"""Slow-query index advisor: mine ``system.profile`` into create_index advice.
+
+The Materials Project operators' answer to a slow dashboard was almost
+always an index: turn on the profiler, look for COLLSCAN query shapes
+burning time, add the matching index, verify with ``explain()``.  This
+module automates that loop:
+
+1. Mine the database's ``system.profile`` for full-scan read ops and
+   group them by *query shape* (values elided to ``?type`` — the same
+   shape function the profiler itself uses), so a thousand
+   ``{"material_id": "mp-NNN"}`` lookups collapse into one candidate.
+2. For each shape, pick the most selective indexable field by probing
+   ``count_documents`` on the example query's values (profiling is
+   suspended during the probes so the advisor never pollutes the
+   evidence it is mining).
+3. Emit :class:`IndexRecommendation` rows ranked by estimated saved
+   work — occurrences x (docs examined now - docs examined with the
+   index).
+4. :meth:`IndexAdvisor.verify` replays the example query through
+   ``explain()`` before and after actually creating the index, so every
+   recommendation is checkable, not just plausible.
+
+The flip side of "add an index" is "drop the dead ones":
+:meth:`IndexAdvisor.unused_indexes` walks ``$indexStats``-style usage
+counters (:meth:`~repro.docstore.collection.Collection.index_stats`) for
+indexes no query has touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["IndexRecommendation", "IndexAdvisor"]
+
+#: Profile ops the advisor treats as index-improvable reads.
+_READ_OPS = frozenset({"find", "findOne", "count", "findAndModify"})
+
+
+@dataclass
+class IndexRecommendation:
+    """One concrete ``create_index`` suggestion with its evidence."""
+
+    ns: str
+    collection: str
+    field: str
+    command: str
+    occurrences: int
+    avg_millis: float
+    docs_examined_before: int
+    estimated_docs_examined_after: int
+    estimated_reduction: float
+    example_query: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "ns": self.ns,
+            "collection": self.collection,
+            "field": self.field,
+            "command": self.command,
+            "occurrences": self.occurrences,
+            "avg_millis": self.avg_millis,
+            "docs_examined_before": self.docs_examined_before,
+            "estimated_docs_examined_after":
+                self.estimated_docs_examined_after,
+            "estimated_reduction": self.estimated_reduction,
+            "example_query": self.example_query,
+        }
+
+
+class IndexAdvisor:
+    """Mines a database's profiler output for missing-index evidence.
+
+    Parameters
+    ----------
+    db:
+        A local :class:`~repro.docstore.database.Database` with profiling
+        enabled (``db.set_profiling_level(2)`` captures everything;
+        level 1 captures reads and slow ops).
+    min_millis:
+        Ignore profile entries faster than this — sub-threshold queries
+        are not worth an index's write overhead.
+    min_occurrences:
+        Require a query shape to appear at least this many times before
+        recommending; one-off scans don't justify an index either.
+    """
+
+    def __init__(self, db: Any, min_millis: float = 0.0,
+                 min_occurrences: int = 1):
+        self.db = db
+        self.min_millis = min_millis
+        self.min_occurrences = min_occurrences
+
+    # -- mining ----------------------------------------------------------
+
+    def analyze(self) -> List[IndexRecommendation]:
+        """Group COLLSCAN profile entries by query shape and recommend the
+        most selective missing index for each, ranked by estimated saved
+        docsExamined across the observed workload."""
+        groups = self._collscan_groups()
+        recs: List[IndexRecommendation] = []
+        for (ns, _shape_key), entries in groups.items():
+            if len(entries) < self.min_occurrences:
+                continue
+            coll_name = ns.split(".", 1)[1] if "." in ns else ns
+            coll = self.db.get_collection(coll_name)
+            example = entries[-1].get("query") or {}
+            candidates = self._candidate_fields(coll, example)
+            if not candidates:
+                continue
+            best_field, docs_after = self._most_selective(
+                coll, example, candidates
+            )
+            docs_before = max(
+                e.get("docsExamined", 0) for e in entries
+            ) or coll.count_documents()
+            if docs_after >= docs_before:
+                continue  # the index would not narrow the scan
+            avg_millis = sum(e["millis"] for e in entries) / len(entries)
+            reduction = (
+                (docs_before - docs_after) / docs_before
+                if docs_before else 0.0
+            )
+            recs.append(IndexRecommendation(
+                ns=ns,
+                collection=coll_name,
+                field=best_field,
+                command=(
+                    f'db["{coll_name}"].create_index("{best_field}")'
+                ),
+                occurrences=len(entries),
+                avg_millis=avg_millis,
+                docs_examined_before=docs_before,
+                estimated_docs_examined_after=docs_after,
+                estimated_reduction=reduction,
+                example_query=dict(example),
+            ))
+        recs.sort(
+            key=lambda r: r.occurrences
+            * (r.docs_examined_before - r.estimated_docs_examined_after),
+            reverse=True,
+        )
+        return recs
+
+    def _collscan_groups(self) -> Dict[tuple, List[dict]]:
+        # imported lazily: repro.docstore pulls in repro.obs at import
+        # time, so the reverse edge must not exist at module scope.
+        from ..docstore.ops import query_shape
+
+        groups: Dict[tuple, List[dict]] = {}
+        for entry in self.db.profile_log:
+            if entry.get("op") not in _READ_OPS:
+                continue
+            if entry.get("planSummary") != "COLLSCAN":
+                continue
+            if entry.get("millis", 0.0) < self.min_millis:
+                continue
+            query = entry.get("query") or {}
+            if not isinstance(query, dict) or not query:
+                continue
+            key = (entry["ns"], repr(sorted(query_shape(query).items())))
+            groups.setdefault(key, []).append(entry)
+        return groups
+
+    @staticmethod
+    def _candidate_fields(coll: Any, example: dict) -> List[str]:
+        """Top-level equality fields not already covered by an index."""
+        indexed = {
+            info.get("field")
+            for info in coll.index_information().values()
+        }
+        out = []
+        for fname, cond in example.items():
+            if fname.startswith("$") or fname in indexed:
+                continue
+            if isinstance(cond, dict) and any(
+                str(k).startswith("$") for k in cond
+            ):
+                continue  # range/operator conditions: equality probe invalid
+            out.append(fname)
+        return out
+
+    def _most_selective(self, coll: Any, example: dict,
+                        candidates: List[str]) -> Tuple[str, int]:
+        """Probe each candidate's selectivity on the example's values.
+
+        The probes run with profiling suspended — the advisor must not
+        write new COLLSCAN entries into the log it is analyzing.
+        """
+        saved_level = self.db.get_profiling_level()
+        saved_slowms = self.db.slowms
+        self.db.set_profiling_level(0)
+        try:
+            scored = [
+                (coll.count_documents({f: example[f]}), f)
+                for f in candidates
+            ]
+        finally:
+            self.db.set_profiling_level(saved_level, saved_slowms)
+        count, fname = min(scored)
+        return fname, count
+
+    # -- verification ----------------------------------------------------
+
+    def verify(self, rec: IndexRecommendation,
+               keep: bool = False) -> dict:
+        """Create the recommended index and replay the example query
+        through ``explain()`` before and after.
+
+        Returns ``{"before", "after", "docs_examined_drop", "kept"}``;
+        with ``keep=False`` (the default) the index is dropped again so
+        verification is side-effect free.
+        """
+        coll = self.db.get_collection(rec.collection)
+        before = coll.explain(rec.example_query)
+        index_name = coll.create_index(rec.field)
+        try:
+            after = coll.explain(rec.example_query)
+        except Exception:
+            coll.drop_index(index_name)
+            raise
+        if not keep:
+            coll.drop_index(index_name)
+        return {
+            "before": before,
+            "after": after,
+            "docs_examined_drop":
+                before["docsExamined"] - after["docsExamined"],
+            "kept": keep,
+        }
+
+    # -- the drop side ---------------------------------------------------
+
+    def unused_indexes(self) -> List[dict]:
+        """Indexes whose usage counters show zero accesses — drop
+        candidates, ``$indexStats`` style."""
+        out = []
+        for coll_name in self.db.list_collection_names():
+            if coll_name.startswith("system."):
+                continue
+            coll = self.db.get_collection(coll_name)
+            stats = getattr(coll, "index_stats", None)
+            if stats is None:
+                continue
+            for stat in stats():
+                if stat["accesses"]["ops"] == 0:
+                    out.append({
+                        "ns": f"{self.db.name}.{coll_name}",
+                        "collection": coll_name,
+                        "name": stat["name"],
+                        "field": stat["field"],
+                        "since": stat["accesses"]["since"],
+                    })
+        return out

@@ -13,8 +13,8 @@ Materials API server is scrapeable::
     repro_api_query_millis{quantile="0.5"} 1.2
 
 Histograms keep a bounded sample reservoir and report p50/p95/p99 with
-nearest-rank percentile math (empty series → 0.0; a single sample is every
-percentile of itself).
+linearly interpolated percentile math (empty series → 0.0; a single sample
+is every percentile of itself).
 """
 
 from __future__ import annotations
@@ -57,13 +57,26 @@ def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> st
 
 
 def percentile(values: List[float], p: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
+    """Linearly interpolated percentile; 0.0 for an empty sample.
+
+    Uses the inclusive (numpy ``"linear"``) method: the rank
+    ``p/100 * (n-1)`` interpolates between its two neighbouring order
+    statistics.  Unlike nearest-rank math, small samples stay honest —
+    p99 of two samples is *near* the max, not equal to it, and the p50
+    of an even-sized sample is the true median.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    k = min(len(ordered) - 1,
-            max(0, int(math.ceil(p / 100.0 * len(ordered))) - 1))
-    return ordered[k]
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class _Metric:

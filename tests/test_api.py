@@ -355,8 +355,8 @@ class TestQueryLog:
         log = QueryLog()
         for i in range(100):
             log.record("m", float(i + 1), 0)
-        assert log.percentile(50) == 50.0
-        assert log.percentile(99) == 99.0
+        assert log.percentile(50) == pytest.approx(50.5)
+        assert log.percentile(99) == pytest.approx(99.01)
 
     def test_time_series_sorted(self):
         log = QueryLog()

@@ -50,10 +50,19 @@ class TestMetrics:
         for v in range(1, 101):
             h.observe(float(v))
         s = h.summary()
-        assert s["p50"] == 50.0
-        assert s["p95"] == 95.0
-        assert s["p99"] == 99.0
+        # Interpolated percentiles: rank p/100*(n-1) between neighbours.
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p95"] == pytest.approx(95.05)
+        assert s["p99"] == pytest.approx(99.01)
         assert s["max"] == 100.0
+
+    def test_percentile_interpolates_between_samples(self):
+        assert percentile([10.0, 20.0], 50) == pytest.approx(15.0)
+        # p99 of two samples must be near (not equal to) the max.
+        assert percentile([10.0, 20.0], 99) == pytest.approx(19.9)
+        assert percentile([10.0, 20.0], 99) < 20.0
+        assert percentile([10.0, 20.0], 0) == 10.0
+        assert percentile([10.0, 20.0], 100) == 20.0
 
     def test_counter_rejects_negative(self, fresh_registry):
         c = fresh_registry.counter("n", "things")
