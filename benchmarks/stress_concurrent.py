@@ -1,0 +1,142 @@
+"""Concurrent wire-protocol throughput benchmark.
+
+Measures mixed read/write throughput (ops/s) and per-op p95 latency
+against a live :class:`DatastoreServer` at 1, 4, and 8 client threads,
+and writes ``BENCH_concurrency.json`` at the repo root.  This is the
+load profile the reader-writer locks and the group-commit journal exist
+for: the interesting number is how throughput *scales* as threads are
+added, and the regression gate watches the p95s the same way it watches
+``BENCH_obs.json`` (calibration-scaled, see :mod:`check_bench_regression`).
+
+Run directly (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/stress_concurrent.py
+    PYTHONPATH=src python benchmarks/stress_concurrent.py --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from typing import Dict, List
+
+from bench_obs import calibrate  # same yardstick as the obs benchmarks
+
+from repro.docstore import DatastoreServer, DocumentStore, RemoteClient
+from repro.obs import percentile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_concurrency.json")
+
+THREAD_COUNTS = (1, 4, 8)
+OPS_PER_THREAD = 300
+N_SEED_DOCS = 1000
+#: Every 8th op is an insert; the rest are indexed finds — roughly the
+#: read-heavy mix of a datastore serving builders and a web API.
+WRITE_EVERY = 8
+
+
+def _seed(store: DocumentStore) -> None:
+    coll = store["bench"]["materials"]
+    coll.create_index("material_id", unique=True)
+    coll.create_index("nelements")
+    coll.insert_many([
+        {"material_id": f"mp-{i}", "nelements": i % 7 + 1,
+         "band_gap": (i * 13 % 80) / 10.0}
+        for i in range(N_SEED_DOCS)
+    ])
+
+
+def _worker(client: RemoteClient, worker_id: int, ops: int,
+            latencies: List[float], start: threading.Event) -> None:
+    coll = client["bench"]["materials"]
+    scratch = client["bench"]["scratch"]
+    start.wait()
+    for i in range(ops):
+        t0 = time.perf_counter()
+        if i % WRITE_EVERY == WRITE_EVERY - 1:
+            scratch.insert_one({"w": worker_id, "i": i})
+        else:
+            coll.find_one({"material_id": f"mp-{(worker_id * 131 + i) % N_SEED_DOCS}"})
+        latencies.append((time.perf_counter() - t0) * 1e3)
+
+
+def _run_level(port: int, n_threads: int, ops: int) -> Dict[str, float]:
+    clients = [RemoteClient("127.0.0.1", port, pool_size=2)
+               for _ in range(n_threads)]
+    per_thread: List[List[float]] = [[] for _ in range(n_threads)]
+    start = threading.Event()
+    threads = [
+        threading.Thread(target=_worker,
+                         args=(clients[t], t, ops, per_thread[t], start))
+        for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    t0 = time.perf_counter()
+    start.set()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    for c in clients:
+        c.close()
+    latencies = [ms for lane in per_thread for ms in lane]
+    return {
+        "p50_ms": percentile(latencies, 50),
+        "p95_ms": percentile(latencies, 95),
+        "p99_ms": percentile(latencies, 99),
+        "ops_per_s": len(latencies) / elapsed,
+        "threads": n_threads,
+        "ops": len(latencies),
+    }
+
+
+def run_benchmarks(ops_per_thread: int = OPS_PER_THREAD) -> Dict[str, dict]:
+    results: Dict[str, dict] = {}
+    for n in THREAD_COUNTS:
+        # Fresh server per level: no cross-level cache or journal warmth.
+        store = DocumentStore()
+        _seed(store)
+        server = DatastoreServer(store).start()
+        try:
+            results[f"wire_mixed_{n}t"] = _run_level(
+                server.port, n, ops_per_thread)
+        finally:
+            server.stop()
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--ops", type=int, default=OPS_PER_THREAD,
+                        help="ops per client thread at each level")
+    args = parser.parse_args()
+
+    calibration_ms = calibrate()
+    benchmarks = run_benchmarks(args.ops)
+    doc = {
+        "meta": {
+            "schema": 1,
+            "suite": "concurrency",
+            "calibration_ms": calibration_ms,
+            "thread_counts": list(THREAD_COUNTS),
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {calibration_ms:.2f} ms")
+    for name, row in sorted(benchmarks.items()):
+        print(f"{name:>16}: {row['ops_per_s']:8.0f} ops/s   "
+              f"p95 {row['p95_ms']:.3f} ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

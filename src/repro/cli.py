@@ -45,7 +45,8 @@ ROBUST_INCAR = {"ENCUT": 520, "AMIX": 0.15, "ALGO": "All", "NELM": 500}
 
 
 def _open_store(args: argparse.Namespace) -> DocumentStore:
-    return DocumentStore(persistence_dir=args.data_dir)
+    return DocumentStore(persistence_dir=args.data_dir,
+                         fsync=getattr(args, "fsync", "interval"))
 
 
 def cmd_populate(args: argparse.Namespace) -> int:
@@ -168,7 +169,8 @@ def _monitor_target(args: argparse.Namespace):
             raise SystemExit("--host requires --port")
         from .docstore.server import RemoteClient
 
-        client = RemoteClient(args.host, args.port)
+        client = RemoteClient(args.host, args.port,
+                              pool_size=getattr(args, "pool_size", 4))
         return client, client.close
     return _open_store(args), (lambda: None)
 
@@ -261,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--data-dir", default="./mp-datastore",
                         help="persistence directory for the document store")
+    parser.add_argument("--fsync", choices=["always", "interval", "never"],
+                        default="interval",
+                        help="journal fsync policy: 'always' fsyncs every "
+                             "group commit, 'interval' amortizes fsyncs on "
+                             "a timer, 'never' leaves flushing to the OS")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("populate", help="generate inputs, compute, build")
@@ -297,6 +304,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one JSON document per sample")
         p.add_argument("--host", help="sample a live wire-protocol server")
         p.add_argument("--port", type=int, help="server port (with --host)")
+        p.add_argument("--pool-size", type=int, default=4,
+                       help="client connection-pool size (with --host)")
         if name == "mongotop":
             p.add_argument("--db", default="mp", help="database to watch")
             p.set_defaults(fn=cmd_mongotop)

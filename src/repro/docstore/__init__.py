@@ -28,6 +28,7 @@ from .documents import (
 from .matching import Matcher, compile_query
 from .updates import apply_update
 from .cursor import Cursor
+from .locks import RWLock
 from .collection import Collection
 from .database import Database, DocumentStore
 from .aggregation import run_pipeline
@@ -52,6 +53,7 @@ __all__ = [
     "compile_query",
     "apply_update",
     "Cursor",
+    "RWLock",
     "Collection",
     "Database",
     "DocumentStore",

@@ -29,6 +29,7 @@ from .documents import (
     validate_document,
 )
 from .indexes import IndexManager, QueryPlan
+from .locks import RWLock
 from .matching import Matcher, compile_query
 from .objectid import ObjectId
 from .updates import apply_update, is_operator_update
@@ -87,10 +88,18 @@ class Collection:
         self._id_to_pos: Dict[Any, int] = {}
         self._next_pos = 0
         self._indexes = IndexManager()
-        self._lock = threading.RLock()
-        self._last_plan: Optional[QueryPlan] = None
+        # Reader-writer lock: many concurrent finds, one exclusive writer.
+        # ``with self._lock:`` (no mode) still takes the exclusive side, so
+        # external callers treating it as a mutex stay correct.
+        self._lock = RWLock(name=name)
+        # The planner's last decision is per-thread: concurrent readers
+        # must not clobber each other's explain() output.
+        self._plan_local = threading.local()
         # $indexStats-style usage accounting: name -> {"ops", "since"}.
+        # Guarded by its own mutex because it is written under the *shared*
+        # lock mode, where many reader threads run at once.
         self._index_usage: Dict[str, dict] = {}
+        self._usage_lock = threading.Lock()
         # Optional observers (oplog for replication, query timing log).
         self._change_listeners: List[Callable[[str, dict], None]] = []
 
@@ -178,7 +187,7 @@ class Collection:
         if "_id" not in doc:
             doc["_id"] = ObjectId()
         validate_document(doc)
-        with self._lock:
+        with self._lock.write():
             key = self._id_key(doc["_id"])
             if key in self._id_to_pos:
                 raise DuplicateKeyError(
@@ -199,17 +208,18 @@ class Collection:
         plan = self._indexes.plan(query)
         if plan is not None:
             index, positions = plan
-            self._last_plan = QueryPlan("IXSCAN", index.name, len(positions))
-            usage = self._index_usage.setdefault(
-                index.name, {"ops": 0, "since": time.time()}
-            )
-            usage["ops"] += 1
+            self._plan_local.plan = QueryPlan("IXSCAN", index.name, len(positions))
+            with self._usage_lock:
+                usage = self._index_usage.setdefault(
+                    index.name, {"ops": 0, "since": time.time()}
+                )
+                usage["ops"] += 1
             for pos in sorted(positions):
                 doc = self._docs.get(pos)
                 if doc is not None and matcher.matches(doc):
                     yield doc
         else:
-            self._last_plan = QueryPlan("COLLSCAN", None, len(self._docs))
+            self._plan_local.plan = QueryPlan("COLLSCAN", None, len(self._docs))
             for pos in sorted(self._docs):
                 doc = self._docs[pos]
                 if matcher.matches(doc):
@@ -226,9 +236,9 @@ class Collection:
         query = query or {}
         matcher = compile_query(query)
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.read():
             count = sum(1 for _ in self._candidates(query, matcher))
-            plan = self._last_plan
+            plan = self.last_plan
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         out = plan.to_dict() if plan else {
             "stage": "COLLSCAN", "index": None, "docsExamined": 0,
@@ -253,14 +263,14 @@ class Collection:
             active = (registry.register("find", self.namespace, query)
                       if registry is not None else None)
             try:
-                with self._lock:
+                with self._lock.read():
                     matched = []
                     for doc in self._candidates(query, matcher):
                         if active is not None:
                             # Cooperative killOp check point, per candidate.
                             active.check_killed()
                         matched.append(deep_copy_doc(doc))
-                    plan = self._last_plan
+                    plan = self.last_plan
             finally:
                 if registry is not None:
                     registry.finish(active)
@@ -282,7 +292,7 @@ class Collection:
         query = query or {}
         matcher = compile_query(query)
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.read():
             for doc in self._candidates(query, matcher):
                 result = apply_projection(doc, projection)
                 self._observe("findOne", "query", query, t0, nreturned=1)
@@ -297,7 +307,7 @@ class Collection:
             n = len(self._docs)
         else:
             matcher = compile_query(query)
-            with self._lock:
+            with self._lock.read():
                 n = sum(1 for _ in self._candidates(query, matcher))
         self._observe("count", "command", query, t0, nreturned=n)
         return n
@@ -358,7 +368,7 @@ class Collection:
         is_operator_update(update)  # validates mixing eagerly
         matched = 0
         modified = 0
-        with self._lock:
+        with self._lock.write():
             positions = [
                 pos
                 for pos in sorted(self._docs)
@@ -447,7 +457,7 @@ class Collection:
             raise DocstoreError("return_document must be 'before' or 'after'")
         matcher = compile_query(query)
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.write():
             candidates = list(self._candidates(query, matcher))
             if sort:
                 from .matching import ordering_key
@@ -487,7 +497,7 @@ class Collection:
         """Atomically find one matching document and remove it."""
         matcher = compile_query(query)
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.write():
             candidates = list(self._candidates(query, matcher))
             if sort:
                 from .matching import ordering_key
@@ -517,7 +527,7 @@ class Collection:
         matcher = compile_query(query)
         deleted = 0
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.write():
             ids = [
                 self._docs[pos]["_id"]
                 for pos in sorted(self._docs)
@@ -542,7 +552,7 @@ class Collection:
 
     def drop(self) -> None:
         """Remove all documents and indexes."""
-        with self._lock:
+        with self._lock.write():
             self._docs.clear()
             self._id_to_pos.clear()
             for name in self._indexes.names():
@@ -556,7 +566,7 @@ class Collection:
         self, field: str, unique: bool = False, name: Optional[str] = None
     ) -> str:
         """Create (and backfill) a single-field index; returns its name."""
-        with self._lock:
+        with self._lock.write():
             index = self._indexes.create(field, unique=unique, name=name)
             try:
                 for pos, doc in self._docs.items():
@@ -564,15 +574,17 @@ class Collection:
             except DuplicateKeyError:
                 self._indexes.drop(index.name)
                 raise
-            self._index_usage.setdefault(
-                index.name, {"ops": 0, "since": time.time()}
-            )
+            with self._usage_lock:
+                self._index_usage.setdefault(
+                    index.name, {"ops": 0, "since": time.time()}
+                )
             return index.name
 
     def drop_index(self, name: str) -> None:
-        with self._lock:
+        with self._lock.write():
             self._indexes.drop(name)
-            self._index_usage.pop(name, None)
+            with self._usage_lock:
+                self._index_usage.pop(name, None)
 
     def index_information(self) -> Dict[str, dict]:
         return {
@@ -588,7 +600,7 @@ class Collection:
         zero ops since creation is a drop candidate — the advisor's
         :meth:`~repro.obs.advisor.IndexAdvisor.unused_indexes` reads this.
         """
-        with self._lock:
+        with self._lock.read(), self._usage_lock:
             return [
                 {
                     "name": ix.name,
@@ -604,8 +616,12 @@ class Collection:
 
     @property
     def last_plan(self) -> Optional[QueryPlan]:
-        """Plan chosen by the most recent query (explain-style introspection)."""
-        return self._last_plan
+        """Plan chosen by this thread's most recent query.
+
+        Per-thread on purpose: under the shared lock mode several readers
+        plan queries simultaneously, and each must see its own plan.
+        """
+        return getattr(self._plan_local, "plan", None)
 
     # -- bulk writes -------------------------------------------------------------
 
@@ -682,7 +698,7 @@ class Collection:
         from .aggregation import run_pipeline
 
         t0 = time.perf_counter()
-        with self._lock:
+        with self._lock.read():
             docs = [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]
         out = run_pipeline(docs, pipeline, database=self.database)
         self._observe("aggregate", "command", {"pipeline": len(pipeline)}, t0,
@@ -703,7 +719,7 @@ class Collection:
 
     def stats(self) -> dict:
         """Collection statistics (counts, sizes, index info)."""
-        with self._lock:
+        with self._lock.read():
             sizes = [doc_size_bytes(d) for d in self._docs.values()]
         total = sum(sizes)
         return {
@@ -717,5 +733,9 @@ class Collection:
 
     def all_documents(self) -> List[dict]:
         """Snapshot of every document (deep-copied)."""
-        with self._lock:
+        with self._lock.read():
             return [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]
+
+    def lock_stats(self) -> dict:
+        """Reader-writer lock accounting (acquires, cumulative wait time)."""
+        return self._lock.stats()

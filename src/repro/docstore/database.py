@@ -64,7 +64,14 @@ class Database:
         self.name = name
         self.client = client
         self._collections: Dict[str, Collection] = {}
+        # Database-level lock guarding the collection map (create/drop).
         self._lock = threading.RLock()
+        # Opcounter/top accounting has its own mutex: it is updated from
+        # inside collection operations (which may hold a collection lock),
+        # and must never nest with the map lock above — a drop waiting on
+        # a collection lock while holding the map lock would deadlock
+        # against an op reporting its timing.
+        self._stats_lock = threading.Lock()
         self._profile_level = 0
         self._slowms = DEFAULT_SLOWMS
         self._opcounters: Dict[str, int] = {k: 0 for k in OPCOUNTER_KEYS}
@@ -98,10 +105,13 @@ class Database:
                           if not n.startswith("system."))
 
     def drop_collection(self, name: str) -> None:
+        # Pop under the map lock, drop outside it: taking the collection's
+        # exclusive lock while holding the map lock inverts the ordering
+        # used by in-flight operations and can deadlock under load.
         with self._lock:
             coll = self._collections.pop(name, None)
-            if coll is not None:
-                coll.drop()
+        if coll is not None:
+            coll.drop()
 
     # -- the instrumentation funnel ---------------------------------------
 
@@ -126,7 +136,7 @@ class Database:
             return
         millis = elapsed_s * 1e3
         side = "write" if kind in _WRITE_KINDS else "read"
-        with self._lock:
+        with self._stats_lock:
             self._opcounters[kind] = self._opcounters.get(kind, 0) + n_ops
             bucket = self._top.setdefault(coll_name, {
                 "total_ms": 0.0, "read_ms": 0.0, "write_ms": 0.0,
@@ -239,10 +249,37 @@ class Database:
 
     # -- serverStatus / dbStats -------------------------------------------
 
+    def lock_status(self) -> dict:
+        """Aggregate reader-writer lock accounting across collections.
+
+        Sums the per-collection :meth:`Collection.lock_stats` acquire
+        counts and cumulative wait time — the ``server_status()["locks"]``
+        payload, and the number an operator watches to see whether the
+        engine is read-starved or write-starved.
+        """
+        with self._lock:
+            colls = [c for n, c in self._collections.items()
+                     if not n.startswith("system.")]
+        out = {
+            "read_acquires": 0, "write_acquires": 0,
+            "read_wait_ms": 0.0, "write_wait_ms": 0.0,
+            "read_contended": 0, "write_contended": 0,
+            "active_readers": 0, "writers_held": 0, "waiting_writers": 0,
+        }
+        for coll in colls:
+            stats = coll.lock_stats()
+            for key in ("read_acquires", "write_acquires", "read_wait_ms",
+                        "write_wait_ms", "read_contended", "write_contended",
+                        "active_readers", "waiting_writers"):
+                out[key] += stats[key]
+            out["writers_held"] += int(stats["writer_held"])
+        return out
+
     def server_status(self) -> dict:
         """MongoDB ``serverStatus``-style snapshot of this database."""
-        with self._lock:
+        with self._stats_lock:
             opcounters = dict(self._opcounters)
+        with self._lock:
             level = self._profile_level
             slowms = self._slowms
         return {
@@ -255,6 +292,7 @@ class Database:
                 len(c) for n, c in self._collections.items()
                 if not n.startswith("system.")
             ),
+            "locks": self.lock_status(),
         }
 
     def top(self) -> Dict[str, dict]:
@@ -265,7 +303,7 @@ class Database:
         The :class:`repro.obs.health.TopSampler` diffs two calls to render
         per-interval activity.
         """
-        with self._lock:
+        with self._stats_lock:
             return {
                 f"{self.name}.{coll}": dict(bucket)
                 for coll, bucket in self._top.items()
@@ -288,11 +326,16 @@ class DocumentStore:
     """Top-level client owning databases (MongoClient analog).
 
     Optionally bound to a persistence directory — see
-    :mod:`repro.docstore.persistence` — so snapshots and the journal have a
-    home.  A bare ``DocumentStore()`` is purely in-memory.
+    :mod:`repro.docstore.persistence` — so snapshots and the write-ahead
+    journal have a home.  A bare ``DocumentStore()`` is purely in-memory.
+
+    ``fsync`` selects the journal's durability policy (``"always"``,
+    ``"interval"``, or ``"never"``) and ``fsync_interval_s`` the cadence
+    of the ``"interval"`` policy; both are ignored for in-memory stores.
     """
 
-    def __init__(self, persistence_dir: Optional[str] = None):
+    def __init__(self, persistence_dir: Optional[str] = None,
+                 fsync: str = "interval", fsync_interval_s: float = 0.05):
         from .ops import OperationRegistry
 
         self._databases: Dict[str, Database] = {}
@@ -303,7 +346,10 @@ class DocumentStore:
         if persistence_dir is not None:
             from .persistence import PersistenceManager
 
-            self._persistence = PersistenceManager(self, persistence_dir)
+            self._persistence = PersistenceManager(
+                self, persistence_dir, fsync=fsync,
+                fsync_interval_s=fsync_interval_s,
+            )
             self._persistence.recover()
 
     def __getitem__(self, name: str) -> Database:
@@ -331,9 +377,9 @@ class DocumentStore:
     def drop_database(self, name: str) -> None:
         with self._lock:
             db = self._databases.pop(name, None)
-            if db is not None:
-                for coll_name in db.list_collection_names():
-                    db.drop_collection(coll_name)
+        if db is not None:
+            for coll_name in db.list_collection_names():
+                db.drop_collection(coll_name)
 
     def server_status(self) -> dict:
         """Aggregate serverStatus across every database."""
@@ -341,18 +387,30 @@ class DocumentStore:
             databases = list(self._databases.values())
         opcounters = {k: 0 for k in OPCOUNTER_KEYS}
         objects = collections = 0
+        locks = {
+            "read_acquires": 0, "write_acquires": 0,
+            "read_wait_ms": 0.0, "write_wait_ms": 0.0,
+            "read_contended": 0, "write_contended": 0,
+            "active_readers": 0, "writers_held": 0, "waiting_writers": 0,
+        }
         for db in databases:
             status = db.server_status()
             for key, value in status["opcounters"].items():
                 opcounters[key] = opcounters.get(key, 0) + value
             objects += status["objects"]
             collections += status["collections"]
-        return {
+            for key, value in status["locks"].items():
+                locks[key] = locks.get(key, 0) + value
+        out = {
             "databases": sorted(db.name for db in databases),
             "opcounters": opcounters,
             "objects": objects,
             "collections": collections,
+            "locks": locks,
         }
+        if self._persistence is not None:
+            out["journal"] = self._persistence.journal_stats()
+        return out
 
     # -- live operation introspection -------------------------------------
 

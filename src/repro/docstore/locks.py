@@ -1,0 +1,210 @@
+"""Reader-writer locks for the storage engine.
+
+The paper's single MongoDB deployment served the FireWorks queue, the
+builders, and the public API *at the same time* (§IV-A); MongoDB's engine
+survives that because reads share access while writes are exclusive.  The
+reproduction's wire server is a ``ThreadingTCPServer``, so concurrent
+clients genuinely race — this module supplies the same many-readers /
+one-writer discipline for :class:`~repro.docstore.collection.Collection`
+(and a database-level lock guarding collection create/drop).
+
+Semantics:
+
+* many concurrent readers, one exclusive writer;
+* writer preference — arriving readers queue behind a waiting writer so a
+  stream of cheap reads cannot starve updates (the task-queue claim path);
+* reentrant: a thread may re-enter a mode it already holds, and may take
+  the *read* side while holding the *write* side (``find_one_and_update``
+  reads under its own write lock).  Upgrading read → write is refused
+  rather than deadlocking;
+* instrumented: cumulative acquire counts and wait time per mode, the
+  data behind ``server_status()["locks"]`` and the
+  ``repro_docstore_lock_wait_millis`` histogram.
+
+``with lock:`` takes the exclusive (write) side, so legacy call sites that
+treated the collection lock as a mutex remain correct.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import DocstoreError
+
+__all__ = ["RWLock"]
+
+#: Waits shorter than this are not reported to the metrics registry: an
+#: uncontended acquire always "waits" a few hundred nanoseconds, and the
+#: histogram should show contention, not scheduler noise.
+_CONTENTION_FLOOR_S = 1e-4
+
+
+class _ReadGuard:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: "RWLock"):
+        self._lock = lock
+
+    def __enter__(self) -> "RWLock":
+        self._lock.acquire_read()
+        return self._lock
+
+    def __exit__(self, *exc: Any) -> None:
+        self._lock.release_read()
+
+
+class _WriteGuard:
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: "RWLock"):
+        self._lock = lock
+
+    def __enter__(self) -> "RWLock":
+        self._lock.acquire_write()
+        return self._lock
+
+    def __exit__(self, *exc: Any) -> None:
+        self._lock.release_write()
+
+
+class RWLock:
+    """Writer-preferring, reentrant reader-writer lock with wait accounting."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name
+        self._cond = threading.Condition(threading.Lock())
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._readers: Dict[int, int] = {}
+        self._waiting_writers = 0
+        # Cumulative accounting, guarded by the condition's mutex.
+        self._acquires = {"read": 0, "write": 0}
+        self._wait_s = {"read": 0.0, "write": 0.0}
+        self._contended = {"read": 0, "write": 0}
+
+    # -- acquisition -----------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        t0 = time.perf_counter()
+        with self._cond:
+            if self._writer == me:
+                # Read under our own write lock: ride the write depth.
+                self._writer_depth += 1
+                self._acquires["read"] += 1
+                return
+            depth = self._readers.get(me)
+            if depth is not None:
+                self._readers[me] = depth + 1
+                self._acquires["read"] += 1
+                return
+            waited = False
+            while self._writer is not None or self._waiting_writers:
+                waited = True
+                self._cond.wait()
+            self._readers[me] = 1
+            self._acquires["read"] += 1
+            if waited:
+                self._record_wait("read", time.perf_counter() - t0)
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            depth = self._readers.get(me)
+            if depth is None:
+                raise DocstoreError("release_read without matching acquire")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        t0 = time.perf_counter()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                self._acquires["write"] += 1
+                return
+            if me in self._readers:
+                raise DocstoreError(
+                    f"cannot upgrade read lock to write lock on "
+                    f"{self.name or 'collection'!r} (deadlock hazard)"
+                )
+            self._waiting_writers += 1
+            try:
+                waited = False
+                while self._writer is not None or self._readers:
+                    waited = True
+                    self._cond.wait()
+                self._writer = me
+                self._writer_depth = 1
+                self._acquires["write"] += 1
+                if waited:
+                    self._record_wait("write", time.perf_counter() - t0)
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise DocstoreError("release_write by non-owner thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    def _record_wait(self, mode: str, waited_s: float) -> None:
+        # Called with the condition mutex held.
+        self._wait_s[mode] += waited_s
+        if waited_s < _CONTENTION_FLOOR_S:
+            return
+        self._contended[mode] += 1
+        from ..obs import get_registry  # local: keep import cost off hot path
+
+        get_registry().histogram(
+            "repro_docstore_lock_wait_millis", "lock wait time by mode"
+        ).observe(waited_s * 1e3, mode=mode,
+                  **({"coll": self.name} if self.name else {}))
+
+    # -- context-manager faces -------------------------------------------
+
+    def read(self) -> _ReadGuard:
+        """Shared-mode guard: ``with lock.read(): ...``"""
+        return _ReadGuard(self)
+
+    def write(self) -> _WriteGuard:
+        """Exclusive-mode guard: ``with lock.write(): ...``"""
+        return _WriteGuard(self)
+
+    def __enter__(self) -> "RWLock":
+        self.acquire_write()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release_write()
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cumulative acquire/wait accounting plus a live snapshot."""
+        with self._cond:
+            return {
+                "read_acquires": self._acquires["read"],
+                "write_acquires": self._acquires["write"],
+                "read_wait_ms": self._wait_s["read"] * 1e3,
+                "write_wait_ms": self._wait_s["write"] * 1e3,
+                "read_contended": self._contended["read"],
+                "write_contended": self._contended["write"],
+                "active_readers": len(self._readers),
+                "writer_held": self._writer is not None,
+                "waiting_writers": self._waiting_writers,
+            }

@@ -26,10 +26,32 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
-from ..errors import OperationKilled
+from ..errors import DeadlineExceeded, OperationKilled
 from ..obs import current_span, get_registry
 
-__all__ = ["ActiveOp", "OperationRegistry", "query_shape"]
+__all__ = ["ActiveOp", "OperationRegistry", "query_shape",
+           "current_deadline", "deadline_scope"]
+
+# Per-thread deadline propagated from the wire server: when a request
+# carries ``"$deadline"`` (epoch seconds), every operation it registers
+# inherits it, and the cooperative kill check points abort past-due work.
+_deadline_local = threading.local()
+
+
+def current_deadline() -> Optional[float]:
+    """The wall-clock deadline governing this thread's ops, if any."""
+    return getattr(_deadline_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[float]) -> Iterator[None]:
+    """Run a block with ``deadline`` as this thread's operation deadline."""
+    previous = current_deadline()
+    _deadline_local.deadline = deadline
+    try:
+        yield
+    finally:
+        _deadline_local.deadline = previous
 
 #: List elements beyond this many are collapsed into "..." in a shape.
 _SHAPE_LIST_CAP = 4
@@ -57,9 +79,10 @@ class ActiveOp:
     """One in-flight operation: identity, shape, and the kill flag."""
 
     __slots__ = ("opid", "op", "ns", "shape", "started_s", "started_wall",
-                 "trace_id", "_killed")
+                 "trace_id", "deadline", "_killed")
 
-    def __init__(self, opid: int, op: str, ns: str, query: Any):
+    def __init__(self, opid: int, op: str, ns: str, query: Any,
+                 deadline: Optional[float] = None):
         self.opid = opid
         self.op = op
         self.ns = ns
@@ -68,6 +91,7 @@ class ActiveOp:
         self.started_wall = time.time()
         s = current_span()
         self.trace_id = s.trace_id if s is not None else None
+        self.deadline = deadline if deadline is not None else current_deadline()
         self._killed = threading.Event()
 
     @property
@@ -78,7 +102,16 @@ class ActiveOp:
         self._killed.set()
 
     def check_killed(self) -> None:
-        """The cooperative check point; raises if ``killOp`` targeted us."""
+        """The cooperative check point; raises if ``killOp`` targeted us
+        or the client-supplied deadline has passed."""
+        # Deadline first: an op swept by ``kill_expired`` should report
+        # *why* it died, not just that the kill flag was set.
+        if self.deadline is not None and time.time() > self.deadline:
+            self._killed.set()
+            raise DeadlineExceeded(
+                f"operation {self.opid} ({self.op} on {self.ns}) "
+                "exceeded its deadline"
+            )
         if self._killed.is_set():
             raise OperationKilled(
                 f"operation {self.opid} ({self.op} on {self.ns}) "
@@ -95,6 +128,7 @@ class ActiveOp:
             "elapsed_ms": (time.perf_counter() - self.started_s) * 1e3,
             "started_at": self.started_wall,
             "trace_id": self.trace_id,
+            "deadline": self.deadline,
             "killed": self.killed,
         }
 
@@ -139,6 +173,26 @@ class OperationRegistry:
         with self._lock:
             ops = sorted(self._ops.values(), key=lambda a: a.opid)
         return [a.describe() for a in ops]
+
+    def kill_expired(self, now: Optional[float] = None) -> int:
+        """Flag every op whose ``$deadline`` has passed; returns the count.
+
+        The wire server sweeps this on each dispatch, so an op stuck
+        between cooperative check points is still reaped by the next
+        arriving request — the same table ``killOp`` uses.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            expired = [a for a in self._ops.values()
+                       if a.deadline is not None and now > a.deadline
+                       and not a.killed]
+        for active in expired:
+            active.kill()
+            get_registry().counter(
+                "repro_docstore_ops_expired_total",
+                "operations aborted past their deadline"
+            ).inc(1, op=active.op)
+        return len(expired)
 
     def kill_op(self, opid: int) -> bool:
         """Flag ``opid`` for termination; True if it was in flight."""

@@ -21,15 +21,25 @@ client → proxy → server → per-shard fan-out across processes.
 
 from __future__ import annotations
 
+import random
 import socket
 import socketserver
 import threading
-from typing import Any, List, Mapping, Optional
+import time
+from collections import deque
+from typing import Any, Deque, List, Mapping, Optional
 
-from ..errors import DocstoreError, WireProtocolError
+from ..errors import (
+    ConnectionLost,
+    DeadlineExceeded,
+    DocstoreError,
+    OperationKilled,
+    WireProtocolError,
+)
 from ..obs import export_traces, get_registry, remote_span, span, trace_context
 from .database import DocumentStore
 from .documents import document_from_json, document_to_json
+from .ops import deadline_scope
 
 __all__ = ["DatastoreServer", "RemoteClient", "RemoteCollection"]
 
@@ -70,9 +80,24 @@ class _Handler(socketserver.StreamRequestHandler):
                 "repro_wire_bytes_total", "wire-protocol traffic"
             ).inc(len(line) + len(encoded), **labels)
             try:
-                self.wfile.write(encoded)
+                fault = server._response_fault
+                if fault is not None:
+                    # Test hook: chaos tests inject mid-response failures
+                    # here to prove the framing discipline below.
+                    fault(self.wfile, encoded)
+                else:
+                    self.wfile.write(encoded)
                 self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
+            except Exception:  # noqa: BLE001 - any mid-response failure
+                # The stream may now hold a partial frame.  Writing another
+                # response would desynchronize every subsequent exchange on
+                # this connection (the client would parse the tail of this
+                # frame as the head of the next), so the only safe move is
+                # to drop the connection and let the client reconnect.
+                registry.counter(
+                    "repro_wire_desync_closes_total",
+                    "connections closed after a mid-response write failure"
+                ).inc(1)
                 break
 
 
@@ -91,6 +116,9 @@ class DatastoreServer:
         self._thread: Optional[threading.Thread] = None
         self.requests_served = 0
         self._stats_lock = threading.Lock()
+        # Test hook: ``fn(wfile, encoded)`` replaces the response write so
+        # chaos tests can fail mid-frame; None in production.
+        self._response_fault = None
 
     @property
     def address(self) -> tuple:
@@ -126,15 +154,30 @@ class DatastoreServer:
         runs under a server-side span whose trace id is the *client's*, so
         profiler entries and child spans recorded here join the caller's
         distributed trace.
+
+        A ``"$deadline"`` field (epoch seconds) bounds the dispatch: an
+        already-expired request fails without executing, and the deadline
+        propagates to every operation the dispatch registers so the
+        cooperative ``killOp`` check points abort it mid-scan.  Each
+        dispatch also sweeps the active-ops table for other expired ops.
         """
         if not isinstance(request, Mapping) or "op" not in request:
             raise WireProtocolError("request must be a document with an 'op'")
+        deadline = request.get("$deadline")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise WireProtocolError("$deadline must be epoch seconds")
+        self.store._ops.kill_expired()
+        if deadline is not None and time.time() > deadline:
+            raise DeadlineExceeded(
+                f"request {request['op']!r} arrived past its deadline"
+            )
         ctx = request.get("$trace")
-        if ctx is None:
-            return self._dispatch(request)
-        with remote_span(f"wire.{request['op']}", ctx,
-                         db=request.get("db"), coll=request.get("coll")):
-            return self._dispatch(request)
+        with deadline_scope(deadline):
+            if ctx is None:
+                return self._dispatch(request)
+            with remote_span(f"wire.{request['op']}", ctx,
+                             db=request.get("db"), coll=request.get("coll")):
+                return self._dispatch(request)
 
     def _dispatch(self, request: Mapping[str, Any]) -> dict:
         with self._stats_lock:
@@ -368,15 +411,92 @@ class _RemoteDatabase:
         return self._client.request({"op": "top", "db": self.name})
 
 
-class RemoteClient:
-    """TCP client for :class:`DatastoreServer` (or the proxy)."""
+#: Wire ops safe to retry after a connection failure: re-executing them
+#: cannot duplicate a write.  Everything else fails fast unless the client
+#: was built with ``retry_non_idempotent=True``.
+_IDEMPOTENT_OPS = frozenset({
+    "ping", "find", "find_one", "count", "distinct", "aggregate",
+    "list_databases", "list_collections", "server_status", "db_status",
+    "top", "stats", "index_stats", "explain", "current_op", "export_traces",
+})
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+#: Server error types re-raised as their specific client-side exception
+#: (all DocstoreError subclasses, so existing handlers keep working).
+_REMOTE_ERROR_TYPES = {
+    "DeadlineExceeded": DeadlineExceeded,
+    "OperationKilled": OperationKilled,
+}
+
+
+class _WireConnection:
+    """One pooled socket + buffered reader to the server (or proxy)."""
+
+    __slots__ = ("sock", "rfile")
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+
+    def roundtrip(self, payload: bytes, timeout: Optional[float]) -> bytes:
+        self.sock.settimeout(timeout)
+        self.sock.sendall(payload)
+        line = self.rfile.readline()
+        if not line:
+            raise ConnectionLost("connection closed by server")
+        if not line.endswith(b"\n"):
+            # EOF mid-frame: the server died (or closed on a write fault)
+            # partway through a response.  Surface it as a connection loss
+            # so the retry machinery — not the JSON parser — handles it.
+            raise ConnectionLost("truncated response frame")
+        return line
+
+    def close(self) -> None:
+        try:
+            self.rfile.close()
+        finally:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+class RemoteClient:
+    """TCP client for :class:`DatastoreServer` (or the proxy).
+
+    Hardened for real concurrency:
+
+    * a **connection pool** (``pool_size`` sockets, created lazily) lets
+      many threads issue requests in parallel instead of serializing on
+      one socket;
+    * **per-op timeouts**: every request carries a ``"$deadline"`` (epoch
+      seconds) so the server refuses to start — and cooperatively aborts —
+      work the client has already given up on;
+    * **retry with exponential backoff + jitter** on connection errors,
+      for idempotent ops only by default (``retry_non_idempotent=True``
+      opts writes in, for callers whose writes carry natural idempotency
+      keys).  Server-side errors (``ok: false``) are never retried — the
+      connection is healthy and the answer is the answer.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 pool_size: int = 4, max_retries: int = 3,
+                 backoff_base_s: float = 0.05, backoff_max_s: float = 2.0,
+                 retry_non_idempotent: bool = False):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
-        self._lock = threading.Lock()
+        self.timeout = timeout
+        self.pool_size = max(1, int(pool_size))
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.retry_non_idempotent = retry_non_idempotent
+        self._idle: Deque[_WireConnection] = deque()
+        self._pool_lock = threading.Lock()
+        self._pool_sema = threading.BoundedSemaphore(self.pool_size)
+        self._created = 0
+        self._retries = 0
+        self._closed = False
+        self._rng = random.Random()
 
     def __getitem__(self, db: str) -> _RemoteDatabase:
         return _RemoteDatabase(self, db)
@@ -384,7 +504,51 @@ class RemoteClient:
     def get_database(self, db: str) -> _RemoteDatabase:
         return _RemoteDatabase(self, db)
 
-    def request(self, request: Mapping[str, Any]) -> Any:
+    # -- pool -------------------------------------------------------------
+
+    def _checkout(self) -> _WireConnection:
+        self._pool_sema.acquire()
+        try:
+            with self._pool_lock:
+                if self._closed:
+                    raise DocstoreError("client is closed")
+                if self._idle:
+                    return self._idle.popleft()
+            conn = _WireConnection(self.host, self.port, self.timeout)
+            with self._pool_lock:
+                self._created += 1
+            return conn
+        except BaseException:
+            self._pool_sema.release()
+            raise
+
+    def _checkin(self, conn: _WireConnection) -> None:
+        with self._pool_lock:
+            if self._closed:
+                conn.close()
+            else:
+                self._idle.append(conn)
+        self._pool_sema.release()
+
+    def _discard(self, conn: _WireConnection) -> None:
+        conn.close()
+        with self._pool_lock:
+            self._created -= 1
+        self._pool_sema.release()
+
+    def pool_stats(self) -> dict:
+        with self._pool_lock:
+            return {
+                "pool_size": self.pool_size,
+                "connections": self._created,
+                "idle": len(self._idle),
+                "retries": self._retries,
+            }
+
+    # -- request path -----------------------------------------------------
+
+    def request(self, request: Mapping[str, Any],
+                timeout: Optional[float] = None) -> Any:
         """Send one request document, return the unwrapped result.
 
         Inside an active trace, the roundtrip runs under a ``client.<op>``
@@ -394,26 +558,66 @@ class RemoteClient:
         """
         ctx = trace_context()
         if ctx is None:
-            return self._roundtrip(request)
+            return self._roundtrip(request, timeout)
         with span(f"client.{request.get('op')}", host=self.host,
                   port=self.port):
             traced = dict(request)
             traced["$trace"] = trace_context()
-            return self._roundtrip(traced)
+            return self._roundtrip(traced, timeout)
 
-    def _roundtrip(self, request: Mapping[str, Any]) -> Any:
-        payload = (document_to_json(request) + "\n").encode("utf-8")
-        with self._lock:
-            self._sock.sendall(payload)
-            line = self._rfile.readline()
-        if not line:
-            raise WireProtocolError("connection closed by server")
+    def _roundtrip(self, request: Mapping[str, Any],
+                   timeout: Optional[float] = None) -> Any:
+        op = request.get("op")
+        op_timeout = self.timeout if timeout is None else timeout
+        deadline = (time.time() + op_timeout) if op_timeout else None
+        wire_request = dict(request)
+        if deadline is not None and "$deadline" not in wire_request:
+            wire_request["$deadline"] = deadline
+        payload = (document_to_json(wire_request) + "\n").encode("utf-8")
+        retryable = self.retry_non_idempotent or op in _IDEMPOTENT_OPS
+        attempt = 0
+        while True:
+            try:
+                line = self._exchange(payload, op_timeout)
+                break
+            except (ConnectionLost, OSError) as exc:
+                out_of_time = deadline is not None and time.time() >= deadline
+                if not retryable or attempt >= self.max_retries or out_of_time:
+                    raise
+                delay = min(self.backoff_max_s,
+                            self.backoff_base_s * (2 ** attempt))
+                # Full-jitter-ish: half deterministic, half random, so a
+                # thundering herd of reconnecting clients spreads out.
+                delay *= 0.5 + self._rng.random() * 0.5
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.time()))
+                attempt += 1
+                with self._pool_lock:
+                    self._retries += 1
+                get_registry().counter(
+                    "repro_client_retries_total",
+                    "wire requests retried after connection errors"
+                ).inc(1, op=str(op), error=type(exc).__name__)
+                time.sleep(delay)
         response = document_from_json(line.decode("utf-8"))
         if not response.get("ok"):
-            raise DocstoreError(
-                f"remote error {response.get('error')}: {response.get('message')}"
+            error = response.get("error")
+            exc_type = _REMOTE_ERROR_TYPES.get(error, DocstoreError)
+            raise exc_type(
+                f"remote error {error}: {response.get('message')}"
             )
         return response.get("result")
+
+    def _exchange(self, payload: bytes, op_timeout: Optional[float]) -> bytes:
+        conn = self._checkout()
+        try:
+            line = conn.roundtrip(payload, op_timeout)
+        except BaseException:
+            # The connection is in an unknown framing state; never reuse it.
+            self._discard(conn)
+            raise
+        self._checkin(conn)
+        return line
 
     def ping(self) -> bool:
         return self.request({"op": "ping"}) == "pong"
@@ -435,10 +639,11 @@ class RemoteClient:
         return self.request({"op": "export_traces", "trace_id": trace_id})
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
+        with self._pool_lock:
+            self._closed = True
+            idle, self._idle = list(self._idle), deque()
+        for conn in idle:
+            conn.close()
 
     def __enter__(self) -> "RemoteClient":
         return self

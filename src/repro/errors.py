@@ -37,8 +37,16 @@ class WireProtocolError(DocstoreError):
     """Malformed message on the socket wire protocol."""
 
 
+class ConnectionLost(WireProtocolError):
+    """The wire connection dropped mid-exchange (retryable for idempotent ops)."""
+
+
 class OperationKilled(DocstoreError):
     """A cooperative in-flight operation was terminated via ``killOp``."""
+
+
+class DeadlineExceeded(OperationKilled):
+    """An operation outlived its client-supplied ``$deadline`` and was aborted."""
 
 
 class NetworkPolicyError(ReproError):

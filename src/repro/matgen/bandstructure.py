@@ -187,14 +187,11 @@ def compute_band_structure(
 
     chis = np.array([s.element.chi for s in structure.sites])
     chi_mean = float(chis.mean())
-    ionicity = float(chis.max() - chis.min())
     onsite = (chis - chi_mean) * gap_scale * -1.0  # anions sink, cations rise
 
     bond = structure.min_bond_length()
     t = hopping_prefactor * math.exp(-bond / 2.5)
 
-    lattice = structure.lattice
-    recip = lattice.reciprocal_lattice().matrix / (2 * math.pi)
     n_sites = structure.num_sites
     bands = np.zeros((n_sites, len(kpoints)))
     # Simple-cubic-like dispersion per band (cosine in each reciprocal dir),

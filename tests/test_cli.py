@@ -39,7 +39,7 @@ class TestCLI:
             "--properties", "reduced_formula,energy_per_atom",
         ]) == 0
         out = capsys.readouterr().out
-        lines = [json.loads(l) for l in out.strip().splitlines()]
+        lines = [json.loads(ln) for ln in out.strip().splitlines()]
         assert len(lines) == 3
         assert all("reduced_formula" in row for row in lines)
 
@@ -52,8 +52,8 @@ class TestCLI:
         formula = json.loads(capsys.readouterr().out.strip())["reduced_formula"]
         assert main(["--data-dir", data_dir, "query",
                      "--formula", formula]) == 0
-        rows = [json.loads(l)
-                for l in capsys.readouterr().out.strip().splitlines()]
+        rows = [json.loads(ln)
+                for ln in capsys.readouterr().out.strip().splitlines()]
         assert all(r["reduced_formula"] == formula for r in rows)
 
     def test_query_with_raw_criteria(self, data_dir, capsys):

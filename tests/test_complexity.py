@@ -1,6 +1,5 @@
 """Tests for document-complexity metrics (Table I machinery)."""
 
-import pytest
 
 from repro.analysis import collection_complexity, document_complexity
 

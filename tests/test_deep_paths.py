@@ -9,7 +9,6 @@ the real task documents actually reach.
 import pytest
 
 from repro.docstore import Collection, DocumentStore
-from repro.errors import DocstoreError
 
 
 @pytest.fixture

@@ -72,8 +72,6 @@ class TestEnergyModel:
     def test_lithiation_releases_energy(self):
         """Li insertion into an oxide framework must be exothermic enough
         for a positive voltage — this anchors the Fig. 1 reproduction."""
-        from repro.matgen import Composition
-
         host = make_prototype("olivine", ["Li", "Fe"]).remove_species(["Li"])
         lix = make_prototype("olivine", ["Li", "Fe"])
         e_li = reference_energy_per_atom("Li") + 0.0  # bcc Li ref ~ same model

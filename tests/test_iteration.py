@@ -1,6 +1,5 @@
 """Tests for iteration strategies: linear scan, bisection, genetic search."""
 
-import math
 
 import pytest
 

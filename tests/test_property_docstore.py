@@ -65,8 +65,6 @@ class TestPathAccess:
     @given(doc=st.dictionaries(field_names, documents, max_size=4))
     @settings(max_examples=100)
     def test_every_walked_leaf_is_gettable(self, doc):
-        from repro.docstore.documents import MISSING
-
         for path, leaf in walk(doc):
             assert get_path(doc, path) == leaf
 

@@ -9,9 +9,7 @@ Invariants, under randomized DAGs and failure schedules:
 * the engines collection's state census always sums to the Firework count.
 """
 
-import string
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.docstore import DocumentStore

@@ -10,7 +10,6 @@ class of test is what caught the ``$ne: null`` missing-field bug.
 
 from typing import Any, Dict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.docstore import compile_query

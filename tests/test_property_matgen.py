@@ -13,7 +13,6 @@ Invariants:
 """
 
 import math
-import string
 
 import pytest
 from hypothesis import assume, given, settings, strategies as st

@@ -1,0 +1,174 @@
+"""Wire-protocol resilience: framing discipline, retry/backoff, deadlines.
+
+The server must never leave a half-written response frame on a connection
+it keeps using (the NDJSON protocol would desync: the next reply would be
+parsed starting mid-document).  The client must treat a truncated frame as
+a connection loss, retry idempotent ops with backoff, refuse to retry
+writes by default, and propagate ``$deadline`` so the server aborts work
+the caller has already abandoned.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.docstore import DatastoreServer, DocumentStore, RemoteClient
+from repro.docstore.ops import deadline_scope
+from repro.errors import ConnectionLost, DeadlineExceeded, DocstoreError
+
+
+@pytest.fixture
+def server():
+    srv = DatastoreServer(DocumentStore())
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _one_shot_partial_fault(srv, nbytes=5):
+    """Install a fault that truncates exactly one response, then heals."""
+    def fault(wfile, encoded):
+        srv._response_fault = None
+        wfile.write(encoded[:nbytes])
+        wfile.flush()
+        raise OSError("injected mid-response failure")
+    srv._response_fault = fault
+
+
+class TestFramingDiscipline:
+    def test_partial_response_closes_connection(self, server):
+        """A mid-response failure must kill the connection — a survivor
+
+        would deliver the *next* response appended to the torn frame."""
+        _one_shot_partial_fault(server)
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b'{"op": "ping"}\n')
+            chunks = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks += chunk
+        # Partial frame then EOF — never a full line followed by garbage.
+        assert not chunks.endswith(b"\n")
+        assert len(chunks) == 5
+
+        # The server itself is healthy: a fresh connection works.
+        with RemoteClient("127.0.0.1", server.port) as client:
+            assert client.ping()
+
+    def test_client_flags_truncated_frame_as_connection_lost(self, server):
+        _one_shot_partial_fault(server)
+        client = RemoteClient("127.0.0.1", server.port, max_retries=0)
+        with pytest.raises(ConnectionLost):
+            client.request({"op": "insert_one", "db": "mp", "coll": "t",
+                            "document": {"x": 1}})
+        client.close()
+
+
+class TestRetry:
+    def test_idempotent_op_retries_through_fault(self, server):
+        server.store["mp"]["t"].insert_one({"x": 1})
+        _one_shot_partial_fault(server)
+        client = RemoteClient("127.0.0.1", server.port,
+                              backoff_base_s=0.01)
+        docs = client["mp"]["t"].find({"x": 1})
+        assert len(docs) == 1
+        assert client.pool_stats()["retries"] == 1
+        client.close()
+
+    def test_write_is_not_retried_by_default(self, server):
+        _one_shot_partial_fault(server)
+        client = RemoteClient("127.0.0.1", server.port,
+                              backoff_base_s=0.01)
+        with pytest.raises(ConnectionLost):
+            client["mp"]["t"].insert_one({"x": 2})
+        # The write executed server-side before the response frame tore:
+        # retrying blindly would have doubled it.
+        assert server.store["mp"]["t"].count_documents({"x": 2}) == 1
+        client.close()
+
+    def test_opt_in_retry_for_writes(self, server):
+        _one_shot_partial_fault(server)
+        client = RemoteClient("127.0.0.1", server.port,
+                              backoff_base_s=0.01,
+                              retry_non_idempotent=True)
+        client["mp"]["t"].insert_one({"x": 3})
+        assert client.pool_stats()["retries"] == 1
+        client.close()
+
+    def test_retry_reconnects_after_server_side_close(self, server):
+        client = RemoteClient("127.0.0.1", server.port,
+                              backoff_base_s=0.01)
+        assert client.ping()
+        # Kill the pooled connection out from under the client.
+        conn = client._idle[0]
+        conn.sock.shutdown(socket.SHUT_RDWR)
+        assert client.ping()  # retried on a fresh connection
+        assert client.pool_stats()["retries"] >= 1
+        client.close()
+
+
+class TestDeadlines:
+    def test_expired_deadline_rejected_before_execution(self, server):
+        client = RemoteClient("127.0.0.1", server.port)
+        with pytest.raises(DeadlineExceeded):
+            client.request({"op": "insert_one", "db": "mp", "coll": "t",
+                            "document": {"x": 9},
+                            "$deadline": time.time() - 5})
+        assert server.store["mp"]["t"].count_documents({"x": 9}) == 0
+        client.close()
+
+    def test_bad_deadline_type_is_protocol_error(self, server):
+        client = RemoteClient("127.0.0.1", server.port)
+        with pytest.raises(DocstoreError, match="WireProtocolError"):
+            client.request({"op": "ping", "$deadline": "soon"})
+        client.close()
+
+    def test_deadline_scope_aborts_registered_op(self):
+        store = DocumentStore()
+        store["mp"]["t"].insert_one({"x": 1})
+        with deadline_scope(time.time() - 1):
+            with pytest.raises(DeadlineExceeded):
+                # The cooperative check point fires per candidate document.
+                list(store["mp"]["t"].find({"x": 1}))
+
+    def test_kill_expired_sweeps_overdue_ops(self):
+        store = DocumentStore()
+        registry = store._ops
+        with deadline_scope(time.time() - 0.01):
+            active = registry.register("find", "mp.t", {"x": 1})
+        try:
+            assert registry.kill_expired() == 1
+            assert active.killed
+            with pytest.raises(DeadlineExceeded):
+                active.check_killed()
+            # Second sweep is a no-op: already flagged.
+            assert registry.kill_expired() == 0
+        finally:
+            registry.finish(active)
+
+
+class TestConnectionPool:
+    def test_pool_caps_connection_count(self, server):
+        server.store["mp"]["t"].insert_one({"x": 1})
+        client = RemoteClient("127.0.0.1", server.port, pool_size=2)
+        barrier = threading.Barrier(8)
+
+        def hit():
+            barrier.wait()
+            for _ in range(5):
+                client["mp"]["t"].find({"x": 1})
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        stats = client.pool_stats()
+        assert stats["connections"] <= 2
+        assert stats["idle"] <= 2
+        client.close()
+        assert client.pool_stats()["idle"] == 0
