@@ -1,0 +1,144 @@
+"""Query-planner benchmark: plan-cache warmup and covered-query reads.
+
+Measures p50/p95/p99 wall latency of the planner's three headline paths
+over a synthetic materials-shaped collection with a compound index:
+
+* ``filter_sort_warm`` — a repeated two-field filter + sort whose plan is
+  served from the plan cache (the steady-state production case).
+* ``filter_sort_cold`` — the same query with the plan cache invalidated
+  before every call, so candidate enumeration and the trial race run
+  each time (planning overhead upper bound).
+* ``covered`` — a projection answered entirely from index keys, versus
+  ``fetched`` — the same rows with document fetches.
+* ``collscan_forced`` — the same filter+sort hinted to ``$natural``; the
+  acceptance floor is warm-cache p95 at least 2x faster than this.
+
+Writes ``BENCH_planner.json`` at the repo root; CI compares it against
+``benchmarks/baseline_planner.json`` with the shared calibration-scaled
+20% p95 gate (:mod:`check_bench_regression`).
+
+Run directly (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py
+    PYTHONPATH=src python benchmarks/bench_planner.py --n-docs 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from bench_obs import _timed, calibrate
+from repro.docstore import DocumentStore
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_planner.json")
+
+N_DOCS = 5000
+ITERS = 200
+N_FORMULAS = 50
+
+
+def _build_collection(n_docs: int):
+    store = DocumentStore()
+    coll = store["bench"]["materials"]
+    coll.create_index([("formula", 1), ("e_above_hull", -1)])
+    coll.insert_many([
+        {
+            "formula": f"F{i % N_FORMULAS}",
+            "e_above_hull": (i * 37 % 1000) / 1000.0,
+            "band_gap": (i * 13 % 80) / 10.0,
+            "nsites": i % 11,
+            # Materials documents are dominated by the structure payload;
+            # a covered read's win is skipping this fetch+copy entirely.
+            "structure": {
+                "lattice": [[float(i % 7), 0.0, 0.0],
+                            [0.0, float(i % 5), 0.0],
+                            [0.0, 0.0, float(i % 3)]],
+                "sites": [
+                    {"species": f"El{j}", "xyz": [j * 0.1, j * 0.2, j * 0.3]}
+                    for j in range(8)
+                ],
+            },
+        }
+        for i in range(n_docs)
+    ])
+    return store, coll
+
+
+def run_benchmarks(n_docs: int = N_DOCS,
+                   iters: int = ITERS) -> Dict[str, dict]:
+    store, coll = _build_collection(n_docs)
+    query_of = lambda i: {  # noqa: E731 - tiny per-iteration helper
+        "formula": f"F{i % N_FORMULAS}",
+        "e_above_hull": {"$lt": 0.5},
+    }
+    sort = [("e_above_hull", -1)]
+
+    def bench_warm(i: int) -> None:
+        coll.find(query_of(i)).sort(sort).to_list()
+
+    def bench_cold(i: int) -> None:
+        coll._planner.invalidate()
+        coll.find(query_of(i)).sort(sort).to_list()
+
+    def bench_covered(i: int) -> None:
+        coll.find({"formula": f"F{i % N_FORMULAS}"},
+                  {"formula": 1, "e_above_hull": 1, "_id": 0}).to_list()
+
+    def bench_fetched(i: int) -> None:
+        coll.find({"formula": f"F{i % N_FORMULAS}"},
+                  {"formula": 1, "e_above_hull": 1}).to_list()
+
+    def bench_collscan(i: int) -> None:
+        coll.find(query_of(i), hint="$natural").sort(sort).to_list()
+
+    coll.find(query_of(0)).sort(sort).to_list()  # prime the plan cache
+    return {
+        "filter_sort_warm": _timed(bench_warm, iters, batch=5, repeats=5),
+        "filter_sort_cold": _timed(bench_cold, iters, batch=5, repeats=5),
+        "covered": _timed(bench_covered, iters, batch=5, repeats=5),
+        "fetched": _timed(bench_fetched, iters, batch=5, repeats=5),
+        "collscan_forced": _timed(bench_collscan, max(iters // 4, 25)),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    parser.add_argument("--n-docs", type=int, default=N_DOCS)
+    parser.add_argument("--iters", type=int, default=ITERS)
+    args = parser.parse_args(argv)
+
+    calibration_ms = calibrate()
+    benchmarks = run_benchmarks(args.n_docs, args.iters)
+    doc = {
+        "meta": {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "n_docs": args.n_docs,
+            "iters": args.iters,
+            "calibration_ms": calibration_ms,
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {calibration_ms:.2f} ms")
+    for name, stats in benchmarks.items():
+        print(f"{name:18s} p50 {stats['p50_ms']:8.4f} ms   "
+              f"p95 {stats['p95_ms']:8.4f} ms   "
+              f"p99 {stats['p99_ms']:8.4f} ms")
+    speedup = (benchmarks["collscan_forced"]["p95_ms"]
+               / benchmarks["filter_sort_warm"]["p95_ms"])
+    print(f"warm-cache IXSCAN vs forced COLLSCAN p95: {speedup:.1f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

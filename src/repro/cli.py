@@ -221,6 +221,84 @@ def cmd_mongotop(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_keys(spec: str):
+    """``"formula:1,e_above_hull:-1"`` -> ``[("formula", 1), ...]``.
+
+    A bare field name means ascending; directions must be 1 or -1.
+    """
+    keys = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            field, _, direction = part.rpartition(":")
+            keys.append((field.strip(), int(direction)))
+        else:
+            keys.append((part, 1))
+    if not keys:
+        raise SystemExit(f"empty index key spec: {spec!r}")
+    return keys
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    target, close = _monitor_target(args)
+    try:
+        coll = target[args.db][args.coll]
+        report = coll.explain(
+            json.loads(args.criteria) if args.criteria else {},
+            sort=_parse_keys(args.sort) if args.sort else None,
+            projection={f: 1 for f in args.projection.split(",")}
+            if args.projection else None,
+            hint=args.hint,
+            verbosity=args.verbosity,
+        )
+    finally:
+        close()
+    if args.json:
+        print(json.dumps(report, default=str))
+        return 0
+    print(f"{args.db}.{args.coll}: {report['planSummary']}")
+    print(f"  nReturned {report['nReturned']}  "
+          f"keysExamined {report['keysExamined']}  "
+          f"docsExamined {report['docsExamined']}  "
+          f"{report['executionTimeMillis']:.2f} ms")
+    print(f"  blockingSort {report['blockingSort']}  "
+          f"covered {report['covered']}")
+    for rejected in report.get("rejectedPlans") or []:
+        print(f"  rejected: {rejected['planSummary']}")
+    return 0
+
+
+def cmd_create_index(args: argparse.Namespace) -> int:
+    target, close = _monitor_target(args)
+    try:
+        coll = target[args.db][args.coll]
+        name = coll.create_index(_parse_keys(args.keys),
+                                 unique=args.unique, name=args.name)
+        if hasattr(target, "snapshot"):
+            target.snapshot()
+    finally:
+        close()
+    print(f"created index {name} on {args.db}.{args.coll}")
+    return 0
+
+
+def cmd_plan_cache(args: argparse.Namespace) -> int:
+    target, close = _monitor_target(args)
+    try:
+        if args.coll:
+            stats = target[args.db][args.coll].plan_cache_stats()
+        elif args.host:
+            raise SystemExit("--host requires --coll for plan-cache")
+        else:
+            stats = target[args.db].plan_cache_status()
+    finally:
+        close()
+    print(json.dumps(stats, default=str, indent=2 if not args.json else None))
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     from .obs import IndexAdvisor
 
@@ -311,6 +389,41 @@ def build_parser() -> argparse.ArgumentParser:
             p.set_defaults(fn=cmd_mongotop)
         else:
             p.set_defaults(fn=cmd_mongostat)
+
+    def _add_wire_target(p):
+        p.add_argument("--host", help="target a live wire-protocol server")
+        p.add_argument("--port", type=int, help="server port (with --host)")
+
+    p = sub.add_parser("explain", help="run the query planner and report")
+    p.add_argument("--db", default="mp")
+    p.add_argument("--coll", default="materials")
+    p.add_argument("--criteria", help="raw JSON query document")
+    p.add_argument("--sort", help='sort spec, e.g. "e_above_hull:1"')
+    p.add_argument("--projection", help="comma-separated included fields")
+    p.add_argument("--hint", help="force an index by name ($natural scans)")
+    p.add_argument("--verbosity", default="executionStats",
+                   choices=["executionStats", "allPlansExecution"])
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("create-index",
+                       help="create a (compound) secondary index")
+    p.add_argument("--db", default="mp")
+    p.add_argument("--coll", default="materials")
+    p.add_argument("--keys", required=True,
+                   help='key spec, e.g. "formula:1,e_above_hull:-1"')
+    p.add_argument("--unique", action="store_true")
+    p.add_argument("--name", help="index name (defaults to key-derived)")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_create_index)
+
+    p = sub.add_parser("plan-cache", help="plan-cache counters and size")
+    p.add_argument("--db", default="mp")
+    p.add_argument("--coll", help="one collection (required with --host)")
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_plan_cache)
 
     p = sub.add_parser("advise",
                        help="recommend indexes from system.profile")

@@ -25,9 +25,11 @@ from .documents import (
     set_path,
     walk,
 )
-from .matching import Matcher, compile_query
+from .matching import Matcher, compile_query, index_predicates
 from .updates import apply_update
 from .cursor import Cursor
+from .indexes import Index, IndexManager, QueryPlan, normalize_index_spec
+from .planner import PlanCache, QueryPlanner, canonical_shape
 from .locks import RWLock
 from .collection import Collection
 from .database import Database, DocumentStore
@@ -51,8 +53,16 @@ __all__ = [
     "walk",
     "Matcher",
     "compile_query",
+    "index_predicates",
     "apply_update",
     "Cursor",
+    "Index",
+    "IndexManager",
+    "QueryPlan",
+    "normalize_index_spec",
+    "PlanCache",
+    "QueryPlanner",
+    "canonical_shape",
     "RWLock",
     "Collection",
     "Database",

@@ -28,10 +28,16 @@ from .documents import (
     get_path,
     validate_document,
 )
-from .indexes import IndexManager, QueryPlan
+from .indexes import (
+    IndexManager,
+    QueryPlan,
+    default_index_name,
+    normalize_index_spec,
+)
 from .locks import RWLock
 from .matching import Matcher, compile_query
 from .objectid import ObjectId
+from .planner import QueryPlanner, iter_plan
 from .updates import apply_update, is_operator_update
 
 __all__ = ["Collection", "InsertResult", "UpdateResult", "DeleteResult", "BulkWriteResult"]
@@ -88,6 +94,8 @@ class Collection:
         self._id_to_pos: Dict[Any, int] = {}
         self._next_pos = 0
         self._indexes = IndexManager()
+        # Cost-based planner with its shape-keyed plan cache.
+        self._planner = QueryPlanner(self)
         # Reader-writer lock: many concurrent finds, one exclusive writer.
         # ``with self._lock:`` (no mode) still takes the exclusive side, so
         # external callers treating it as a mutex stay correct.
@@ -204,84 +212,214 @@ class Collection:
 
     # -- query execution ---------------------------------------------------
 
+    def _record_usage(self, index_name: str) -> None:
+        """$indexStats accounting: the planner consulted ``index_name``
+        (equality/range probe, sort-only scan, or covered read alike)."""
+        with self._usage_lock:
+            usage = self._index_usage.setdefault(
+                index_name, {"ops": 0, "since": time.time()}
+            )
+            usage["ops"] += 1
+
     def _candidates(self, query: Mapping[str, Any], matcher: Matcher) -> Iterator[dict]:
-        plan = self._indexes.plan(query)
-        if plan is not None:
-            index, positions = plan
-            self._plan_local.plan = QueryPlan("IXSCAN", index.name, len(positions))
-            with self._usage_lock:
-                usage = self._index_usage.setdefault(
-                    index.name, {"ops": 0, "since": time.time()}
-                )
-                usage["ops"] += 1
-            for pos in sorted(positions):
-                doc = self._docs.get(pos)
-                if doc is not None and matcher.matches(doc):
-                    yield doc
-        else:
-            self._plan_local.plan = QueryPlan("COLLSCAN", None, len(self._docs))
-            for pos in sorted(self._docs):
-                doc = self._docs[pos]
-                if matcher.matches(doc):
-                    yield doc
+        """Planner-backed candidate stream (no sort/projection push-down).
 
-    def explain(self, query: Optional[Mapping[str, Any]] = None) -> dict:
-        """Run the planner for ``query`` and report the chosen plan.
+        Used by find_one / count / find_one_and_* under the caller's lock;
+        yields the *stored* documents, so callers must copy before exposure.
+        """
+        result = self._planner.plan(query, matcher)
+        winner = result.winner
+        plan_record = QueryPlan(
+            winner.kind, winner.index_name, 0,
+            provides_sort=winner.provides_sort, covered=winner.covered,
+            key_pattern=winner.key_pattern, cache=result.cache_status,
+        )
+        self._plan_local.plan = plan_record
+        if winner.index is not None:
+            self._record_usage(winner.index.name)
+        stats = {"keys": 0, "docs": 0}
+        n = 0
+        try:
+            for doc, _pos in iter_plan(self, winner, matcher, stats):
+                n += 1
+                yield doc
+        finally:
+            plan_record.candidates_examined = stats["docs"]
+            plan_record.keys_examined = stats["keys"]
+            plan_record.n_returned = n
+            self._planner.note_execution(result, stats, n)
 
-        The report carries MongoDB ``executionStats``-style fields: the
-        ``stage`` (IXSCAN/COLLSCAN), the ``index`` consulted (also exposed
-        as ``indexUsed``), ``docsExamined``, ``nReturned``, and the wall
-        time in ``executionTimeMillis``.
+    def explain(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        sort: Optional[List[tuple]] = None,
+        projection: Optional[Mapping[str, Any]] = None,
+        hint: Optional[str] = None,
+        verbosity: str = "executionStats",
+    ) -> dict:
+        """Plan and execute ``query``, reporting the chosen plan.
+
+        Always runs the planner fresh on the given query (never a stale
+        per-thread artifact, and never served from the plan cache).  The
+        report carries MongoDB ``executionStats``-style fields — ``stage``,
+        ``index`` (also as ``indexUsed``), ``docsExamined``/``keysExamined``,
+        ``nReturned``, ``executionTimeMillis`` — plus ``planSummary``,
+        ``providesSort``/``blockingSort``, ``covered``, ``keyPattern`` and
+        the ``rejectedPlans`` the winner beat.  With
+        ``verbosity="allPlansExecution"`` each rejected plan includes its
+        trial-run statistics.
         """
         query = query or {}
         matcher = compile_query(query)
+        sort_spec = list(sort) if sort else None
         t0 = time.perf_counter()
+        stats = {"keys": 0, "docs": 0}
         with self._lock.read():
-            count = sum(1 for _ in self._candidates(query, matcher))
-            plan = self.last_plan
+            result = self._planner.plan(
+                query, matcher, sort_spec=sort_spec, projection=projection,
+                hint=hint, use_cache=False,
+            )
+            winner = result.winner
+            count = sum(1 for _ in iter_plan(self, winner, matcher, stats))
         elapsed_ms = (time.perf_counter() - t0) * 1e3
-        out = plan.to_dict() if plan else {
-            "stage": "COLLSCAN", "index": None, "docsExamined": 0,
+        out = {
+            "stage": winner.kind,
+            "index": winner.index_name,
+            "indexUsed": winner.index_name,
+            "docsExamined": stats["docs"],
+            "keysExamined": stats["keys"],
+            "nReturned": count,
+            "executionTimeMillis": elapsed_ms,
+            "planSummary": winner.summary,
+            "providesSort": winner.provides_sort,
+            "blockingSort": bool(sort_spec) and not winner.provides_sort,
+            "covered": winner.covered,
+            "keyPattern": [list(k) for k in winner.key_pattern]
+            if winner.key_pattern else None,
+            "rejectedPlans": [c.describe() for c in result.rejected],
         }
-        out["indexUsed"] = out.get("index")
-        out["nReturned"] = count
-        out["executionTimeMillis"] = elapsed_ms
+        if verbosity == "allPlansExecution":
+            out["allPlansExecution"] = [
+                dict(c.describe(), winner=(i == 0))
+                for i, c in enumerate([winner] + list(result.rejected))
+            ]
         return out
 
     def find(
         self,
         query: Optional[Mapping[str, Any]] = None,
         projection: Optional[Mapping[str, Any]] = None,
+        hint: Optional[str] = None,
     ) -> Cursor:
-        """Return a lazy cursor over matching documents."""
+        """Return a lazy cursor over matching documents.
+
+        Planning happens when the cursor executes, so a chained ``.sort``
+        participates: the planner may pick an index that yields the sort
+        order (no blocking sort) or answer a projection-only query from
+        index keys alone (covered query).  ``hint`` forces an index by
+        name (``"$natural"`` forces a collection scan).
+        """
         query = query or {}
         matcher = compile_query(query)
 
-        def source() -> Iterator[dict]:
+        def executor(sort_spec, skip, limit, cursor_hint):
             t0 = time.perf_counter()
             registry = self._ops_registry()
             active = (registry.register("find", self.namespace, query)
                       if registry is not None else None)
+            effective_hint = cursor_hint if cursor_hint is not None else hint
+            matched: List[dict] = []
             try:
                 with self._lock.read():
-                    matched = []
-                    for doc in self._candidates(query, matcher):
-                        if active is not None:
-                            # Cooperative killOp check point, per candidate.
-                            active.check_killed()
-                        matched.append(deep_copy_doc(doc))
-                    plan = self.last_plan
+                    if sort_spec is None and effective_hint is None \
+                            and projection is None:
+                        # Plain unordered read: the shared candidate stream
+                        # (same path find_one / count use).
+                        max_docs = skip + limit if limit is not None else None
+                        gen = self._candidates(query, matcher)
+                        try:
+                            for doc in gen:
+                                if active is not None:
+                                    # Cooperative killOp check point.
+                                    active.check_killed()
+                                matched.append(deep_copy_doc(doc))
+                                if max_docs is not None \
+                                        and len(matched) >= max_docs:
+                                    break
+                        finally:
+                            gen.close()  # flush plan stats eagerly
+                        plan_record = self.last_plan
+                        already_sorted = True
+                    else:
+                        plan_record, already_sorted = self._planned_read(
+                            query, matcher, sort_spec, skip, limit,
+                            effective_hint, projection, matched, active,
+                        )
+                    if active is not None and plan_record is not None:
+                        active.plan_summary = plan_record.summary
             finally:
                 if registry is not None:
                     registry.finish(active)
             self._observe(
                 "find", "query", query, t0, nreturned=len(matched),
-                docs_examined=plan.candidates_examined if plan else None,
-                plan=plan.kind if plan else None,
+                docs_examined=plan_record.candidates_examined
+                if plan_record else None,
+                plan=plan_record.summary if plan_record else None,
             )
-            return iter(matched)
+            return matched, already_sorted
 
-        return Cursor(source, projection)
+        return Cursor(executor, projection, planned=True)
+
+    def _planned_read(
+        self,
+        query: Mapping[str, Any],
+        matcher: Matcher,
+        sort_spec: Optional[List[tuple]],
+        skip: int,
+        limit: Optional[int],
+        hint: Optional[str],
+        projection: Optional[Mapping[str, Any]],
+        matched: List[dict],
+        active: Any,
+    ) -> tuple:
+        """Plan-and-execute a find with sort/hint/projection push-down.
+
+        Appends result documents to ``matched`` and returns
+        ``(plan_record, already_sorted)``.  Caller holds the read lock.
+        """
+        result = self._planner.plan(
+            query, matcher, sort_spec=sort_spec,
+            projection=projection, hint=hint,
+        )
+        winner = result.winner
+        # Limit push-down is only sound when results already arrive in
+        # final order (index-provided, or no sort requested at all).
+        max_docs = None
+        if limit is not None and (not sort_spec or winner.provides_sort):
+            max_docs = skip + limit
+        stats = {"keys": 0, "docs": 0}
+        for doc, _pos in iter_plan(self, winner, matcher, stats):
+            if active is not None:
+                # Cooperative killOp check point, per candidate.
+                active.check_killed()
+            matched.append(doc if winner.covered else deep_copy_doc(doc))
+            if max_docs is not None and len(matched) >= max_docs:
+                break
+        plan_record = QueryPlan(
+            winner.kind, winner.index_name, stats["docs"],
+            keys_examined=stats["keys"],
+            n_returned=len(matched),
+            provides_sort=winner.provides_sort,
+            covered=winner.covered,
+            key_pattern=winner.key_pattern,
+            rejected=[c.describe() for c in result.rejected],
+            cache=result.cache_status,
+        )
+        self._plan_local.plan = plan_record
+        if winner.index is not None:
+            self._record_usage(winner.index.name)
+        self._planner.note_execution(result, stats, len(matched))
+        return plan_record, (not sort_spec) or winner.provides_sort
 
     def find_one(
         self,
@@ -563,21 +701,38 @@ class Collection:
     # -- indexes ---------------------------------------------------------------
 
     def create_index(
-        self, field: str, unique: bool = False, name: Optional[str] = None
+        self, keys: Any, unique: bool = False, name: Optional[str] = None
     ) -> str:
-        """Create (and backfill) a single-field index; returns its name."""
+        """Create (and bulk-backfill) an index; returns its name.
+
+        ``keys`` accepts a bare field name or a compound spec like
+        ``[("formula", 1), ("e_above_hull", -1)]``.  Re-creating an index
+        with an identical spec is a no-op; reusing a name for a different
+        spec is an error.  Creating or dropping an index invalidates the
+        collection's plan cache.
+        """
+        spec = normalize_index_spec(keys)
+        index_name = name or default_index_name(spec)
         with self._lock.write():
-            index = self._indexes.create(field, unique=unique, name=name)
+            existing = self._indexes.get(index_name)
+            if existing is not None:
+                if existing.keys == spec and existing.unique == unique:
+                    return index_name
+                raise DocstoreError(
+                    f"index {index_name!r} already exists with a "
+                    "different spec"
+                )
+            index = self._indexes.create(spec, unique=unique, name=index_name)
             try:
-                for pos, doc in self._docs.items():
-                    index.add(pos, doc)
-            except DuplicateKeyError:
+                index.build(sorted(self._docs.items()))
+            except DocstoreError:
                 self._indexes.drop(index.name)
                 raise
             with self._usage_lock:
                 self._index_usage.setdefault(
                     index.name, {"ops": 0, "since": time.time()}
                 )
+            self._planner.invalidate()
             return index.name
 
     def drop_index(self, name: str) -> None:
@@ -585,10 +740,16 @@ class Collection:
             self._indexes.drop(name)
             with self._usage_lock:
                 self._index_usage.pop(name, None)
+            self._planner.invalidate()
 
     def index_information(self) -> Dict[str, dict]:
         return {
-            ix.name: {"field": ix.field, "unique": ix.unique, "entries": len(ix)}
+            ix.name: {
+                "field": ix.field,
+                "key": [list(k) for k in ix.keys],
+                "unique": ix.unique,
+                "entries": len(ix),
+            }
             for ix in self._indexes.all()
         }
 
@@ -596,15 +757,18 @@ class Collection:
         """``$indexStats``-style usage accounting, one document per index.
 
         ``accesses.ops`` counts queries the planner answered with the
-        index; ``accesses.since`` is when counting began.  An index with
-        zero ops since creation is a drop candidate — the advisor's
-        :meth:`~repro.obs.advisor.IndexAdvisor.unused_indexes` reads this.
+        index — equality/range probes, sort-only consultations, and
+        covered reads alike; ``accesses.since`` is when counting began.
+        An index with zero ops since creation is a drop candidate — the
+        advisor's :meth:`~repro.obs.advisor.IndexAdvisor.unused_indexes`
+        reads this.
         """
         with self._lock.read(), self._usage_lock:
             return [
                 {
                     "name": ix.name,
                     "field": ix.field,
+                    "key": [list(k) for k in ix.keys],
                     "unique": ix.unique,
                     "entries": len(ix),
                     "accesses": dict(self._index_usage.get(
@@ -613,6 +777,10 @@ class Collection:
                 }
                 for ix in self._indexes.all()
             ]
+
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss/evict/invalidate/replan counters for the plan cache."""
+        return self._planner.cache.stats()
 
     @property
     def last_plan(self) -> Optional[QueryPlan]:

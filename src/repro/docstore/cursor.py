@@ -71,15 +71,25 @@ class Cursor:
     (already safety-copied by the collection).  Chaining ``sort``, ``skip``,
     ``limit`` and re-iterating re-executes the query, like re-running a
     cursor in the mongo shell.
+
+    Collection-backed cursors are constructed with ``planned=True``; their
+    source is the collection's plan-and-execute closure, called as
+    ``source(sort_spec, skip, limit, hint)`` and returning ``(docs,
+    already_sorted)``.  When the winning plan provides the requested sort
+    order from the index, ``already_sorted`` is True and the cursor skips
+    its blocking in-memory sort.
     """
 
     def __init__(
         self,
-        source: Callable[[], Iterable[dict]],
+        source: Callable[..., Any],
         projection: Optional[Mapping[str, Any]] = None,
+        planned: bool = False,
     ):
         self._source = source
         self._projection = dict(projection) if projection else None
+        self._planned = planned
+        self._hint: Optional[str] = None
         self._sort_spec: List[tuple] = []
         self._skip = 0
         self._limit: Optional[int] = None
@@ -117,11 +127,31 @@ class Cursor:
         self._batch_size = n
         return self
 
+    def hint(self, index_name: str) -> "Cursor":
+        """Bypass the query planner and force ``index_name``.
+
+        ``"$natural"`` forces a collection scan.  Unknown index names raise
+        :class:`~repro.errors.DocstoreError` when the cursor executes.
+        """
+        if not self._planned:
+            raise DocstoreError("hint() requires a collection-backed cursor")
+        if not isinstance(index_name, str) or not index_name:
+            raise DocstoreError("hint must be an index name string")
+        self._hint = index_name
+        return self
+
     # -- execution ----------------------------------------------------------
 
     def _execute(self) -> List[dict]:
-        docs = list(self._source())
-        if self._sort_spec:
+        if self._planned:
+            docs, already_sorted = self._source(
+                self._sort_spec or None, self._skip, self._limit, self._hint
+            )
+            docs = list(docs)
+        else:
+            docs = list(self._source())
+            already_sorted = False
+        if self._sort_spec and not already_sorted:
             for field, direction in reversed(self._sort_spec):
                 docs.sort(
                     key=lambda d, _f=field: ordering_key(get_path(d, _f)),

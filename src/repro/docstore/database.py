@@ -275,6 +275,26 @@ class Database:
             out["writers_held"] += int(stats["writer_held"])
         return out
 
+    def plan_cache_status(self) -> dict:
+        """Aggregate plan-cache counters across collections.
+
+        Returns ``{"totals": {...}, "collections": {name: stats}}`` with
+        hit/miss/eviction/invalidation/replan counts — the data behind
+        ``server_status()["planCache"]`` and the ``plan_cache`` wire op.
+        """
+        with self._lock:
+            colls = [c for n, c in self._collections.items()
+                     if not n.startswith("system.")]
+        totals = {"size": 0, "hits": 0, "misses": 0, "evictions": 0,
+                  "invalidations": 0, "replans": 0}
+        per_collection: Dict[str, dict] = {}
+        for coll in colls:
+            stats = coll.plan_cache_stats()
+            per_collection[coll.name] = stats
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        return {"totals": totals, "collections": per_collection}
+
     def server_status(self) -> dict:
         """MongoDB ``serverStatus``-style snapshot of this database."""
         with self._stats_lock:
@@ -293,6 +313,7 @@ class Database:
                 if not n.startswith("system.")
             ),
             "locks": self.lock_status(),
+            "planCache": self.plan_cache_status()["totals"],
         }
 
     def top(self) -> Dict[str, dict]:
@@ -393,6 +414,8 @@ class DocumentStore:
             "read_contended": 0, "write_contended": 0,
             "active_readers": 0, "writers_held": 0, "waiting_writers": 0,
         }
+        plan_cache = {"size": 0, "hits": 0, "misses": 0, "evictions": 0,
+                      "invalidations": 0, "replans": 0}
         for db in databases:
             status = db.server_status()
             for key, value in status["opcounters"].items():
@@ -401,12 +424,15 @@ class DocumentStore:
             collections += status["collections"]
             for key, value in status["locks"].items():
                 locks[key] = locks.get(key, 0) + value
+            for key, value in status["planCache"].items():
+                plan_cache[key] = plan_cache.get(key, 0) + value
         out = {
             "databases": sorted(db.name for db in databases),
             "opcounters": opcounters,
             "objects": objects,
             "collections": collections,
             "locks": locks,
+            "planCache": plan_cache,
         }
         if self._persistence is not None:
             out["journal"] = self._persistence.journal_stats()

@@ -491,3 +491,90 @@ class Matcher:
 def compile_query(query: Mapping[str, Any]) -> Matcher:
     """Compile a Mongo-style query document into a reusable :class:`Matcher`."""
     return Matcher(query)
+
+
+# --------------------------------------------------------------------------
+# Index predicate extraction (consumed by repro.docstore.planner).
+# --------------------------------------------------------------------------
+
+_INDEX_RANGE_OPS = frozenset({"$gt", "$gte", "$lt", "$lte"})
+#: Operators that may ride alongside range bounds without invalidating the
+#: index interval — the residual matcher enforces them on every candidate.
+_RANGE_COMPANIONS = frozenset({"$ne", "$exists"})
+
+
+class FieldPredicate:
+    """The index-usable part of one field's query condition.
+
+    ``kind`` classifies how an index component can serve the condition:
+
+    * ``"eq"``     — a single point probe (``value``);
+    * ``"in"``     — a union of point probes (``values``);
+    * ``"range"``  — an interval (``bounds`` maps ``gt/gte/lt/lte``);
+    * ``"all"``    — ``$all`` members (``values``; any one member is a
+      valid superset probe, the matcher enforces the conjunction);
+    * ``"opaque"`` — not index-usable (``$regex``, ``$ne`` alone, ...).
+
+    Every candidate document is still verified by the full matcher, so a
+    predicate only needs to describe a *superset* of the matching keys.
+    """
+
+    __slots__ = ("field", "kind", "value", "values", "bounds")
+
+    def __init__(self, field: str, kind: str, value: Any = None,
+                 values: Any = None, bounds: Any = None):
+        self.field = field
+        self.kind = kind
+        self.value = value
+        self.values = values
+        self.bounds = bounds
+
+    def __repr__(self) -> str:
+        return f"FieldPredicate({self.field!r}, {self.kind})"
+
+
+def _classify_condition(field: str, condition: Any) -> FieldPredicate:
+    if isinstance(condition, Mapping) and any(
+        str(k).startswith("$") for k in condition
+    ):
+        ops = set(condition)
+        if "$eq" in ops:
+            return FieldPredicate(field, "eq", value=condition["$eq"])
+        if "$in" in ops and isinstance(condition["$in"], list):
+            members = condition["$in"]
+            if all(not hasattr(m, "search") for m in members):
+                return FieldPredicate(field, "in", values=list(members))
+            return FieldPredicate(field, "opaque")
+        if ops & _INDEX_RANGE_OPS and not (
+            ops - _INDEX_RANGE_OPS - _RANGE_COMPANIONS
+        ):
+            bounds = {op.lstrip("$"): condition[op]
+                      for op in ops & _INDEX_RANGE_OPS}
+            return FieldPredicate(field, "range", bounds=bounds)
+        if ("$all" in ops and isinstance(condition["$all"], list)
+                and condition["$all"]
+                and all(not isinstance(m, Mapping)
+                        for m in condition["$all"])):
+            return FieldPredicate(field, "all", values=list(condition["$all"]))
+        return FieldPredicate(field, "opaque")
+    if hasattr(condition, "search"):  # bare regex — not index-usable
+        return FieldPredicate(field, "opaque")
+    # Bare value (including a plain subdocument): equality.
+    return FieldPredicate(field, "eq", value=condition)
+
+
+def index_predicates(query: Mapping[str, Any]) -> Dict[str, FieldPredicate]:
+    """Decompose ``query`` into per-field predicates for the planner.
+
+    Only top-level field clauses participate; logical operators
+    (``$and``/``$or``/...) and ``$where`` contribute nothing — documents
+    selected through an index are always re-verified by the compiled
+    matcher, so narrowing by any *conjunctive* top-level field clause is
+    sound even when logical operators are present alongside it.
+    """
+    out: Dict[str, FieldPredicate] = {}
+    for field, condition in query.items():
+        if str(field).startswith("$"):
+            continue
+        out[field] = _classify_condition(field, condition)
+    return out

@@ -79,7 +79,7 @@ class ActiveOp:
     """One in-flight operation: identity, shape, and the kill flag."""
 
     __slots__ = ("opid", "op", "ns", "shape", "started_s", "started_wall",
-                 "trace_id", "deadline", "_killed")
+                 "trace_id", "deadline", "plan_summary", "_killed")
 
     def __init__(self, opid: int, op: str, ns: str, query: Any,
                  deadline: Optional[float] = None):
@@ -87,6 +87,8 @@ class ActiveOp:
         self.op = op
         self.ns = ns
         self.shape = query_shape(query) if query is not None else None
+        #: MongoDB-style planSummary, filled in once the planner has run.
+        self.plan_summary: Optional[str] = None
         self.started_s = time.perf_counter()
         self.started_wall = time.time()
         s = current_span()
@@ -125,6 +127,7 @@ class ActiveOp:
             "op": self.op,
             "ns": self.ns,
             "query_shape": self.shape,
+            "planSummary": self.plan_summary,
             "elapsed_ms": (time.perf_counter() - self.started_s) * 1e3,
             "started_at": self.started_wall,
             "trace_id": self.trace_id,

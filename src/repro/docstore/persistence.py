@@ -405,8 +405,15 @@ class PersistenceManager:
                                         )
                         for ix_name, ix in meta.get("indexes", {}).items():
                             if ix_name not in coll.index_information():
+                                # Compound manifests carry the full "key"
+                                # list; pre-compound snapshots only "field".
+                                keys = ix.get("key")
+                                if keys is not None:
+                                    keys = [(f, d) for f, d in keys]
+                                else:
+                                    keys = ix["field"]
                                 coll.create_index(
-                                    ix["field"], unique=ix["unique"], name=ix_name
+                                    keys, unique=ix["unique"], name=ix_name
                                 )
             max_seq = snapshot_seq
             if os.path.exists(self._journal_path):

@@ -27,7 +27,7 @@ import socketserver
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, List, Mapping, Optional
+from typing import Any, Deque, Dict, List, Mapping, Optional
 
 from ..errors import (
     ConnectionLost,
@@ -39,6 +39,7 @@ from ..errors import (
 from ..obs import export_traces, get_registry, remote_span, span, trace_context
 from .database import DocumentStore
 from .documents import document_from_json, document_to_json
+from .indexes import normalize_index_spec
 from .ops import deadline_scope
 
 __all__ = ["DatastoreServer", "RemoteClient", "RemoteCollection"]
@@ -228,7 +229,10 @@ class DatastoreServer:
 
     @staticmethod
     def _op_find(coll: Any, req: Mapping[str, Any]) -> Any:
-        cursor = coll.find(req.get("query") or {}, req.get("projection"))
+        cursor = coll.find(
+            req.get("query") or {}, req.get("projection"),
+            hint=req.get("$hint"),
+        )
         if req.get("sort"):
             cursor = cursor.sort([(f, d) for f, d in req["sort"]])
         if req.get("skip"):
@@ -288,7 +292,16 @@ class DatastoreServer:
 
     @staticmethod
     def _op_create_index(coll: Any, req: Mapping[str, Any]) -> Any:
-        return coll.create_index(req["field"], unique=req.get("unique", False))
+        # Compound clients send ``keys`` ([[field, dir], ...]); legacy ones
+        # send the single ``field`` string.  Either is a valid index spec.
+        keys = req.get("keys")
+        if keys is None:
+            keys = req["field"]
+        else:
+            keys = [(f, d) for f, d in keys]
+        return coll.create_index(
+            keys, unique=req.get("unique", False), name=req.get("name")
+        )
 
     @staticmethod
     def _op_stats(coll: Any, req: Mapping[str, Any]) -> Any:
@@ -300,7 +313,18 @@ class DatastoreServer:
 
     @staticmethod
     def _op_explain(coll: Any, req: Mapping[str, Any]) -> Any:
-        return coll.explain(req.get("query") or {})
+        sort = [(f, d) for f, d in req["sort"]] if req.get("sort") else None
+        return coll.explain(
+            req.get("query") or {},
+            sort=sort,
+            projection=req.get("projection"),
+            hint=req.get("$hint"),
+            verbosity=req.get("verbosity", "executionStats"),
+        )
+
+    @staticmethod
+    def _op_plan_cache(coll: Any, req: Mapping[str, Any]) -> Any:
+        return coll.plan_cache_stats()
 
 
 class RemoteCollection:
@@ -327,15 +351,18 @@ class RemoteCollection:
         sort: Optional[List[tuple]] = None,
         skip: int = 0,
         limit: int = 0,
+        hint: Optional[str] = None,
     ) -> List[dict]:
-        return self._call(
-            "find",
-            query=query or {},
-            projection=projection,
-            sort=[list(p) for p in sort] if sort else None,
-            skip=skip,
-            limit=limit,
-        )
+        request: Dict[str, Any] = {
+            "query": query or {},
+            "projection": projection,
+            "sort": [list(p) for p in sort] if sort else None,
+            "skip": skip,
+            "limit": limit,
+        }
+        if hint is not None:
+            request["$hint"] = hint
+        return self._call("find", **request)
 
     def find_one(self, query=None, projection=None) -> Optional[dict]:
         return self._call("find_one", query=query or {}, projection=projection)
@@ -373,8 +400,22 @@ class RemoteCollection:
     def aggregate(self, pipeline: List[Mapping[str, Any]]) -> List[dict]:
         return self._call("aggregate", pipeline=pipeline)
 
-    def create_index(self, field: str, unique: bool = False) -> str:
-        return self._call("create_index", field=field, unique=unique)
+    def create_index(self, keys: Any, unique: bool = False,
+                     name: Optional[str] = None) -> str:
+        """Create a single-field or compound index on the remote collection.
+
+        ``keys`` takes anything the in-process API takes: a field name or a
+        ``[("formula", 1), ("e_above_hull", -1)]`` key list.
+        """
+        if isinstance(keys, str):
+            return self._call("create_index", field=keys, unique=unique,
+                              name=name)
+        return self._call(
+            "create_index",
+            keys=[list(p) for p in normalize_index_spec(keys)],
+            unique=unique,
+            name=name,
+        )
 
     def stats(self) -> dict:
         return self._call("stats")
@@ -383,9 +424,28 @@ class RemoteCollection:
         """``$indexStats``-style per-index usage accounting."""
         return self._call("index_stats")
 
-    def explain(self, query: Optional[Mapping[str, Any]] = None) -> dict:
+    def explain(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        sort: Optional[List[tuple]] = None,
+        projection: Optional[Mapping[str, Any]] = None,
+        hint: Optional[str] = None,
+        verbosity: str = "executionStats",
+    ) -> dict:
         """Run the remote planner for ``query`` (advisor replay support)."""
-        return self._call("explain", query=query or {})
+        request: Dict[str, Any] = {
+            "query": query or {},
+            "sort": [list(p) for p in sort] if sort else None,
+            "projection": projection,
+            "verbosity": verbosity,
+        }
+        if hint is not None:
+            request["$hint"] = hint
+        return self._call("explain", **request)
+
+    def plan_cache_stats(self) -> dict:
+        """The remote collection's plan-cache counters and size."""
+        return self._call("plan_cache")
 
 
 class _RemoteDatabase:
@@ -417,7 +477,8 @@ class _RemoteDatabase:
 _IDEMPOTENT_OPS = frozenset({
     "ping", "find", "find_one", "count", "distinct", "aggregate",
     "list_databases", "list_collections", "server_status", "db_status",
-    "top", "stats", "index_stats", "explain", "current_op", "export_traces",
+    "top", "stats", "index_stats", "explain", "plan_cache", "current_op",
+    "export_traces",
 })
 
 #: Server error types re-raised as their specific client-side exception

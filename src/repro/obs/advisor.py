@@ -36,10 +36,17 @@ __all__ = ["IndexRecommendation", "IndexAdvisor"]
 #: Profile ops the advisor treats as index-improvable reads.
 _READ_OPS = frozenset({"find", "findOne", "count", "findAndModify"})
 
+#: Operator conditions an index range scan can serve as a trailing key.
+_RANGE_OPS = frozenset({"$gt", "$gte", "$lt", "$lte"})
+
 
 @dataclass
 class IndexRecommendation:
-    """One concrete ``create_index`` suggestion with its evidence."""
+    """One concrete ``create_index`` suggestion with its evidence.
+
+    ``keys`` is the full (possibly compound) key pattern; ``field`` stays
+    as its first component for pre-compound consumers.
+    """
 
     ns: str
     collection: str
@@ -51,12 +58,18 @@ class IndexRecommendation:
     estimated_docs_examined_after: int
     estimated_reduction: float
     example_query: dict = field(default_factory=dict)
+    keys: List[Tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            self.keys = [(self.field, 1)]
 
     def to_dict(self) -> dict:
         return {
             "ns": self.ns,
             "collection": self.collection,
             "field": self.field,
+            "keys": [list(k) for k in self.keys],
             "command": self.command,
             "occurrences": self.occurrences,
             "avg_millis": self.avg_millis,
@@ -105,12 +118,14 @@ class IndexAdvisor:
             coll_name = ns.split(".", 1)[1] if "." in ns else ns
             coll = self.db.get_collection(coll_name)
             example = entries[-1].get("query") or {}
-            candidates = self._candidate_fields(coll, example)
-            if not candidates:
+            eq_fields, range_fields = self._candidate_fields(coll, example)
+            if not eq_fields and not range_fields:
                 continue
-            best_field, docs_after = self._most_selective(
-                coll, example, candidates
+            keys, docs_after = self._compound_keys(
+                coll, example, eq_fields, range_fields
             )
+            if not keys:
+                continue
             docs_before = max(
                 e.get("docsExamined", 0) for e in entries
             ) or coll.count_documents()
@@ -121,19 +136,23 @@ class IndexAdvisor:
                 (docs_before - docs_after) / docs_before
                 if docs_before else 0.0
             )
+            if len(keys) == 1 and keys[0][1] == 1:
+                command = f'db["{coll_name}"].create_index("{keys[0][0]}")'
+            else:
+                spec = ", ".join(f'("{f}", {d})' for f, d in keys)
+                command = f'db["{coll_name}"].create_index([{spec}])'
             recs.append(IndexRecommendation(
                 ns=ns,
                 collection=coll_name,
-                field=best_field,
-                command=(
-                    f'db["{coll_name}"].create_index("{best_field}")'
-                ),
+                field=keys[0][0],
+                command=command,
                 occurrences=len(entries),
                 avg_millis=avg_millis,
                 docs_examined_before=docs_before,
                 estimated_docs_examined_after=docs_after,
                 estimated_reduction=reduction,
                 example_query=dict(example),
+                keys=keys,
             ))
         recs.sort(
             key=lambda r: r.occurrences
@@ -163,42 +182,65 @@ class IndexAdvisor:
         return groups
 
     @staticmethod
-    def _candidate_fields(coll: Any, example: dict) -> List[str]:
-        """Top-level equality fields not already covered by an index."""
+    def _candidate_fields(
+        coll: Any, example: dict
+    ) -> Tuple[List[str], List[str]]:
+        """``(equality_fields, range_fields)`` an index could serve.
+
+        Skips shapes already satisfiable by an existing index prefix
+        (first key field matches an equality candidate).
+        """
         indexed = {
             info.get("field")
             for info in coll.index_information().values()
         }
-        out = []
+        eq_fields, range_fields = [], []
         for fname, cond in example.items():
             if fname.startswith("$") or fname in indexed:
                 continue
             if isinstance(cond, dict) and any(
                 str(k).startswith("$") for k in cond
             ):
-                continue  # range/operator conditions: equality probe invalid
-            out.append(fname)
-        return out
+                if all(str(k) in _RANGE_OPS for k in cond):
+                    range_fields.append(fname)
+                continue  # other operator conditions: not indexable here
+            eq_fields.append(fname)
+        return eq_fields, range_fields
 
-    def _most_selective(self, coll: Any, example: dict,
-                        candidates: List[str]) -> Tuple[str, int]:
-        """Probe each candidate's selectivity on the example's values.
+    def _compound_keys(
+        self, coll: Any, example: dict,
+        eq_fields: List[str], range_fields: List[str],
+    ) -> Tuple[List[Tuple[str, int]], int]:
+        """Order candidates into a compound key pattern with its estimate.
 
-        The probes run with profiling suspended — the advisor must not
-        write new COLLSCAN entries into the log it is analyzing.
+        MongoDB's equality-sort-range rule of thumb: equality fields first
+        (most selective leading, probed via ``count_documents``), then at
+        most one range field last.  The probes run with profiling
+        suspended — the advisor must not write new COLLSCAN entries into
+        the log it is analyzing.
         """
         saved_level = self.db.get_profiling_level()
         saved_slowms = self.db.slowms
         self.db.set_profiling_level(0)
         try:
-            scored = [
+            scored = sorted(
                 (coll.count_documents({f: example[f]}), f)
-                for f in candidates
-            ]
+                for f in eq_fields
+            )
+            if scored:
+                docs_after = scored[0][0]
+            elif range_fields:
+                docs_after = coll.count_documents(
+                    {range_fields[0]: example[range_fields[0]]}
+                )
+            else:
+                return [], 0
         finally:
             self.db.set_profiling_level(saved_level, saved_slowms)
-        count, fname = min(scored)
-        return fname, count
+        keys = [(f, 1) for _count, f in scored]
+        if range_fields:
+            keys.append((range_fields[0], 1))
+        return keys, docs_after
 
     # -- verification ----------------------------------------------------
 
@@ -213,7 +255,7 @@ class IndexAdvisor:
         """
         coll = self.db.get_collection(rec.collection)
         before = coll.explain(rec.example_query)
-        index_name = coll.create_index(rec.field)
+        index_name = coll.create_index(rec.keys or rec.field)
         try:
             after = coll.explain(rec.example_query)
         except Exception:
@@ -249,6 +291,7 @@ class IndexAdvisor:
                         "collection": coll_name,
                         "name": stat["name"],
                         "field": stat["field"],
+                        "key": stat.get("key"),
                         "since": stat["accesses"]["since"],
                     })
         return out

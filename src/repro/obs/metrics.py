@@ -122,6 +122,21 @@ class Counter(_Metric):
         with self._lock:
             return dict(self._series)
 
+    def values(self, label: str) -> Dict[str, float]:
+        """Totals broken down by one label's values.
+
+        ``plan_cache.values("event")`` -> ``{"hit": 40, "miss": 3, ...}``;
+        series missing the label are ignored.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            for key, count in self._series.items():
+                for k, v in key:
+                    if k == label:
+                        out[v] = out.get(v, 0.0) + count
+                        break
+        return out
+
     def render(self) -> List[str]:
         lines = [f"# TYPE {self.name} counter"]
         with self._lock:
