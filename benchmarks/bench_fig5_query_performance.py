@@ -39,7 +39,7 @@ def _replay(population, n_queries=3315):
 
 
 def test_fig5_query_performance(population, benchmark):
-    population["query_log"]._entries.clear()
+    population["query_log"].clear()
     queries = benchmark.pedantic(
         _replay, args=(population,), rounds=1, iterations=1
     )

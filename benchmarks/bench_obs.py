@@ -119,8 +119,16 @@ def _build_collection(n_docs: int):
 
 
 def run_benchmarks(n_docs: int = N_DOCS,
-                   iters: int = ITERS) -> Dict[str, dict]:
-    store, coll = _build_collection(n_docs)
+                   iters: int = ITERS,
+                   store: Optional[DocumentStore] = None) -> Dict[str, dict]:
+    """Core-op latency stats.  Pass a pre-built ``store`` (with the bench
+    collection already populated via :func:`_build_collection`) to measure
+    the same workloads under extra machinery — :mod:`bench_telemetry`
+    uses this to price the telemetry warehouse's recorder overhead."""
+    if store is None:
+        store, coll = _build_collection(n_docs)
+    else:
+        coll = store["bench"]["materials"]
     db = store["bench"]
 
     def bench_find(i: int) -> None:

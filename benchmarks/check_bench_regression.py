@@ -33,13 +33,22 @@ def _load(path: str) -> dict:
 
 
 def compare(baseline: dict, current: dict,
-            tolerance: float = 0.20) -> List[dict]:
-    """Per-benchmark comparison rows; ``row["regressed"]`` marks failures."""
+            tolerance: float = 0.20,
+            only: Optional[List[str]] = None) -> List[dict]:
+    """Per-benchmark comparison rows; ``row["regressed"]`` marks failures.
+
+    ``only`` restricts the gate to a subset of the baseline's benchmarks —
+    used to hold one results file against two baselines (e.g. the
+    telemetry run's hot-path ops against the bare-store obs budget, its
+    warehouse queries against their own baseline).
+    """
     base_cal = baseline["meta"]["calibration_ms"]
     cur_cal = current["meta"]["calibration_ms"]
     speed_ratio = cur_cal / base_cal if base_cal else 1.0
     rows = []
     for name, base in sorted(baseline["benchmarks"].items()):
+        if only is not None and name not in only:
+            continue
         cur = current["benchmarks"].get(name)
         if cur is None:
             rows.append({"name": name, "regressed": True,
@@ -67,10 +76,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--current", default=os.path.join(REPO_ROOT, "BENCH_obs.json"))
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional p95 regression")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated benchmark names to gate "
+                             "(default: every benchmark in the baseline)")
     args = parser.parse_args(argv)
 
+    only = ([n for n in args.only.split(",") if n]
+            if args.only is not None else None)
     rows = compare(_load(args.baseline), _load(args.current),
-                   args.tolerance)
+                   args.tolerance, only=only)
+    if not rows:
+        print("no benchmarks matched --only", file=sys.stderr)
+        return 1
     failed = False
     for row in rows:
         if "reason" in row:

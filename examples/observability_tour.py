@@ -13,11 +13,13 @@ Run:  python examples/observability_tour.py
 import urllib.request
 
 from repro.api import MaterialsAPI, MaterialsAPIServer, QueryEngine
+from repro.api.querylog import access_top
 from repro.builders import MaterialsBuilder
 from repro.docstore import DatastoreProxy, DatastoreServer, DocumentStore
 from repro.fireworks import LaunchPad, Rocket, Workflow, vasp_firework
 from repro.matgen import make_prototype, mps_from_structure
 from repro.obs import (
+    TelemetryWarehouse,
     format_provenance,
     format_trace,
     get_registry,
@@ -100,8 +102,12 @@ def main() -> None:
 
     # 8. The API server scrapes the same registry at GET /metrics, lists
     #    in-flight ops at GET /ops, and serves the DAG at GET /provenance.
+    #    With a telemetry warehouse attached it also writes every request
+    #    into the queryable telemetry.access collection.
+    warehouse = TelemetryWarehouse(store)
+    warehouse.tail_sampler.install()
     api = MaterialsAPI(QueryEngine(db))
-    with MaterialsAPIServer(api) as srv:
+    with MaterialsAPIServer(api, warehouse=warehouse) as srv:
         urllib.request.urlopen(
             f"{srv.base_url}/rest/v1/materials/NaCl/vasp/band_gap").read()
         text = urllib.request.urlopen(f"{srv.base_url}/metrics").read().decode()
@@ -110,6 +116,27 @@ def main() -> None:
              if ln.startswith("repro_api_quer") or ln.startswith("# TYPE repro_api")]
     print("[/metrics]  " + "\n[/metrics]  ".join(lines))
     print(f"[/ops]      {ops}")
+
+    # 9. The telemetry warehouse dogfoods the datastore: one tick snapshots
+    #    the metrics registry into telemetry.metrics (counters as deltas),
+    #    downsamples into rollup buckets, and the access log above is
+    #    already sitting in an indexed collection.  TTL indexes on every
+    #    telemetry collection bound retention — the reaper sweep below
+    #    deletes points planted with an already-expired timestamp.
+    tick = warehouse.tick()
+    print(f"[warehouse] tick wrote {tick['metric_points']} metric points; "
+          f"rollup mode={tick['rollup']['mode']}")
+    for row in access_top(warehouse.access.collection, by="count", limit=3):
+        print(f"[warehouse] access {row['endpoint']}: {row['count']} reqs, "
+              f"mean {row['mean_ms']:.2f}ms")
+    plan = warehouse.db["access"].explain(
+        {"endpoint": "rest/v1/materials", "ts": {"$gte": 0.0}})
+    print(f"[warehouse] access query plan: {plan['planSummary']}")
+    warehouse.db["metrics"].insert_one(
+        {"ts": 1.0, "name": "tour_stale_point", "value": 0.0})
+    reaped = store.start_ttl_reaper().sweep()
+    store.stop_ttl_reaper()
+    print(f"[warehouse] ttl sweep reaped {reaped} expired docs")
 
 
 if __name__ == "__main__":

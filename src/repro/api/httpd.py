@@ -19,7 +19,18 @@ Two operational endpoints ride alongside the data API:
   open alert reaches critical, so load balancers can act on it;
 * ``GET /alerts`` — the SLO engine's alert history (open + recent);
 * ``GET /provenance/<material_id>`` — the provenance DAG walked back
-  from one material to its source tasks and workflows.
+  from one material to its source tasks and workflows;
+* ``GET /telemetry/metrics|access|traces`` — the telemetry warehouse's
+  read surface: metrics history/rollups, access-log analytics (filters,
+  ``top=``, ``summary=1``), and tail-sampled traces;
+* ``GET /traces/<trace_id>`` — one tail-sampled trace tree (404 if the
+  trace was dropped by the sampler).
+
+When a :class:`~repro.obs.warehouse.TelemetryWarehouse` is attached,
+every request additionally lands a structured record in
+``telemetry.access`` (endpoint template, method, resolved user id,
+status, duration, request/response bytes) — the paper's usage-analytics
+story with the datastore as its own warehouse.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
@@ -40,9 +52,23 @@ __all__ = ["MaterialsAPIServer"]
 
 class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        api: MaterialsAPI = self.server.materials_api  # type: ignore[attr-defined]
+        t0 = time.perf_counter()
         parsed = urlparse(self.path)
         params = parse_qs(parsed.query)
+        self._last_status: Optional[int] = None
+        self._last_bytes = 0
+        self._request_user: Optional[str] = None
+        error: Optional[str] = None
+        try:
+            self._route(parsed, params)
+        except Exception as exc:  # noqa: BLE001 - record, then let stdlib log it
+            error = type(exc).__name__
+            raise
+        finally:
+            self._record_access(parsed.path, t0, error)
+
+    def _route(self, parsed: Any, params: dict) -> None:
+        api: MaterialsAPI = self.server.materials_api  # type: ignore[attr-defined]
         if parsed.path == "/metrics":
             self._send_bytes(
                 200, get_registry().render_text().encode("utf-8"),
@@ -61,6 +87,12 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path == "/alerts":
             self._serve_alerts()
             return
+        if parsed.path.startswith("/telemetry/"):
+            self._serve_telemetry(parsed.path, params)
+            return
+        if parsed.path.startswith("/traces/"):
+            self._serve_trace(parsed.path.rsplit("/", 1)[-1])
+            return
         if parsed.path.startswith("/provenance/"):
             self._serve_provenance(api, parsed.path.rsplit("/", 1)[-1])
             return
@@ -70,11 +102,157 @@ class _Handler(BaseHTTPRequestHandler):
         api_key = self.headers.get("X-API-KEY") or (
             params.get("API_KEY", [None])[0]
         )
+        self._request_user = self._resolve_user(api, api_key)
         envelope = api.handle(parsed.path, api_key=api_key)
         status = 200 if envelope.get("valid_response") else envelope.get(
             "status", 400
         )
         self._send_json(status, envelope)
+
+    # -- access-log warehouse --------------------------------------------
+
+    @staticmethod
+    def _endpoint_of(path: str) -> str:
+        """Bound endpoint cardinality: template away per-document ids so
+        the access warehouse groups by *route*, not by material."""
+        parts = [p for p in path.strip("/").split("/") if p]
+        if not parts:
+            return "/"
+        if parts[0] == "rest" and len(parts) >= 3:
+            return "/".join(parts[:3])  # rest/v1/materials
+        if parts[0] in ("provenance", "traces") and len(parts) > 1:
+            return f"{parts[0]}/<id>"
+        if parts[0] == "ui" and len(parts) > 2:
+            return "/".join(parts[:2]) + "/<id>"
+        return "/".join(parts)
+
+    @staticmethod
+    def _resolve_user(api: MaterialsAPI, api_key: Optional[str]) -> Optional[str]:
+        """The user id behind an API key — never the raw key (the access
+        warehouse is queryable; keys must not leak into it)."""
+        auth = getattr(api, "auth", None)
+        if api_key is None or auth is None:
+            return None
+        try:
+            return auth.authenticate_api_key(api_key).user_id
+        except Exception:  # noqa: BLE001 - bad key: recorded as anonymous
+            return None
+
+    def _record_access(self, path: str, t0: float,
+                       error: Optional[str]) -> None:
+        warehouse = getattr(self.server, "warehouse", None)
+        if warehouse is None:
+            return
+        status = self._last_status
+        if status is None:
+            status = 500  # crashed before a response was written
+        try:
+            warehouse.access.record_access(
+                endpoint=self._endpoint_of(path),
+                method=self.command or "GET",
+                user=self._request_user,
+                status=status,
+                error=error,
+                duration_ms=(time.perf_counter() - t0) * 1e3,
+                request_bytes=len(self.raw_requestline or b""),
+                response_bytes=self._last_bytes,
+            )
+        except Exception:  # noqa: BLE001 - telemetry must never break serving
+            pass
+
+    # -- telemetry warehouse endpoints -----------------------------------
+
+    def _serve_telemetry(self, path: str, params: dict) -> None:
+        """``GET /telemetry/metrics|access|traces`` — warehouse queries."""
+        warehouse = getattr(self.server, "warehouse", None)
+        if warehouse is None:
+            self._send_json(
+                404, {"error": "telemetry warehouse not attached"}
+            )
+            return
+        section = path.split("/", 2)[-1]
+        try:
+            if section == "metrics":
+                self._serve_telemetry_metrics(warehouse, params)
+            elif section == "access":
+                self._serve_telemetry_access(warehouse, params)
+            elif section == "traces":
+                limit = int(params.get("limit", ["50"])[0])
+                min_ms = params.get("min_duration_ms", [None])[0]
+                self._send_json(200, {"traces": warehouse.tail_sampler.query(
+                    min_duration_ms=(
+                        float(min_ms) if min_ms is not None else None
+                    ),
+                    status=params.get("status", [None])[0],
+                    limit=limit,
+                )})
+            else:
+                self._send_json(
+                    404, {"error": f"unknown telemetry section {section!r}"}
+                )
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _serve_telemetry_metrics(self, warehouse: Any, params: dict) -> None:
+        name = params.get("name", [None])[0]
+        if name is None:
+            self._send_json(200, {
+                "names": warehouse.metric_names(),
+                "warehouse": warehouse.stats(),
+            })
+            return
+        since = params.get("since", [None])[0]
+        until = params.get("until", [None])[0]
+        series = warehouse.metrics_series(
+            name,
+            resolution=params.get("resolution", ["raw"])[0],
+            since=float(since) if since is not None else None,
+            until=float(until) if until is not None else None,
+            limit=int(params.get("limit", ["0"])[0]),
+        )
+        self._send_json(200, {"name": name, "series": series})
+
+    def _serve_telemetry_access(self, warehouse: Any, params: dict) -> None:
+        access = warehouse.access
+        top_by = params.get("top", [None])[0]
+        if top_by is not None:
+            self._send_json(200, {"top": access.top(
+                by=top_by, limit=int(params.get("limit", ["10"])[0])
+            )})
+            return
+        if params.get("summary", [None])[0]:
+            self._send_json(200, access.summary())
+            return
+        status = params.get("status", [None])[0]
+        min_ms = params.get("min_duration_ms", [None])[0]
+        after = params.get("after", [None])[0]
+        before = params.get("before", [None])[0]
+        records = access.query_access_log(
+            endpoint=params.get("endpoint", [None])[0],
+            method=params.get("method", [None])[0],
+            user=params.get("user", [None])[0],
+            status=int(status) if status is not None else None,
+            after=float(after) if after is not None else None,
+            before=float(before) if before is not None else None,
+            min_duration_ms=float(min_ms) if min_ms is not None else None,
+            errors_only=bool(params.get("errors_only", [None])[0]),
+            limit=int(params.get("limit", ["100"])[0]),
+        )
+        self._send_json(200, {"records": records})
+
+    def _serve_trace(self, trace_id: str) -> None:
+        """``GET /traces/<trace_id>`` — one tail-sampled trace tree."""
+        warehouse = getattr(self.server, "warehouse", None)
+        if warehouse is None:
+            self._send_json(
+                404, {"error": "telemetry warehouse not attached"}
+            )
+            return
+        doc = warehouse.tail_sampler.get(trace_id)
+        if doc is None:
+            self._send_json(404, {"error": f"no sampled trace {trace_id!r}"})
+            return
+        self._send_json(200, doc)
 
     @staticmethod
     def _status_document(api: MaterialsAPI) -> dict:
@@ -142,6 +320,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        self._last_status = status
+        self._last_bytes = len(payload)
         registry = get_registry()
         registry.counter(
             "repro_http_requests_total", "HTTP requests served"
@@ -189,15 +369,18 @@ class MaterialsAPIServer:
 
     def __init__(self, api: MaterialsAPI, host: str = "127.0.0.1",
                  port: int = 0, webui: Optional[Any] = None,
-                 monitor: Optional[Any] = None):
+                 monitor: Optional[Any] = None,
+                 warehouse: Optional[Any] = None):
         self.api = api
         self.monitor = monitor if monitor is not None else (
             self._default_monitor(api)
         )
+        self.warehouse = warehouse
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.materials_api = api  # type: ignore[attr-defined]
         self._httpd.webui = webui  # type: ignore[attr-defined]
         self._httpd.health_monitor = self.monitor  # type: ignore[attr-defined]
+        self._httpd.warehouse = warehouse  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @staticmethod

@@ -1,11 +1,25 @@
-"""Per-query latency log — the measurement behind Figure 5.
+"""Access-log warehouse — structured request records in a real collection.
 
-Every query served through the QueryEngine appends an entry (timestamp,
-collection, latency, rows returned, user).  :meth:`QueryLog.histogram`
-reproduces the paper's latency histogram; :meth:`QueryLog.time_series`
-reproduces the scatterplot inset; :meth:`QueryLog.summary` gives the
-headline numbers ("3315 distinct queries returning a total of 12,951,099
-records").
+The paper's operational premise is that a datastore's own usage data is
+best served *by* the datastore: Materials Project runs its query logs and
+usage analytics through the same MongoDB that serves science.  This module
+is that loop closed.  Every served request — QueryEngine queries (the
+Figure 5 measurement), Materials API HTTP hits, and wire-protocol
+exchanges — lands as a structured record in a queryable collection
+(``telemetry.access`` in a warehouse deployment, a detached in-memory
+collection otherwise)::
+
+    {"ts": ..., "seq": 17, "endpoint": "rest/v1/materials", "method":
+     "GET", "user": "alice", "status": 200, "duration_ms": 1.8,
+     "nreturned": 10, "request_bytes": 91, "response_bytes": 2048,
+     "collection": "materials", "query": "...", "error": None}
+
+The QCFractal-style :meth:`QueryLog.query_access_log` filter surface
+answers "who hit what, when, how slowly" straight from the collection, and
+the legacy Figure 5 views (:meth:`histogram`, :meth:`time_series`,
+:meth:`summary`, :meth:`by_collection`) are reimplemented as warehouse
+queries over the same records.  Compound ``(endpoint, ts)`` and ``ts``
+indexes keep those reads on the planner's IXSCAN path.
 
 The log also feeds the shared metrics registry (:mod:`repro.obs`), so
 ``GET /metrics`` exposes the same latency distribution as
@@ -15,19 +29,151 @@ The log also feeds the shared metrics registry (:mod:`repro.obs`), so
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..docstore.collection import Collection
 from ..obs import get_registry
 
-__all__ = ["QueryLog"]
+__all__ = ["QueryLog", "ACCESS_CAP", "access_top"]
+
+#: Records kept before the oldest are evicted (capped-collection analog;
+#: a TTL index on ``ts`` usually reaps much earlier in a warehouse).
+ACCESS_CAP = 100_000
+
+_Filter = Union[str, int, Sequence[Any], None]
+
+
+def _filter_clause(value: _Filter) -> Any:
+    """One filter argument → a query condition (scalar or ``$in``)."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return {"$in": list(value)}
+    return value
+
+
+def access_top(collection: Any, by: str = "duration",
+               limit: int = 10) -> List[dict]:
+    """Endpoints ranked by total time / hits / errors over any collection
+    holding access records — a local ``telemetry.access`` or a
+    :class:`~repro.docstore.server.RemoteCollection` over the wire (the
+    CLI's remote path), since only ``aggregate`` is required."""
+    rows = collection.aggregate([
+        {"$group": {
+            "_id": "$endpoint",
+            "count": {"$sum": 1},
+            "total_ms": {"$sum": "$duration_ms"},
+            "mean_ms": {"$avg": "$duration_ms"},
+            "max_ms": {"$max": "$duration_ms"},
+            "nreturned": {"$sum": "$nreturned"},
+            "response_bytes": {"$sum": "$response_bytes"},
+        }},
+    ])
+    errors: Dict[str, int] = {}
+    for rec in collection.aggregate([
+        {"$match": {"status": {"$gte": 400}}},
+        {"$group": {"_id": "$endpoint", "errors": {"$sum": 1}}},
+    ]):
+        errors[rec["_id"]] = rec["errors"]
+    out = []
+    for row in rows:
+        out.append({
+            "endpoint": row["_id"],
+            "count": row["count"],
+            "total_ms": row["total_ms"] or 0.0,
+            "mean_ms": row["mean_ms"] or 0.0,
+            "max_ms": row["max_ms"] or 0.0,
+            "nreturned": row["nreturned"] or 0,
+            "response_bytes": row["response_bytes"] or 0,
+            "errors": errors.get(row["_id"], 0),
+        })
+    sort_key = {
+        "duration": lambda r: r["total_ms"],
+        "count": lambda r: r["count"],
+        "errors": lambda r: r["errors"],
+    }.get(by)
+    if sort_key is None:
+        raise ValueError(f"unknown top ordering {by!r}")
+    out.sort(key=sort_key, reverse=True)
+    return out[:limit] if limit else out
 
 
 class QueryLog:
-    """Thread-safe append-only log of served queries."""
+    """Thread-safe access log backed by a docstore collection.
 
-    def __init__(self) -> None:
-        self._entries: List[dict] = []
+    ``QueryLog()`` uses a detached in-memory collection (seed-era
+    behaviour, exercised heavily by the Figure 5 tests); the telemetry
+    warehouse passes ``collection=store["telemetry"]["access"]`` so
+    records persist, survive restarts, and are queryable over the wire.
+    """
+
+    def __init__(self, collection: Optional[Collection] = None,
+                 cap: int = ACCESS_CAP, ttl_s: Optional[float] = None):
+        self.collection = (
+            collection if collection is not None else Collection("access")
+        )
+        self.cap = int(cap)
+        self.ttl_s = ttl_s
         self._lock = threading.Lock()
+        self._ensure_indexes()
+        self._seq = self._resume_seq()
+
+    def _ensure_indexes(self) -> None:
+        # (endpoint, ts) serves the per-endpoint analytics; ts alone serves
+        # time-range scans, sort push-down, and doubles as the TTL key when
+        # the warehouse sets retention (``ttl_s``); seq gives stable FIFO
+        # eviction.
+        self.collection.create_index([("endpoint", 1), ("ts", 1)])
+        self.collection.create_index("ts", expire_after_seconds=self.ttl_s)
+        self.collection.create_index("seq")
+
+    def _resume_seq(self) -> int:
+        last = list(
+            self.collection.find({}, {"seq": 1}).sort([("seq", -1)]).limit(1)
+        )
+        return int(last[0].get("seq", -1)) + 1 if last else 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_access(
+        self,
+        endpoint: str,
+        method: str = "GET",
+        user: Optional[str] = None,
+        status: int = 200,
+        duration_ms: float = 0.0,
+        nreturned: int = 0,
+        request_bytes: int = 0,
+        response_bytes: int = 0,
+        ts: Optional[float] = None,
+        collection: Optional[str] = None,
+        query_repr: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> dict:
+        """Append one structured access record; returns the stored doc."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        record = {
+            "ts": time.time() if ts is None else float(ts),
+            "seq": seq,
+            "endpoint": endpoint,
+            "method": method,
+            "user": user,
+            "status": int(status),
+            "error": error,
+            "duration_ms": float(duration_ms),
+            "nreturned": int(nreturned),
+            "request_bytes": int(request_bytes),
+            "response_bytes": int(response_bytes),
+            "collection": collection,
+            "query": query_repr,
+        }
+        self.collection.insert_one(record)
+        self._evict()
+        get_registry().counter(
+            "repro_api_access_total", "access records written"
+        ).inc(1, method=method)
+        return record
 
     def record(
         self,
@@ -38,19 +184,17 @@ class QueryLog:
         ts: Optional[float] = None,
         query_repr: Optional[str] = None,
     ) -> None:
-        import time
-
-        with self._lock:
-            self._entries.append(
-                {
-                    "ts": time.time() if ts is None else ts,
-                    "collection": collection,
-                    "millis": float(millis),
-                    "nreturned": int(nreturned),
-                    "user": user,
-                    "query": query_repr,
-                }
-            )
+        """Legacy QueryEngine entry point (Figure 5 measurement path)."""
+        self.record_access(
+            endpoint=f"query/{collection}",
+            method="QUERY",
+            user=user,
+            duration_ms=millis,
+            nreturned=nreturned,
+            ts=ts,
+            collection=collection,
+            query_repr=query_repr,
+        )
         registry = get_registry()
         registry.counter(
             "repro_api_queries_total", "queries served by the QueryEngine"
@@ -59,16 +203,100 @@ class QueryLog:
             "repro_api_query_millis", "QueryEngine latency"
         ).observe(float(millis), collection=collection)
 
+    def _evict(self) -> None:
+        while self.collection.count_documents() > self.cap:
+            if self.collection.find_one_and_delete(
+                {}, sort=[("seq", 1)]
+            ) is None:
+                break
+
+    def clear(self) -> None:
+        """Drop every record (test/benchmark isolation)."""
+        self.collection.delete_many({})
+
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return self.collection.count_documents()
+
+    # -- the analytics query surface ----------------------------------------
+
+    def query_access_log(
+        self,
+        endpoint: _Filter = None,
+        method: _Filter = None,
+        user: _Filter = None,
+        status: _Filter = None,
+        collection: _Filter = None,
+        before: Optional[float] = None,
+        after: Optional[float] = None,
+        min_duration_ms: Optional[float] = None,
+        errors_only: bool = False,
+        limit: int = 0,
+        skip: int = 0,
+    ) -> List[dict]:
+        """Filtered access records, most recent first (QCFractal style).
+
+        Scalar filters match exactly; list filters become ``$in``.  Time
+        bounds are epoch seconds; ``errors_only`` keeps records whose
+        status is >= 400 or that carry an ``error`` type.
+        """
+        query: Dict[str, Any] = {}
+        for fname, value in (
+            ("endpoint", endpoint), ("method", method), ("user", user),
+            ("status", status), ("collection", collection),
+        ):
+            if value is not None:
+                query[fname] = _filter_clause(value)
+        ts_bounds: Dict[str, float] = {}
+        if after is not None:
+            ts_bounds["$gte"] = float(after)
+        if before is not None:
+            ts_bounds["$lt"] = float(before)
+        if ts_bounds:
+            query["ts"] = ts_bounds
+        if min_duration_ms is not None:
+            query["duration_ms"] = {"$gte": float(min_duration_ms)}
+        if errors_only:
+            query["$or"] = [
+                {"status": {"$gte": 400}},
+                {"error": {"$ne": None}},
+            ]
+        cursor = self.collection.find(query, {"_id": 0}).sort(
+            [("ts", -1), ("seq", -1)]
+        )
+        if skip:
+            cursor = cursor.skip(int(skip))
+        if limit:
+            cursor = cursor.limit(int(limit))
+        return list(cursor)
+
+    def top(self, by: str = "duration", limit: int = 10) -> List[dict]:
+        """Endpoints ranked by total time (``by="duration"``), hit count
+        (``"count"``), or error count (``"errors"``) — the data behind
+        ``repro telemetry top``."""
+        return access_top(self.collection, by=by, limit=limit)
+
+    # -- legacy Fig. 5 views (now warehouse queries) -------------------------
 
     @property
     def entries(self) -> List[dict]:
-        with self._lock:
-            return list(self._entries)
+        """Records in arrival order, shaped like the seed-era log entries."""
+        return [
+            {
+                "ts": doc["ts"],
+                "collection": doc.get("collection") or doc.get("endpoint"),
+                "millis": doc.get("duration_ms", 0.0),
+                "nreturned": doc.get("nreturned", 0),
+                "user": doc.get("user"),
+                "query": doc.get("query"),
+            }
+            for doc in self.collection.find({}).sort([("seq", 1)])
+        ]
 
-    # -- Fig. 5 views --------------------------------------------------------
+    def _durations(self) -> List[float]:
+        return [
+            doc.get("duration_ms", 0.0)
+            for doc in self.collection.find({}, {"duration_ms": 1})
+        ]
 
     def histogram(
         self, bin_edges_ms: Optional[Sequence[float]] = None
@@ -84,8 +312,7 @@ class QueryLog:
             else [0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000]
         )
         counts = [0] * (len(edges) + 1)
-        for entry in self.entries:
-            ms = entry["millis"]
+        for ms in self._durations():
             placed = False
             for i, edge in enumerate(edges):
                 if ms < edge:
@@ -103,23 +330,42 @@ class QueryLog:
         return rows
 
     def time_series(self) -> List[Tuple[float, float]]:
-        """(timestamp, millis) pairs in time order — the inset scatter."""
-        return sorted((e["ts"], e["millis"]) for e in self.entries)
+        """(timestamp, millis) pairs in time order — the inset scatter.
+
+        Served by an index-ordered scan on ``ts`` (sort push-down)."""
+        return [
+            (doc["ts"], doc.get("duration_ms", 0.0))
+            for doc in self.collection.find(
+                {}, {"ts": 1, "duration_ms": 1}
+            ).sort([("ts", 1)])
+        ]
 
     def percentile(self, p: float) -> float:
         from ..obs import percentile as _percentile
 
-        return _percentile([e["millis"] for e in self.entries], p)
+        return _percentile(self._durations(), p)
 
     def summary(self) -> dict:
-        entries = self.entries
-        if not entries:
+        n = self.collection.count_documents()
+        if not n:
             return {"queries": 0, "records_returned": 0}
-        lat = [e["millis"] for e in entries]
+        grouped = self.collection.aggregate([
+            {"$group": {
+                "_id": None,
+                "records_returned": {"$sum": "$nreturned"},
+            }},
+        ])
+        users = {
+            doc["user"]
+            for doc in self.collection.find(
+                {"user": {"$ne": None}}, {"user": 1}
+            )
+        }
+        lat = self._durations()
         return {
-            "queries": len(entries),
-            "records_returned": sum(e["nreturned"] for e in entries),
-            "distinct_users": len({e["user"] for e in entries if e["user"]}),
+            "queries": n,
+            "records_returned": grouped[0]["records_returned"] if grouped else 0,
+            "distinct_users": len(users),
             "median_ms": self.percentile(50),
             "p95_ms": self.percentile(95),
             "p99_ms": self.percentile(99),
@@ -128,14 +374,20 @@ class QueryLog:
         }
 
     def by_collection(self) -> Dict[str, dict]:
-        out: Dict[str, List[float]] = {}
-        for entry in self.entries:
-            out.setdefault(entry["collection"], []).append(entry["millis"])
+        rows = self.collection.aggregate([
+            {"$match": {"collection": {"$ne": None}}},
+            {"$group": {
+                "_id": "$collection",
+                "queries": {"$sum": 1},
+                "mean_ms": {"$avg": "$duration_ms"},
+                "max_ms": {"$max": "$duration_ms"},
+            }},
+        ])
         return {
-            coll: {
-                "queries": len(ms),
-                "mean_ms": sum(ms) / len(ms),
-                "max_ms": max(ms),
+            row["_id"]: {
+                "queries": row["queries"],
+                "mean_ms": row["mean_ms"] or 0.0,
+                "max_ms": row["max_ms"] or 0.0,
             }
-            for coll, ms in out.items()
+            for row in rows
         }

@@ -144,20 +144,57 @@ def cmd_vnv(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     store = _open_store(args)
-    qe = QueryEngine(store["mp"])
+    db = store["mp"]
+    warehouse = None
+    monitor = None
+    query_log = None
+    if not args.no_telemetry:
+        from .obs.health import HealthMonitor
+        from .obs.slo import default_rules
+        from .obs.warehouse import TelemetryWarehouse
+
+        warehouse = TelemetryWarehouse(store)
+        warehouse.tail_sampler.install()
+        warehouse.watch_profile(db)
+        warehouse.start(interval_s=args.telemetry_interval)
+        query_log = warehouse.access
+        # Alerts live in telemetry.alerts: open alerts survive restarts.
+        monitor = HealthMonitor(
+            engine=warehouse.slo_engine(default_rules(db))
+        )
+    qe = QueryEngine(db, query_log=query_log)
     api = MaterialsAPI(qe)
-    webui = WebUI(qe, AnnotationStore(store["mp"]))
-    server = MaterialsAPIServer(api, port=args.port, webui=webui)
+    webui = WebUI(qe, AnnotationStore(db))
+    server = MaterialsAPIServer(api, port=args.port, webui=webui,
+                                monitor=monitor, warehouse=warehouse)
     server.start()
+    wire = None
+    if args.wire_port is not None:
+        from .docstore.server import DatastoreServer
+
+        wire = DatastoreServer(
+            store, port=args.wire_port,
+            access_log=warehouse.access if warehouse else None,
+        ).start()
+        print(f"wire protocol on {wire.address[0]}:{wire.port}")
     print(f"Materials API + Web UI on {server.base_url} "
           f"(try {server.base_url}/ui) — Ctrl-C to stop")
+    if warehouse is not None:
+        print(f"telemetry warehouse recording every "
+              f"{args.telemetry_interval:g}s "
+              f"(try {server.base_url}/telemetry/access?top=duration)")
     try:
         import time
 
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
+        if wire is not None:
+            wire.stop()
         server.stop()
+        if warehouse is not None:
+            warehouse.stop()
+        store.close()
     return 0
 
 
@@ -275,13 +312,130 @@ def cmd_create_index(args: argparse.Namespace) -> int:
     try:
         coll = target[args.db][args.coll]
         name = coll.create_index(_parse_keys(args.keys),
-                                 unique=args.unique, name=args.name)
+                                 unique=args.unique, name=args.name,
+                                 expire_after_seconds=args.expire_after)
         if hasattr(target, "snapshot"):
             target.snapshot()
     finally:
         close()
-    print(f"created index {name} on {args.db}.{args.coll}")
+    ttl = (f" (TTL {args.expire_after:g}s)"
+           if args.expire_after is not None else "")
+    print(f"created index {name} on {args.db}.{args.coll}{ttl}")
     return 0
+
+
+def _find_docs(coll, query=None, projection=None, sort=None, limit=0):
+    """find() over a local Collection (cursor API) or a RemoteCollection
+    (kwargs API) — the telemetry commands work against either."""
+    from .docstore.server import RemoteCollection
+
+    if isinstance(coll, RemoteCollection):
+        return coll.find(query or {}, projection, sort=sort,
+                         limit=int(limit))
+    cursor = coll.find(query or {}, projection)
+    if sort:
+        cursor = cursor.sort(sort)
+    if limit:
+        cursor = cursor.limit(int(limit))
+    return list(cursor)
+
+
+def _fmt_ts(ts: float) -> str:
+    import time
+
+    return time.strftime("%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """``repro telemetry top|trends|access`` — warehouse analytics, local
+    or over the wire (the collections are plain data, so a RemoteClient
+    answers the same queries a local store does)."""
+    target, close = _monitor_target(args)
+    try:
+        tdb = target["telemetry"]
+        if args.action == "top":
+            from .api.querylog import access_top
+
+            rows = access_top(tdb["access"], by=args.by, limit=args.limit)
+            if args.json:
+                print(json.dumps(rows, default=str))
+                return 0
+            print(f"{'endpoint':<32s}{'count':>8s}{'errors':>8s}"
+                  f"{'total(ms)':>12s}{'mean(ms)':>10s}{'max(ms)':>10s}")
+            for r in rows:
+                print(f"{str(r['endpoint']):<32s}{r['count']:>8d}"
+                      f"{r['errors']:>8d}{r['total_ms']:>12.1f}"
+                      f"{r['mean_ms']:>10.2f}{r['max_ms']:>10.2f}")
+            return 0
+        if args.action == "access":
+            query = {}
+            if args.endpoint:
+                query["endpoint"] = args.endpoint
+            if args.user:
+                query["user"] = args.user
+            if args.status is not None:
+                query["status"] = args.status
+            if args.errors_only:
+                query["$or"] = [{"status": {"$gte": 400}},
+                                {"error": {"$ne": None}}]
+            records = _find_docs(
+                tdb["access"], query, {"_id": 0},
+                sort=[("ts", -1), ("seq", -1)], limit=args.limit,
+            )
+            if args.json:
+                for rec in records:
+                    print(json.dumps(rec, default=str))
+                return 0
+            for rec in records:
+                user = rec.get("user") or "-"
+                err = f"  !{rec['error']}" if rec.get("error") else ""
+                print(f"{_fmt_ts(rec.get('ts', 0.0))}  {rec.get('status', 0):3d}  "
+                      f"{rec.get('method', '-'):5s} "
+                      f"{str(rec.get('endpoint')):<32s}"
+                      f"{rec.get('duration_ms', 0.0):>9.2f} ms  {user}{err}")
+            print(f"({len(records)} records)", file=sys.stderr)
+            return 0
+        # trends: metrics history (raw) or rollup buckets (1m / 1h)
+        if not args.name:
+            names = tdb["metrics"].distinct("name")
+            for name in sorted(names):
+                print(name)
+            print(f"({len(names)} metrics with history; "
+                  "pick one with --name)", file=sys.stderr)
+            return 0
+        if args.resolution == "raw":
+            rows = _find_docs(
+                tdb["metrics"], {"name": args.name}, {"_id": 0},
+                sort=[("ts", 1)], limit=0,
+            )
+        else:
+            rows = _find_docs(
+                tdb["metrics_rollup"],
+                {"name": args.name, "resolution": args.resolution},
+                {"_id": 0}, sort=[("ts", 1)], limit=0,
+            )
+        if args.limit:
+            rows = rows[-args.limit:]
+        if args.json:
+            for row in rows:
+                print(json.dumps(row, default=str))
+            return 0
+        if args.resolution == "raw":
+            for row in rows:
+                print(f"{_fmt_ts(row['ts'])}  {row.get('value', 0.0):>12.4g}"
+                      f"  {row.get('labels_key', '')}")
+        else:
+            print(f"{'bucket':<15s}{'count':>7s}{'mean':>12s}{'min':>12s}"
+                  f"{'max':>12s}{'p95':>12s}  labels")
+            for row in rows:
+                print(f"{_fmt_ts(row['ts']):<15s}{row['count']:>7d}"
+                      f"{row['mean']:>12.4g}{row['min']:>12.4g}"
+                      f"{row['max']:>12.4g}{row['p95']:>12.4g}"
+                      f"  {row.get('labels_key', '')}")
+        print(f"({len(rows)} points)", file=sys.stderr)
+        return 0
+    finally:
+        close()
 
 
 def cmd_plan_cache(args: argparse.Namespace) -> int:
@@ -368,6 +522,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve", help="serve the Materials API + Web UI")
     p.add_argument("--port", type=int, default=8899)
+    p.add_argument("--wire-port", type=int,
+                   help="also serve the wire protocol on this port")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the telemetry warehouse (metrics history, "
+                        "access log, tail-sampled traces, TTL retention)")
+    p.add_argument("--telemetry-interval", type=float, default=5.0,
+                   help="seconds between warehouse recording passes")
     p.set_defaults(fn=cmd_serve)
 
     for name, help_text in (
@@ -415,8 +576,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help='key spec, e.g. "formula:1,e_above_hull:-1"')
     p.add_argument("--unique", action="store_true")
     p.add_argument("--name", help="index name (defaults to key-derived)")
+    p.add_argument("--expire-after", type=float,
+                   help="TTL: expire documents whose (single) key field is "
+                        "an epoch-seconds timestamp older than this many "
+                        "seconds")
     _add_wire_target(p)
     p.set_defaults(fn=cmd_create_index)
+
+    p = sub.add_parser("telemetry",
+                       help="telemetry warehouse analytics (top/trends/"
+                            "access)")
+    p.add_argument("action", choices=["top", "trends", "access"])
+    p.add_argument("--by", default="duration",
+                   choices=["duration", "count", "errors"],
+                   help="ranking for 'top'")
+    p.add_argument("--name", help="metric name for 'trends'")
+    p.add_argument("--resolution", default="raw",
+                   choices=["raw", "1m", "1h"],
+                   help="metrics history granularity for 'trends'")
+    p.add_argument("--endpoint", help="filter 'access' by endpoint")
+    p.add_argument("--user", help="filter 'access' by user id")
+    p.add_argument("--status", type=int, help="filter 'access' by status")
+    p.add_argument("--errors-only", action="store_true",
+                   help="only failed requests (status >= 400 or error)")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser("plan-cache", help="plan-cache counters and size")
     p.add_argument("--db", default="mp")

@@ -701,7 +701,8 @@ class Collection:
     # -- indexes ---------------------------------------------------------------
 
     def create_index(
-        self, keys: Any, unique: bool = False, name: Optional[str] = None
+        self, keys: Any, unique: bool = False, name: Optional[str] = None,
+        expire_after_seconds: Optional[float] = None
     ) -> str:
         """Create (and bulk-backfill) an index; returns its name.
 
@@ -710,19 +711,33 @@ class Collection:
         with an identical spec is a no-op; reusing a name for a different
         spec is an error.  Creating or dropping an index invalidates the
         collection's plan cache.
+
+        ``expire_after_seconds`` marks the index as a TTL index: documents
+        whose *first* indexed field holds an epoch-seconds number older
+        than ``now - expire_after_seconds`` are removed by
+        :meth:`reap_expired` (usually driven by the store's background
+        reaper).  Unlike MongoDB's date-typed TTL, expiry here follows the
+        repo's ``ts``-as-epoch-float convention; non-numeric values never
+        expire (type-bracketed ``$lt``).
         """
         spec = normalize_index_spec(keys)
         index_name = name or default_index_name(spec)
+        ttl = (
+            float(expire_after_seconds)
+            if expire_after_seconds is not None else None
+        )
         with self._lock.write():
             existing = self._indexes.get(index_name)
             if existing is not None:
-                if existing.keys == spec and existing.unique == unique:
+                if (existing.keys == spec and existing.unique == unique
+                        and existing.expire_after_seconds == ttl):
                     return index_name
                 raise DocstoreError(
                     f"index {index_name!r} already exists with a "
                     "different spec"
                 )
-            index = self._indexes.create(spec, unique=unique, name=index_name)
+            index = self._indexes.create(spec, unique=unique, name=index_name,
+                                         expire_after_seconds=ttl)
             try:
                 index.build(sorted(self._docs.items()))
             except DocstoreError:
@@ -743,15 +758,56 @@ class Collection:
             self._planner.invalidate()
 
     def index_information(self) -> Dict[str, dict]:
-        return {
-            ix.name: {
+        out: Dict[str, dict] = {}
+        for ix in self._indexes.all():
+            info = {
                 "field": ix.field,
                 "key": [list(k) for k in ix.keys],
                 "unique": ix.unique,
                 "entries": len(ix),
             }
-            for ix in self._indexes.all()
-        }
+            if ix.expire_after_seconds is not None:
+                info["expireAfterSeconds"] = ix.expire_after_seconds
+            out[ix.name] = info
+        return out
+
+    # -- TTL retention ---------------------------------------------------------
+
+    def ttl_info(self) -> List[dict]:
+        """The collection's TTL indexes as ``{name, field,
+        expire_after_seconds}`` rows (empty for most collections — the
+        store's reaper uses this to skip them cheaply)."""
+        with self._lock.read():
+            return [
+                {
+                    "name": ix.name,
+                    "field": ix.field,
+                    "expire_after_seconds": ix.expire_after_seconds,
+                }
+                for ix in self._indexes.ttl_indexes()
+            ]
+
+    def reap_expired(self, now: Optional[float] = None) -> int:
+        """Delete documents past every TTL index's retention window.
+
+        Expiry goes through the normal :meth:`delete_many` path, so change
+        streams, replication, and the journal all observe the deletes —
+        TTL is a real engine feature, not a storage-side vacuum.  Returns
+        the number of documents removed.
+        """
+        ttl = self.ttl_info()
+        if not ttl:
+            return 0
+        if now is None:
+            now = time.time()
+        removed = 0
+        for info in ttl:
+            cutoff = now - info["expire_after_seconds"]
+            # Type-bracketed $lt: only numeric (epoch-seconds) values can
+            # expire; strings/dates-as-strings are left alone.
+            result = self.delete_many({info["field"]: {"$lt": cutoff}})
+            removed += result.deleted_count
+        return removed
 
     def index_stats(self) -> List[dict]:
         """``$indexStats``-style usage accounting, one document per index.

@@ -362,6 +362,7 @@ class DocumentStore:
         self._databases: Dict[str, Database] = {}
         self._lock = threading.RLock()
         self._ops = OperationRegistry()
+        self._ttl_reaper: Optional[Any] = None
         self.persistence_dir = persistence_dir
         self._persistence = None
         if persistence_dir is not None:
@@ -436,6 +437,8 @@ class DocumentStore:
         }
         if self._persistence is not None:
             out["journal"] = self._persistence.journal_stats()
+        if self._ttl_reaper is not None:
+            out["ttl"] = self._ttl_reaper.stats()
         return out
 
     # -- live operation introspection -------------------------------------
@@ -454,6 +457,40 @@ class DocumentStore:
             raise DocstoreError("store has no persistence directory")
         self._persistence.snapshot()
 
+    # -- TTL retention -----------------------------------------------------
+
+    def start_ttl_reaper(self, interval_s: Optional[float] = None) -> Any:
+        """Start (or return) the store's background TTL reaper.
+
+        Collections with ``create_index(..., expire_after_seconds=N)``
+        indexes get swept every ``interval_s`` seconds; see
+        :mod:`repro.docstore.ttl`.
+        """
+        from .ttl import DEFAULT_INTERVAL_S, TTLReaper
+
+        with self._lock:
+            if self._ttl_reaper is None:
+                self._ttl_reaper = TTLReaper(
+                    self,
+                    interval_s=(DEFAULT_INTERVAL_S if interval_s is None
+                                else interval_s),
+                )
+            elif interval_s is not None:
+                self._ttl_reaper.interval_s = float(interval_s)
+            reaper = self._ttl_reaper
+        return reaper.start()
+
+    def stop_ttl_reaper(self) -> None:
+        with self._lock:
+            reaper = self._ttl_reaper
+        if reaper is not None:
+            reaper.stop()
+
+    @property
+    def ttl_reaper(self) -> Any:
+        return self._ttl_reaper
+
     def close(self) -> None:
+        self.stop_ttl_reaper()
         if self._persistence is not None:
             self._persistence.close()

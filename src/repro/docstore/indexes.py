@@ -199,11 +199,22 @@ class Index:
     """
 
     def __init__(self, keys: Any, unique: bool = False,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 expire_after_seconds: Optional[float] = None):
         self.keys: List[Tuple[str, int]] = normalize_index_spec(keys)
         self.fields: List[str] = [f for f, _ in self.keys]
         self.directions: List[int] = [d for _, d in self.keys]
         self.unique = unique
+        if expire_after_seconds is not None:
+            expire_after_seconds = float(expire_after_seconds)
+            if expire_after_seconds < 0:
+                raise DocstoreError(
+                    "expire_after_seconds must be non-negative"
+                )
+        #: TTL retention: documents whose first indexed field holds an
+        #: epoch-seconds number older than ``now - expire_after_seconds``
+        #: are eligible for the reaper (None = no expiry).
+        self.expire_after_seconds = expire_after_seconds
         self.name = name or default_index_name(self.keys)
         #: Sticky flag: True once any document contributed an array value.
         self.multikey = False
@@ -562,10 +573,19 @@ class IndexManager:
         self._indexes: Dict[str, Index] = {}
 
     def create(self, keys: Any, unique: bool = False,
-               name: Optional[str] = None) -> Index:
-        index = Index(keys, unique=unique, name=name)
+               name: Optional[str] = None,
+               expire_after_seconds: Optional[float] = None) -> Index:
+        index = Index(keys, unique=unique, name=name,
+                      expire_after_seconds=expire_after_seconds)
         self._indexes[index.name] = index
         return index
+
+    def ttl_indexes(self) -> List[Index]:
+        """Indexes carrying an ``expire_after_seconds`` retention policy."""
+        return [
+            ix for ix in self._indexes.values()
+            if ix.expire_after_seconds is not None
+        ]
 
     def drop(self, name: str) -> None:
         self._indexes.pop(name, None)

@@ -413,7 +413,10 @@ class PersistenceManager:
                                 else:
                                     keys = ix["field"]
                                 coll.create_index(
-                                    keys, unique=ix["unique"], name=ix_name
+                                    keys, unique=ix["unique"], name=ix_name,
+                                    expire_after_seconds=ix.get(
+                                        "expireAfterSeconds"
+                                    ),
                                 )
             max_seq = snapshot_seq
             if os.path.exists(self._journal_path):

@@ -52,7 +52,9 @@ class _Handler(socketserver.StreamRequestHandler):
             line = self.rfile.readline()
             if not line:
                 break
+            t0 = time.perf_counter()
             error_type = None
+            request: Optional[Mapping[str, Any]] = None
             try:
                 request = document_from_json(line.decode("utf-8"))
                 response = server.dispatch(request)
@@ -80,6 +82,13 @@ class _Handler(socketserver.StreamRequestHandler):
             registry.counter(
                 "repro_wire_bytes_total", "wire-protocol traffic"
             ).inc(len(line) + len(encoded), **labels)
+            # Access-log warehouse: recorded before the response write and
+            # regardless of dispatch outcome, mirroring the byte accounting
+            # above — a request that failed mid-dispatch (or never parsed)
+            # still leaves an access record carrying its error status.
+            server._record_access(
+                request, error_type, t0, len(line), len(encoded)
+            )
             try:
                 fault = server._response_fault
                 if fault is not None:
@@ -110,16 +119,45 @@ class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
 class DatastoreServer:
     """Serves a :class:`DocumentStore` over TCP (one JSON doc per line)."""
 
-    def __init__(self, store: Optional[DocumentStore] = None, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, store: Optional[DocumentStore] = None, host: str = "127.0.0.1", port: int = 0,
+                 access_log: Optional[Any] = None):
         self.store = store or DocumentStore()
         self._tcp = _ThreadingTCPServer((host, port), _Handler)
         self._tcp.datastore_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self.requests_served = 0
         self._stats_lock = threading.Lock()
+        # Optional access-log warehouse (``repro.api.querylog.QueryLog``):
+        # when attached, every wire exchange — including ones that fail
+        # during parse or dispatch — leaves a ``telemetry.access`` record.
+        # Opt-in because recording writes through the same store and would
+        # perturb opcounter-sensitive tests and benchmarks.
+        self.access_log = access_log
         # Test hook: ``fn(wfile, encoded)`` replaces the response write so
         # chaos tests can fail mid-frame; None in production.
         self._response_fault = None
+
+    def _record_access(self, request: Optional[Mapping[str, Any]],
+                       error_type: Optional[str], t0: float,
+                       request_bytes: int, response_bytes: int) -> None:
+        log = self.access_log
+        if log is None:
+            return
+        op = str(request.get("op")) if request else "invalid"
+        try:
+            log.record_access(
+                endpoint=f"wire/{op}",
+                method="WIRE",
+                user=(request or {}).get("user"),
+                status=500 if error_type else 200,
+                error=error_type,
+                duration_ms=(time.perf_counter() - t0) * 1e3,
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+                collection=(request or {}).get("coll"),
+            )
+        except Exception:  # noqa: BLE001 - telemetry must never break serving
+            pass
 
     @property
     def address(self) -> tuple:
@@ -300,7 +338,8 @@ class DatastoreServer:
         else:
             keys = [(f, d) for f, d in keys]
         return coll.create_index(
-            keys, unique=req.get("unique", False), name=req.get("name")
+            keys, unique=req.get("unique", False), name=req.get("name"),
+            expire_after_seconds=req.get("expire_after_seconds"),
         )
 
     @staticmethod
@@ -401,20 +440,24 @@ class RemoteCollection:
         return self._call("aggregate", pipeline=pipeline)
 
     def create_index(self, keys: Any, unique: bool = False,
-                     name: Optional[str] = None) -> str:
+                     name: Optional[str] = None,
+                     expire_after_seconds: Optional[float] = None) -> str:
         """Create a single-field or compound index on the remote collection.
 
         ``keys`` takes anything the in-process API takes: a field name or a
-        ``[("formula", 1), ("e_above_hull", -1)]`` key list.
+        ``[("formula", 1), ("e_above_hull", -1)]`` key list;
+        ``expire_after_seconds`` makes it a TTL index, as in-process.
         """
         if isinstance(keys, str):
             return self._call("create_index", field=keys, unique=unique,
-                              name=name)
+                              name=name,
+                              expire_after_seconds=expire_after_seconds)
         return self._call(
             "create_index",
             keys=[list(p) for p in normalize_index_spec(keys)],
             unique=unique,
             name=name,
+            expire_after_seconds=expire_after_seconds,
         )
 
     def stats(self) -> dict:

@@ -31,7 +31,11 @@ Fleet-health tooling builds on that substrate:
   an :class:`SLOEngine` that opens/resolves alert documents in a capped
   ``system.alerts`` history collection;
 * :mod:`.advisor` — the slow-query index advisor mining ``system.profile``
-  COLLSCAN shapes into verified ``create_index`` recommendations.
+  COLLSCAN shapes into verified ``create_index`` recommendations;
+* :mod:`.warehouse` — the self-hosted telemetry warehouse: metrics
+  history with incremental rollups, the access-log warehouse, tail-sampled
+  traces, and a persisted profile mirror, all stored in a ``telemetry``
+  database with TTL retention — the datastore dogfooding itself.
 """
 
 from .logging import RedactingFormatter, get_logger, log_event, redact
@@ -47,12 +51,14 @@ from .metrics import (
 from .tracing import (
     Span,
     active_span,
+    add_tail_sampler,
     clear_traces,
     current_span,
     export_traces,
     format_trace,
     recent_traces,
     remote_span,
+    remove_tail_sampler,
     span,
     stitch_spans,
     trace_context,
@@ -74,6 +80,13 @@ from .slo import (
     default_rules,
 )
 from .advisor import IndexAdvisor, IndexRecommendation
+from .warehouse import (
+    MetricsHistoryRecorder,
+    MetricsRollupBuilder,
+    TailSampler,
+    TelemetryWarehouse,
+    labels_key,
+)
 
 __all__ = [
     "Counter",
@@ -113,4 +126,11 @@ __all__ = [
     "default_rules",
     "IndexAdvisor",
     "IndexRecommendation",
+    "add_tail_sampler",
+    "remove_tail_sampler",
+    "TelemetryWarehouse",
+    "MetricsHistoryRecorder",
+    "MetricsRollupBuilder",
+    "TailSampler",
+    "labels_key",
 ]

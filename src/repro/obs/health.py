@@ -228,15 +228,23 @@ class HealthMonitor:
     """
 
     def __init__(self, db: Any = None, rules: Optional[List[Any]] = None,
-                 alert_collection: str = "system.alerts"):
+                 alert_collection: str = "system.alerts",
+                 engine: Optional[Any] = None):
         from .slo import SLOEngine, default_rules
 
         self.db = db
-        self.engine = (
-            SLOEngine(db, rules if rules is not None else default_rules(db),
-                      collection=alert_collection)
-            if db is not None else None
-        )
+        if engine is not None:
+            # A pre-built engine (e.g. the telemetry warehouse's, whose
+            # alert history lives in ``telemetry.alerts`` and survives
+            # restarts) takes precedence over constructing one from db.
+            self.engine = engine
+        else:
+            self.engine = (
+                SLOEngine(db,
+                          rules if rules is not None else default_rules(db),
+                          collection=alert_collection)
+                if db is not None else None
+            )
         self._replica_sets: List[Any] = []
         self._sharded: Dict[str, Any] = {}
         self._streams: Dict[str, Any] = {}

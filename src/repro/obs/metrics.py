@@ -31,6 +31,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MAX_LABEL_SETS",
+    "OVERFLOW_LABEL_VALUE",
     "get_registry",
     "set_registry",
     "percentile",
@@ -38,6 +40,18 @@ __all__ = [
 
 #: Samples kept per histogram series (oldest evicted first).
 HISTOGRAM_RESERVOIR = 10_000
+
+#: Distinct label-value sets kept per metric.  Past the cap, new label
+#: combinations collapse into one ``__other__`` series and
+#: ``repro_obs_label_overflow_total{metric=...}`` counts the collisions —
+#: a warehouse-stamped label (user id, endpoint path) can skew the tail
+#: but can no longer grow memory without bound.
+MAX_LABEL_SETS = 512
+
+#: Label value absorbing over-cap series.
+OVERFLOW_LABEL_VALUE = "__other__"
+
+_OVERFLOW_METRIC = "repro_obs_label_overflow_total"
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -88,8 +102,39 @@ class _Metric:
         self.name = name
         self.help = help_text
         self._lock = threading.Lock()
+        #: Cardinality bound, fixed at creation; the registry that created
+        #: this metric (for overflow accounting) is attached afterwards.
+        self.max_label_sets = MAX_LABEL_SETS
+        self._registry: Optional["MetricsRegistry"] = None
+
+    def _bounded_key(self, key: LabelKey) -> Tuple[LabelKey, bool]:
+        """Clamp a new series key once the cardinality cap is hit.
+
+        Must be called with ``self._lock`` held.  Existing series keep
+        updating; a *new* over-cap combination is rewritten to the
+        ``__other__`` bucket (which is always admitted).
+        """
+        series = self._series  # type: ignore[attr-defined]
+        if not key or key in series or len(series) < self.max_label_sets:
+            return key, False
+        overflow = tuple((k, OVERFLOW_LABEL_VALUE) for k, _ in key)
+        return overflow, True
+
+    def _note_overflow(self) -> None:
+        """Count one clamped series (outside ``self._lock``)."""
+        registry = self._registry
+        if registry is None or self.name == _OVERFLOW_METRIC:
+            return
+        registry.counter(
+            _OVERFLOW_METRIC,
+            "label-value sets collapsed into __other__ by the "
+            "per-metric cardinality cap",
+        ).inc(1, metric=self.name)
 
     def render(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def collect(self) -> dict:  # pragma: no cover - overridden
         raise NotImplementedError
 
 
@@ -107,7 +152,10 @@ class Counter(_Metric):
             raise ReproError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
         with self._lock:
+            key, overflowed = self._bounded_key(key)
             self._series[key] = self._series.get(key, 0.0) + amount
+        if overflowed:
+            self._note_overflow()
 
     def value(self, **labels: Any) -> float:
         with self._lock:
@@ -146,6 +194,17 @@ class Counter(_Metric):
                 )
         return lines
 
+    def collect(self) -> dict:
+        with self._lock:
+            items = sorted(self._series.items())
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "series": [
+                {"labels": dict(k), "value": v} for k, v in items
+            ],
+        }
+
 
 class Gauge(_Metric):
     """A value that can go up and down (queue depth, active sessions)."""
@@ -157,13 +216,20 @@ class Gauge(_Metric):
         self._series: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
         with self._lock:
-            self._series[_label_key(labels)] = float(value)
+            key, overflowed = self._bounded_key(key)
+            self._series[key] = float(value)
+        if overflowed:
+            self._note_overflow()
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         key = _label_key(labels)
         with self._lock:
+            key, overflowed = self._bounded_key(key)
             self._series[key] = self._series.get(key, 0.0) + amount
+        if overflowed:
+            self._note_overflow()
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
         self.inc(-amount, **labels)
@@ -180,6 +246,17 @@ class Gauge(_Metric):
                     f"{self.name}{_render_labels(key)} {self._series[key]:g}"
                 )
         return lines
+
+    def collect(self) -> dict:
+        with self._lock:
+            items = sorted(self._series.items())
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "series": [
+                {"labels": dict(k), "value": v} for k, v in items
+            ],
+        }
 
 
 class _HistogramSeries:
@@ -204,12 +281,15 @@ class Histogram(_Metric):
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
         with self._lock:
+            key, overflowed = self._bounded_key(key)
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = _HistogramSeries()
             series.count += 1
             series.sum += float(value)
             series.samples.append(float(value))
+        if overflowed:
+            self._note_overflow()
 
     def count(self, **labels: Any) -> int:
         with self._lock:
@@ -242,6 +322,26 @@ class Histogram(_Metric):
             "p99": percentile(samples, 99),
             "max": max(samples) if samples else 0.0,
         }
+
+    def collect(self) -> dict:
+        with self._lock:
+            items = [
+                (key, series.count, series.sum, list(series.samples))
+                for key, series in sorted(self._series.items())
+            ]
+        series_out = []
+        for key, count, total, samples in items:
+            series_out.append({
+                "labels": dict(key),
+                "value": (total / count) if count else 0.0,  # mean
+                "count": count,
+                "sum": total,
+                "p50": percentile(samples, 50),
+                "p95": percentile(samples, 95),
+                "p99": percentile(samples, 99),
+                "max": max(samples) if samples else 0.0,
+            })
+        return {"name": self.name, "kind": self.kind, "series": series_out}
 
     def render(self) -> List[str]:
         lines = [f"# TYPE {self.name} histogram"]
@@ -278,6 +378,7 @@ class MetricsRegistry:
             metric = self._metrics.get(name)
             if metric is None:
                 metric = cls(name, help_text)
+                metric._registry = self
                 self._metrics[name] = metric
             elif not isinstance(metric, cls):
                 raise ReproError(
@@ -312,6 +413,19 @@ class MetricsRegistry:
                 lines.append(f"# HELP {metric.name} {metric.help}")
             lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def collect(self) -> List[dict]:
+        """Structured dump for the telemetry warehouse recorder.
+
+        One dict per metric — ``{"name", "kind", "series": [{"labels",
+        "value", ...}]}`` — with labels as plain dicts (not rendered
+        strings) so series survive a round-trip through a collection.
+        Histogram series carry their summary stats alongside the mean
+        ``value``.
+        """
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        return [m.collect() for m in metrics]
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready view (histograms reduced to their summaries)."""

@@ -143,6 +143,29 @@ class LatencyWindowSource:
         return cls(threshold_ms, proxy.latency_events,
                    description="proxy forward latency")
 
+    @classmethod
+    def from_warehouse(cls, access_log: Any, threshold_ms: float,
+                       endpoint: Any = None) -> "LatencyWindowSource":
+        """Window over the telemetry warehouse's ``telemetry.access``
+        records — the persistent counterpart of :meth:`from_profile`,
+        so burn-rate evidence survives a server restart.
+
+        ``access_log`` is a :class:`~repro.api.querylog.QueryLog` (or a
+        ``TelemetryWarehouse``, whose ``.access`` log is used); pass
+        ``endpoint`` (scalar or list) to judge one route's latency only.
+        """
+        log = getattr(access_log, "access", access_log)
+
+        def events() -> List[Tuple[float, float]]:
+            return [
+                (rec["ts"], rec.get("duration_ms", 0.0))
+                for rec in log.query_access_log(endpoint=endpoint)
+            ]
+
+        scope = f" endpoint={endpoint}" if endpoint is not None else ""
+        return cls(threshold_ms, events,
+                   description=f"telemetry.access warehouse{scope}")
+
     def window_counts(self, t0: float, t1: float) -> Tuple[int, int]:
         good = total = 0
         for ts, millis in self.events_fn():
@@ -286,6 +309,13 @@ class SLOEngine:
         self.history = AlertHistory(db, collection)
         self._rules: List[Any] = list(rules or [])
         self._active: Dict[str, float] = {}  # rule name -> opened_at
+        # Adopt alerts already open in the history collection: a
+        # warehouse-backed engine reopening after a restart must keep
+        # touching/resolving the persisted documents rather than opening
+        # duplicates.  In-memory deployments start from an empty
+        # collection, so this is a no-op there.
+        for alert in self.history.open_alerts():
+            self._active.setdefault(alert["rule"], alert.get("opened_at", 0.0))
 
     def add_rule(self, rule: Any) -> "SLOEngine":
         self._rules.append(rule)
