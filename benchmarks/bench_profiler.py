@@ -1,0 +1,156 @@
+"""Continuous-profiler benchmark: sampler overhead + profiling surfaces.
+
+Two questions, two gates:
+
+1. **Does the sampler tax the hot path?**  Re-runs :mod:`bench_obs`'s
+   core workloads (indexed ``find``, ``insert_one``, group-by
+   ``aggregate``) with the process-global :class:`SamplingProfiler`
+   running at its default 100 Hz.  CI gates ``find``/``insert`` against
+   the *same* ``baseline_obs.json`` budget with a tightened 10%
+   tolerance (via the gate's ``--only`` flag): a wall-clock sampler that
+   visibly slows the code it samples defeats its purpose.  The
+   multi-millisecond ``aggregate`` now also prices per-stage
+   executionStats bookkeeping, so it is gated against its own
+   profiler-attached number in ``baseline_profiler.json``.
+
+2. **Are the profiling surfaces fast?**  Times one sampling pass over a
+   dozen live threads (``sample_once``), rendering the folded stacks
+   (``folded``), an ``aggregate(..., explain=True)`` per-stage report
+   (``explain_pipeline``), and the store-wide ``lock_report`` — all
+   gated against ``baseline_profiler.json``.
+
+Writes ``BENCH_profiler.json`` at the repo root.  Run from the repo
+root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_profiler.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+import bench_obs
+from bench_obs import _build_collection, _timed, calibrate
+
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs.profiler import SamplingProfiler, start_profiler, stop_profiler
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_profiler.json")
+
+PROFILER_HZ = 100.0
+N_SAMPLED_THREADS = 12
+
+
+def run_core_with_profiler(n_docs: int, iters: int) -> Dict[str, dict]:
+    """bench_obs's find/insert/aggregate with the sampler at 100 Hz."""
+    store, _coll = _build_collection(n_docs)
+    start_profiler(hz=PROFILER_HZ)
+    try:
+        return bench_obs.run_benchmarks(n_docs, iters, store=store)
+    finally:
+        stop_profiler()
+        store.close()
+
+
+def run_profiling_surfaces(n_docs: int, iters: int) -> Dict[str, dict]:
+    """Latency of the profiling read surfaces themselves."""
+    store, coll = _build_collection(n_docs)
+
+    # a realistic thread population for the sampling pass to walk
+    stop = threading.Event()
+
+    def parked() -> None:
+        stop.wait()
+
+    threads = [threading.Thread(target=parked, daemon=True)
+               for _ in range(N_SAMPLED_THREADS)]
+    for t in threads:
+        t.start()
+    profiler = SamplingProfiler(hz=PROFILER_HZ)
+
+    def bench_sample_once(i: int) -> None:
+        profiler.sample_once()
+
+    def bench_folded(i: int) -> None:
+        profiler.folded(limit=50)
+
+    pipeline = [
+        {"$match": {"nelements": {"$lte": 5}}},
+        {"$group": {"_id": "$nelements",
+                    "mean_gap": {"$avg": "$band_gap"},
+                    "n": {"$sum": 1}}},
+        {"$sort": {"mean_gap": 1}},
+    ]
+
+    def bench_explain_pipeline(i: int) -> None:
+        coll.aggregate(pipeline, explain=True)
+
+    def bench_lock_report(i: int) -> None:
+        store.lock_report(limit=10)
+
+    try:
+        results = {
+            "sample_once": _timed(bench_sample_once,
+                                  max(iters // 3, 50), batch=10, repeats=5),
+            "folded": _timed(bench_folded,
+                             max(iters // 3, 50), batch=10, repeats=5),
+            "explain_pipeline": _timed(bench_explain_pipeline,
+                                       max(iters // 10, 10)),
+            "lock_report": _timed(bench_lock_report,
+                                  max(iters // 3, 50), batch=10, repeats=5),
+        }
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=2.0)
+        store.close()
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    parser.add_argument("--n-docs", type=int, default=bench_obs.N_DOCS)
+    parser.add_argument("--iters", type=int, default=bench_obs.ITERS)
+    args = parser.parse_args(argv)
+
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        calibration_ms = calibrate()
+        benchmarks = run_core_with_profiler(args.n_docs, args.iters)
+        benchmarks.update(run_profiling_surfaces(args.n_docs, args.iters))
+    finally:
+        set_registry(previous)
+    doc = {
+        "meta": {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "n_docs": args.n_docs,
+            "iters": args.iters,
+            "profiler_hz": PROFILER_HZ,
+            "n_sampled_threads": N_SAMPLED_THREADS,
+            "calibration_ms": calibration_ms,
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {calibration_ms:.2f} ms")
+    for name, stats in benchmarks.items():
+        print(f"{name:18s} p50 {stats['p50_ms']:8.4f} ms   "
+              f"p95 {stats['p95_ms']:8.4f} ms   "
+              f"p99 {stats['p99_ms']:8.4f} ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,6 +138,72 @@ def main() -> None:
     store.stop_ttl_reaper()
     print(f"[warehouse] ttl sweep reaped {reaped} expired docs")
 
+    # 10. Continuous profiling: sample a hot loop's stacks, attribute a
+    #     lock wait to its (waiter, holder) call sites, and dissect an
+    #     aggregation pipeline stage by stage.  The same data is live on
+    #     GET /debug/profile|flamegraph|locks and `repro profile`.
+    import threading
+    import time as _time
+
+    from repro.obs import SamplingProfiler
+
+    profiler = SamplingProfiler(hz=100)
+    stop = threading.Event()
+
+    def tour_hot_loop():
+        while not stop.is_set():
+            sum(i * i for i in range(200))
+
+    hot = threading.Thread(target=tour_hot_loop, daemon=True)
+    hot.start()
+    for _ in range(50):  # deterministic passes instead of the daemon
+        profiler.sample_once()
+        _time.sleep(0.002)
+    stop.set()
+    hot.join()
+    snap = profiler.snapshot(limit=3)
+    print(f"[profiler]  {snap['samples']} samples over {snap['passes']} "
+          f"passes, {snap['distinct_stacks']} distinct stacks")
+    for line in profiler.folded(limit=3):
+        print(f"[profiler]  {line}")
+
+    coll = db["materials"]
+    held, release = threading.Event(), threading.Event()
+
+    def tour_writer_hold():
+        with coll._lock.write():
+            held.set()
+            release.wait(timeout=5)
+
+    blocker = threading.Thread(target=tour_writer_hold, daemon=True)
+    blocker.start()
+    held.wait(timeout=5)
+    reader = threading.Thread(
+        target=lambda: coll.find_one({}), daemon=True)
+    reader.start()
+    _time.sleep(0.02)
+    release.set()
+    reader.join(timeout=5)
+    blocker.join(timeout=5)
+    for row in store.lock_report(limit=2)["top_contended"]:
+        print(f"[locks]     {row['mode']} wait {row['wait_ms']:.1f}ms: "
+              f"{row['waiter']} blocked by {row['holder']}")
+
+    report = coll.aggregate([
+        {"$match": {"band_gap": {"$gte": 0.0}}},
+        {"$group": {"_id": "$reduced_formula",
+                    "gap": {"$avg": "$band_gap"}}},
+        {"$sort": {"gap": -1}},
+    ], explain=True)
+    print(f"[aggregate] {report['ns']} pipeline={report['pipeline']} "
+          f"total {report['executionTimeMillis']:.2f}ms")
+    for stage in report["stages"]:
+        extra = (f" state={stage['state_size']}"
+                 if "state_size" in stage else "")
+        print(f"[aggregate] {stage['stage']:<8s} "
+              f"in={stage['docs_in']} out={stage['docs_out']} "
+              f"{stage['elapsed_ms']:.3f}ms{extra}")
+
 
 if __name__ == "__main__":
     main()

@@ -24,7 +24,11 @@ Two operational endpoints ride alongside the data API:
   read surface: metrics history/rollups, access-log analytics (filters,
   ``top=``, ``summary=1``), and tail-sampled traces;
 * ``GET /traces/<trace_id>`` — one tail-sampled trace tree (404 if the
-  trace was dropped by the sampler).
+  trace was dropped by the sampler);
+* ``GET /debug/profile|flamegraph|locks`` — the continuous profiler:
+  JSON snapshot of the process-global sampling profiler (``action=start``
+  / ``action=stop`` drive its lifecycle), folded flamegraph stacks as
+  ``text/plain``, and the backing store's lock-contention report.
 
 When a :class:`~repro.obs.warehouse.TelemetryWarehouse` is attached,
 every request additionally lands a structured record in
@@ -95,6 +99,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if parsed.path.startswith("/provenance/"):
             self._serve_provenance(api, parsed.path.rsplit("/", 1)[-1])
+            return
+        if parsed.path.startswith("/debug/"):
+            self._serve_debug(api, parsed.path, params)
             return
         if parsed.path == "/ui" or parsed.path.startswith("/ui/"):
             self._serve_ui(parsed.path, params)
@@ -239,6 +246,61 @@ class _Handler(BaseHTTPRequestHandler):
             limit=int(params.get("limit", ["100"])[0]),
         )
         self._send_json(200, {"records": records})
+
+    def _serve_debug(self, api: MaterialsAPI, path: str,
+                     params: dict) -> None:
+        """``GET /debug/profile|flamegraph|locks`` — continuous profiling.
+
+        ``/debug/profile`` returns the process-global sampling profiler's
+        snapshot (``?action=start&hz=N`` / ``?action=stop`` / ``?action=
+        reset`` drive the lifecycle, ``?limit=N`` bounds the stack list);
+        ``/debug/flamegraph`` the folded stacks as plain text (one
+        ``stack count`` line each, ready for ``flamegraph.pl``);
+        ``/debug/locks`` the backing store's lock totals and top-contended
+        (waiter, holder) attribution.
+        """
+        from ..obs.profiler import get_profiler, start_profiler, stop_profiler
+
+        section = path.split("/", 2)[-1]
+        if section == "profile":
+            action = params.get("action", [None])[0]
+            if action == "start":
+                hz = float(params.get("hz", ["100"])[0])
+                profiler = start_profiler(hz=hz)
+                self._send_json(200, {"running": True, "hz": profiler.hz})
+                return
+            if action == "stop":
+                snapshot = stop_profiler()
+                self._send_json(
+                    200, snapshot if snapshot is not None
+                    else {"running": False})
+                return
+            profiler = get_profiler()
+            if profiler is None:
+                self._send_json(200, {"running": False, "samples": 0,
+                                      "stacks": []})
+                return
+            if action == "reset":
+                profiler.reset()
+            limit = int(params.get("limit", ["0"])[0])
+            self._send_json(200, profiler.snapshot(limit=limit))
+            return
+        if section == "flamegraph":
+            profiler = get_profiler()
+            lines = profiler.folded() if profiler is not None else []
+            self._send_bytes(200, ("\n".join(lines) + "\n").encode("utf-8")
+                             if lines else b"", "text/plain; charset=utf-8")
+            return
+        if section == "locks":
+            db = getattr(api.qe, "db", None)
+            store = getattr(db, "client", None) if db is not None else None
+            if store is None:
+                self._send_json(404, {"error": "no backing store"})
+                return
+            limit = int(params.get("limit", ["10"])[0])
+            self._send_json(200, store.lock_report(limit=limit))
+            return
+        self._send_json(404, {"error": f"unknown debug section {section!r}"})
 
     def _serve_trace(self, trace_id: str) -> None:
         """``GET /traces/<trace_id>`` — one tail-sampled trace tree."""

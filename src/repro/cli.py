@@ -10,6 +10,7 @@ A downstream operator's entry points over a persistent datastore directory::
     python -m repro.cli mongostat --data-dir ./mpdb --n 5 --interval 1
     python -m repro.cli mongotop  --data-dir ./mpdb --n 3
     python -m repro.cli advise    --data-dir ./mpdb --verify
+    python -m repro.cli profile   --host localhost --port 8900 --flame
 
 Every command opens the same snapshot+journal-backed store, so state
 persists between invocations — a one-machine analog of operating the
@@ -438,6 +439,107 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         close()
 
 
+def _print_profile_snapshot(snap: dict) -> None:
+    print(f"profiler: {'running' if snap.get('running') else 'stopped'}  "
+          f"{snap.get('hz', 0):g} Hz  samples {snap.get('samples', 0)}  "
+          f"threads {snap.get('threads', 0)}  "
+          f"stacks {snap.get('distinct_stacks', 0)}"
+          + ("  [truncated]" if snap.get("truncated") else ""))
+    if snap.get("duration_s"):
+        print(f"  window {snap['duration_s']:.1f}s  "
+              f"achieved {snap.get('achieved_hz', 0.0):.1f} Hz  "
+              f"overhead {snap.get('overhead_ms', 0.0):.1f} ms")
+    top = snap.get("top") or []
+    if top:
+        print(f"{'self':>8s}  {'%':>6s}  function")
+        total = max(snap.get("samples", 0), 1)
+        for row in top:
+            print(f"{row['count']:>8d}  "
+                  f"{100.0 * row['count'] / total:>5.1f}%"
+                  f"  {row['function']}")
+
+
+def _print_lock_report(report: dict) -> None:
+    totals = report.get("totals", {})
+    print("lock totals: "
+          + "  ".join(f"{k} {totals[k]:g}" for k in sorted(totals)))
+    rows = report.get("top_contended") or []
+    if not rows:
+        print("no lock contention above the noise floor")
+        return
+    print(f"{'wait(ms)':>10s}{'count':>7s}  {'mode':<6s}"
+          f"{'ns':<24s}waiter -> holder")
+    for row in rows:
+        ns = f"{row.get('db', '?')}.{row.get('coll', '?')}"
+        print(f"{row['wait_ms']:>10.2f}{row['count']:>7d}  "
+              f"{row['mode']:<6s}{ns:<24s}"
+              f"{row['waiter']} -> {row['holder']}")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile`` — continuous-profiler snapshots, folded stacks
+    for flamegraphs, and the lock-contention report; local or over the
+    wire (the wire path profiles the *server* process)."""
+    import time
+
+    if args.locks:
+        target, close = _monitor_target(args)
+        try:
+            report = target.lock_report(limit=args.top or 10)
+        finally:
+            close()
+        if args.json:
+            print(json.dumps(report, default=str))
+        else:
+            _print_lock_report(report)
+        return 0
+
+    if args.host:
+        if args.port is None:
+            raise SystemExit("--host requires --port")
+        from .docstore.server import RemoteClient
+
+        client = RemoteClient(args.host, args.port)
+        try:
+            started = client.profile("start", hz=args.hz)
+            time.sleep(args.duration)
+            if args.flame:
+                for line in client.profile("flame", limit=args.top or 0):
+                    print(line)
+            else:
+                snap = client.profile("snapshot", limit=args.top)
+                if args.json:
+                    print(json.dumps(snap, default=str))
+                else:
+                    _print_profile_snapshot(snap)
+            # Leave a profiler someone else started running; only stop
+            # the one this command started.
+            if not started.get("already_running"):
+                client.profile("stop")
+        finally:
+            client.close()
+        return 0
+
+    # Local mode: profile *this* process while the store serves the
+    # sampling window (warehouse ticks, TTL reaper, any embedding app).
+    from .obs.profiler import get_profiler, start_profiler, stop_profiler
+
+    existing = get_profiler()
+    already = existing is not None and existing.running
+    profiler = start_profiler(hz=args.hz)
+    time.sleep(args.duration)
+    snap = (profiler.snapshot(limit=args.top)
+            if already else (stop_profiler() or {}))
+    if args.flame:
+        for line in snap.get("stacks") or []:
+            print(f"{line['stack']} {line['count']}")
+    elif args.json:
+        print(json.dumps(snap, default=str))
+    else:
+        _print_profile_snapshot(snap)
+    return 0
+
+
 def cmd_plan_cache(args: argparse.Namespace) -> int:
     target, close = _monitor_target(args)
     try:
@@ -603,6 +705,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     _add_wire_target(p)
     p.set_defaults(fn=cmd_telemetry)
+
+    p = sub.add_parser("profile",
+                       help="continuous profiler: sample stacks, emit "
+                            "folded flamegraph lines, or report lock "
+                            "contention (local or over the wire)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds to sample before reporting")
+    p.add_argument("--hz", type=float, default=100.0,
+                   help="sampling frequency")
+    p.add_argument("--flame", action="store_true",
+                   help="emit folded 'stack count' lines for "
+                        "flamegraph.pl / speedscope")
+    p.add_argument("--locks", action="store_true",
+                   help="report top contended locks instead of sampling")
+    p.add_argument("--top", type=int, default=0,
+                   help="bound the reported stacks / contended sites "
+                        "(0 = profiler default)")
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("plan-cache", help="plan-cache counters and size")
     p.add_argument("--db", default="mp")

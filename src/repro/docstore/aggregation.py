@@ -15,13 +15,23 @@ $size $abs $cond $ifNull $literal`` in projections.
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..errors import QuerySyntaxError
 from .documents import MISSING, deep_copy_doc, get_path, set_path
 from .matching import compile_query, ordering_key, _values_equal
 
-__all__ = ["run_pipeline", "evaluate_expression"]
+__all__ = ["run_pipeline", "evaluate_expression", "pipeline_stage_names"]
+
+#: Stage names recorded per pipeline shape before the list is truncated —
+#: keeps profiler/access-analytics shapes bounded for adversarial inputs.
+MAX_SHAPE_STAGES = 8
+
+#: Module-local RNG for ``$sample``: shared across pipelines so repeated
+#: unseeded samples stay cheap, and deliberately *not* the global
+#: ``random`` module so aggregation never perturbs test/chaos-lane seeds.
+_SAMPLE_RNG = random.Random()
 
 
 def evaluate_expression(expr: Any, doc: Mapping[str, Any]) -> Any:
@@ -371,7 +381,8 @@ def _stage_sample(docs: List[dict], spec: Mapping[str, Any], db: Any) -> List[di
         raise QuerySyntaxError("$sample size must be a non-negative integer")
     if n >= len(docs):
         return list(docs)
-    rng = random.Random(spec.get("seed"))
+    seed = spec.get("seed")
+    rng = _SAMPLE_RNG if seed is None else random.Random(seed)
     return rng.sample(docs, n)
 
 
@@ -390,12 +401,42 @@ _STAGES: Dict[str, Callable[[List[dict], Any, Any], List[dict]]] = {
 }
 
 
+def pipeline_stage_names(pipeline: List[Mapping[str, Any]],
+                         max_stages: int = MAX_SHAPE_STAGES) -> List[str]:
+    """The pipeline's ordered stage names, truncated past ``max_stages``.
+
+    This is the pipeline's *shape* — what the profiler, advisor, and
+    access analytics record instead of raw specs (no user values, bounded
+    length), and enough to tell a ``$match``-led pipeline from a
+    ``$group``-led one.
+    """
+    names: List[str] = []
+    for stage in pipeline:
+        if isinstance(stage, Mapping) and len(stage) == 1:
+            names.append(next(iter(stage)))
+        else:
+            names.append("<invalid>")
+    if len(names) > max_stages:
+        extra = len(names) - max_stages
+        names = names[:max_stages] + [f"+{extra} more"]
+    return names
+
+
 def run_pipeline(
     docs: List[dict],
     pipeline: List[Mapping[str, Any]],
     database: Optional[Any] = None,
+    stage_stats: Optional[List[dict]] = None,
 ) -> List[dict]:
-    """Execute ``pipeline`` over ``docs`` and return the resulting documents."""
+    """Execute ``pipeline`` over ``docs`` and return the resulting documents.
+
+    When ``stage_stats`` is a list, one ``executionStats``-style record is
+    appended per stage: ``{"stage", "docs_in", "docs_out", "elapsed_ms"}``
+    plus ``"state_size"`` for the stages that hold intermediate state —
+    ``$group`` (number of distinct groups) and ``$sort`` (documents held
+    for the blocking sort).  This is the data behind
+    ``Collection.aggregate(..., explain=True)``.
+    """
     if not isinstance(pipeline, list):
         raise QuerySyntaxError("pipeline must be a list of stages")
     current = docs
@@ -406,5 +447,21 @@ def run_pipeline(
         handler = _STAGES.get(name)
         if handler is None:
             raise QuerySyntaxError(f"unknown pipeline stage {name!r}")
+        if stage_stats is None:
+            current = handler(current, spec, database)
+            continue
+        docs_in = len(current)
+        t0 = time.perf_counter()
         current = handler(current, spec, database)
+        record = {
+            "stage": name,
+            "docs_in": docs_in,
+            "docs_out": len(current),
+            "elapsed_ms": (time.perf_counter() - t0) * 1e3,
+        }
+        if name == "$group":
+            record["state_size"] = len(current)
+        elif name == "$sort":
+            record["state_size"] = docs_in
+        stage_stats.append(record)
     return current

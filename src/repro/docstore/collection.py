@@ -157,6 +157,7 @@ class Collection:
         n_ops: int = 1,
         docs_examined: Optional[int] = None,
         plan: Optional[str] = None,
+        stages: Optional[List[dict]] = None,
     ) -> None:
         """Report a finished operation to the database's instrumentation
         funnel (opcounters, profiler, metrics, tracing).  A no-op for
@@ -170,7 +171,7 @@ class Collection:
         observer(
             self.name, op, kind, query, time.perf_counter() - started,
             nreturned=nreturned, n_ops=n_ops,
-            docs_examined=docs_examined, plan=plan,
+            docs_examined=docs_examined, plan=plan, stages=stages,
         )
 
     # -- inserts ----------------------------------------------------------
@@ -256,6 +257,7 @@ class Collection:
         projection: Optional[Mapping[str, Any]] = None,
         hint: Optional[str] = None,
         verbosity: str = "executionStats",
+        pipeline: Optional[List[Mapping[str, Any]]] = None,
     ) -> dict:
         """Plan and execute ``query``, reporting the chosen plan.
 
@@ -268,7 +270,14 @@ class Collection:
         the ``rejectedPlans`` the winner beat.  With
         ``verbosity="allPlansExecution"`` each rejected plan includes its
         trial-run statistics.
+
+        With ``pipeline=[...]`` this explains an aggregation instead:
+        equivalent to ``aggregate(pipeline, explain=True)`` — per-stage
+        docs-in/docs-out/elapsed executionStats (``query``/``sort``/
+        ``projection``/``hint`` are ignored in that mode).
         """
+        if pipeline is not None:
+            return self.aggregate(pipeline, explain=True)
         query = query or {}
         matcher = compile_query(query)
         sort_spec = list(sort) if sort else None
@@ -917,16 +926,42 @@ class Collection:
 
     # -- aggregation & misc -----------------------------------------------------
 
-    def aggregate(self, pipeline: List[Mapping[str, Any]]) -> List[dict]:
-        """Run an aggregation pipeline (see :mod:`repro.docstore.aggregation`)."""
-        from .aggregation import run_pipeline
+    def aggregate(self, pipeline: List[Mapping[str, Any]],
+                  explain: bool = False) -> Any:
+        """Run an aggregation pipeline (see :mod:`repro.docstore.aggregation`).
+
+        With ``explain=True`` the pipeline still runs, but the return
+        value is an ``executionStats``-style report instead of the result
+        documents: one record per stage (``docs_in``/``docs_out``/
+        ``elapsed_ms``, plus ``state_size`` for ``$group``/``$sort``),
+        led by a synthetic ``$cursor`` stage pricing the collection
+        snapshot, with ``nReturned`` and ``executionTimeMillis`` totals.
+        The per-stage records also ride into ``system.profile`` for slow
+        pipelines, where the advisor mines them.
+        """
+        from .aggregation import pipeline_stage_names, run_pipeline
 
         t0 = time.perf_counter()
+        stage_stats: List[dict] = []
         with self._lock.read():
             docs = [deep_copy_doc(self._docs[p]) for p in sorted(self._docs)]
-        out = run_pipeline(docs, pipeline, database=self.database)
-        self._observe("aggregate", "command", {"pipeline": len(pipeline)}, t0,
-                      nreturned=len(out))
+        stage_stats.append({
+            "stage": "$cursor", "docs_in": len(docs), "docs_out": len(docs),
+            "elapsed_ms": (time.perf_counter() - t0) * 1e3,
+        })
+        out = run_pipeline(docs, pipeline, database=self.database,
+                           stage_stats=stage_stats)
+        if explain:
+            return {
+                "ns": self.namespace,
+                "pipeline": pipeline_stage_names(pipeline),
+                "stages": stage_stats,
+                "nReturned": len(out),
+                "executionTimeMillis": (time.perf_counter() - t0) * 1e3,
+            }
+        self._observe("aggregate", "command",
+                      {"pipeline": pipeline_stage_names(pipeline)}, t0,
+                      nreturned=len(out), stages=stage_stats)
         return out
 
     def map_reduce(
@@ -963,3 +998,8 @@ class Collection:
     def lock_stats(self) -> dict:
         """Reader-writer lock accounting (acquires, cumulative wait time)."""
         return self._lock.stats()
+
+    def lock_contention(self, limit: int = 10) -> List[dict]:
+        """Top contended (waiter site, holder site) pairings on this
+        collection's lock — see :meth:`RWLock.contention_report`."""
+        return self._lock.contention_report(limit=limit)

@@ -126,6 +126,7 @@ class Database:
         n_ops: int = 1,
         docs_examined: Optional[int] = None,
         plan: Optional[str] = None,
+        stages: Optional[List[dict]] = None,
     ) -> None:
         """Called by :class:`Collection` after every operation.
 
@@ -164,10 +165,16 @@ class Database:
         level = self._profile_level
         if level >= 2 or (level == 1 and (op in _READ_OPS
                                           or millis >= self._slowms)):
+            # Per-stage executionStats are bulky; attach them only for
+            # pipelines worth dissecting — slow ones, or full profiling.
+            if stages is not None and not (level >= 2
+                                           or millis >= self._slowms):
+                stages = None
             self._record_profile(coll_name, op, query, millis, nreturned,
                                  docs_examined, plan,
                                  trace_id=parent.trace_id
-                                 if parent is not None else None)
+                                 if parent is not None else None,
+                                 stages=stages)
 
     # -- profiling (per-query timing, powers Fig. 5 reproduction) ---------
 
@@ -202,6 +209,7 @@ class Database:
         docs_examined: Optional[int],
         plan: Optional[str],
         trace_id: Optional[str] = None,
+        stages: Optional[List[dict]] = None,
     ) -> None:
         entry = {
             "ns": f"{self.name}.{ns}",
@@ -219,6 +227,10 @@ class Database:
             entry["docsExamined"] = docs_examined
         if plan is not None:
             entry["planSummary"] = plan
+        if stages is not None:
+            # Per-stage aggregation executionStats (docs in/out, elapsed,
+            # $group/$sort state size) — the advisor's $match-first signal.
+            entry["stages"] = stages
         profile = self.get_collection("system.profile")
         with profile._lock:
             try:
@@ -249,13 +261,17 @@ class Database:
 
     # -- serverStatus / dbStats -------------------------------------------
 
-    def lock_status(self) -> dict:
+    def lock_status(self, limit: int = 10) -> dict:
         """Aggregate reader-writer lock accounting across collections.
 
         Sums the per-collection :meth:`Collection.lock_stats` acquire
         counts and cumulative wait time — the ``server_status()["locks"]``
         payload, and the number an operator watches to see whether the
-        engine is read-starved or write-starved.
+        engine is read-starved or write-starved.  ``top_contended`` ranks
+        the worst (waiter site, holder site) pairings across collections
+        by cumulative wait, each row tagged with its collection — the
+        attribution layer of the same story: not just *that* the engine
+        waited, but *which call path waited on which*.
         """
         with self._lock:
             colls = [c for n, c in self._collections.items()
@@ -266,6 +282,7 @@ class Database:
             "read_contended": 0, "write_contended": 0,
             "active_readers": 0, "writers_held": 0, "waiting_writers": 0,
         }
+        top: List[dict] = []
         for coll in colls:
             stats = coll.lock_stats()
             for key in ("read_acquires", "write_acquires", "read_wait_ms",
@@ -273,6 +290,10 @@ class Database:
                         "active_readers", "waiting_writers"):
                 out[key] += stats[key]
             out["writers_held"] += int(stats["writer_held"])
+            for row in coll.lock_contention(limit=limit):
+                top.append({"coll": coll.name, **row})
+        top.sort(key=lambda r: (-r["wait_ms"], r["coll"]))
+        out["top_contended"] = top[:limit]
         return out
 
     def plan_cache_status(self) -> dict:
@@ -417,6 +438,7 @@ class DocumentStore:
         }
         plan_cache = {"size": 0, "hits": 0, "misses": 0, "evictions": 0,
                       "invalidations": 0, "replans": 0}
+        top_contended: List[dict] = []
         for db in databases:
             status = db.server_status()
             for key, value in status["opcounters"].items():
@@ -424,9 +446,16 @@ class DocumentStore:
             objects += status["objects"]
             collections += status["collections"]
             for key, value in status["locks"].items():
+                if key == "top_contended":
+                    top_contended.extend(
+                        {"db": db.name, **row} for row in value
+                    )
+                    continue
                 locks[key] = locks.get(key, 0) + value
             for key, value in status["planCache"].items():
                 plan_cache[key] = plan_cache.get(key, 0) + value
+        top_contended.sort(key=lambda r: (-r["wait_ms"], r["db"]))
+        locks["top_contended"] = top_contended[:10]
         out = {
             "databases": sorted(db.name for db in databases),
             "opcounters": opcounters,
@@ -440,6 +469,32 @@ class DocumentStore:
         if self._ttl_reaper is not None:
             out["ttl"] = self._ttl_reaper.stats()
         return out
+
+    def lock_report(self, limit: int = 10) -> dict:
+        """Store-wide lock accounting plus top contended attribution.
+
+        Lighter than :meth:`server_status` (no plan-cache or object
+        counts) — the payload behind the ``lock_report`` wire op, the
+        ``GET /debug/locks`` endpoint, and ``repro profile --locks``.
+        """
+        with self._lock:
+            databases = list(self._databases.values())
+        totals: Dict[str, Any] = {
+            "read_acquires": 0, "write_acquires": 0,
+            "read_wait_ms": 0.0, "write_wait_ms": 0.0,
+            "read_contended": 0, "write_contended": 0,
+            "active_readers": 0, "writers_held": 0, "waiting_writers": 0,
+        }
+        top: List[dict] = []
+        for db in databases:
+            status = db.lock_status(limit=limit)
+            for key, value in status.items():
+                if key == "top_contended":
+                    top.extend({"db": db.name, **row} for row in value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        top.sort(key=lambda r: (-r["wait_ms"], r["db"]))
+        return {"totals": totals, "top_contended": top[:limit]}
 
     # -- live operation introspection -------------------------------------
 

@@ -19,7 +19,14 @@ Semantics:
   rather than deadlocking;
 * instrumented: cumulative acquire counts and wait time per mode, the
   data behind ``server_status()["locks"]`` and the
-  ``repro_docstore_lock_wait_millis`` histogram.
+  ``repro_docstore_lock_wait_millis`` histogram;
+* attributed: a wait above the noise floor records *who waited on whom* —
+  the waiter's call site plus the current holder's live stack frame (via
+  ``sys._current_frames``), rolled up per (mode, waiter, holder) into the
+  bounded :meth:`RWLock.contention_report` behind
+  ``server_status()["locks"]["top_contended"]``.  Attribution costs
+  nothing on the uncontended fast path: sites are only captured when a
+  thread is already about to block.
 
 ``with lock:`` takes the exclusive (write) side, so legacy call sites that
 treated the collection lock as a mutex remain correct.
@@ -27,9 +34,11 @@ treated the collection lock as a mutex remain correct.
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import DocstoreError
 
@@ -39,6 +48,33 @@ __all__ = ["RWLock"]
 #: uncontended acquire always "waits" a few hundred nanoseconds, and the
 #: histogram should show contention, not scheduler noise.
 _CONTENTION_FLOOR_S = 1e-4
+
+#: Distinct (mode, waiter, holder) attribution rows kept per lock before
+#: novel pairings collapse into the overflow site — same bounded-memory
+#: discipline as the metrics cardinality cap.
+MAX_CONTENTION_SITES = 64
+
+#: Site label absorbing attribution rows past :data:`MAX_CONTENTION_SITES`.
+OVERFLOW_SITE = "__other__"
+
+
+def _describe_frame(frame: Any) -> str:
+    """``file:function:line`` for the first frame outside this module.
+
+    Frames from :mod:`threading` are skipped too: a holder parked in
+    ``Condition.wait`` / ``Event.wait`` should be attributed to the
+    application code that parked it, not to the stdlib wait machinery.
+    """
+    own = os.path.abspath(__file__)
+    skipped = (own, os.path.abspath(threading.__file__))
+    while (frame is not None
+           and os.path.abspath(frame.f_code.co_filename) in skipped):
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    code = frame.f_code
+    return (f"{os.path.basename(code.co_filename)}:"
+            f"{code.co_name}:{frame.f_lineno}")
 
 
 class _ReadGuard:
@@ -83,6 +119,9 @@ class RWLock:
         self._acquires = {"read": 0, "write": 0}
         self._wait_s = {"read": 0.0, "write": 0.0}
         self._contended = {"read": 0, "write": 0}
+        # (mode, waiter_site, holder_site) -> rollup; bounded, see
+        # MAX_CONTENTION_SITES.
+        self._contention: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
 
     # -- acquisition -----------------------------------------------------
 
@@ -100,14 +139,15 @@ class RWLock:
                 self._readers[me] = depth + 1
                 self._acquires["read"] += 1
                 return
-            waited = False
+            sites = None
             while self._writer is not None or self._waiting_writers:
-                waited = True
+                if sites is None:
+                    sites = self._capture_sites()
                 self._cond.wait()
             self._readers[me] = 1
             self._acquires["read"] += 1
-            if waited:
-                self._record_wait("read", time.perf_counter() - t0)
+            if sites is not None:
+                self._record_wait("read", time.perf_counter() - t0, sites)
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -140,15 +180,16 @@ class RWLock:
                 )
             self._waiting_writers += 1
             try:
-                waited = False
+                sites = None
                 while self._writer is not None or self._readers:
-                    waited = True
+                    if sites is None:
+                        sites = self._capture_sites()
                     self._cond.wait()
                 self._writer = me
                 self._writer_depth = 1
                 self._acquires["write"] += 1
-                if waited:
-                    self._record_wait("write", time.perf_counter() - t0)
+                if sites is not None:
+                    self._record_wait("write", time.perf_counter() - t0, sites)
             finally:
                 self._waiting_writers -= 1
 
@@ -162,18 +203,71 @@ class RWLock:
                 self._writer = None
                 self._cond.notify_all()
 
-    def _record_wait(self, mode: str, waited_s: float) -> None:
+    def _capture_sites(self) -> Tuple[str, str]:
+        """(waiter_site, holder_site) for a thread about to block.
+
+        Called with the condition mutex held, once per wait, *before* the
+        first ``cond.wait()`` — the only moment both sides exist: the
+        waiter is this thread's own stack, the holder is whichever thread
+        currently owns the lock, read live out of
+        ``sys._current_frames()``.  Uncontended acquires never get here,
+        so attribution adds zero cost to the fast path.
+        """
+        waiter = _describe_frame(sys._getframe(1))
+        holder_idents = ([self._writer] if self._writer is not None
+                         else list(self._readers))
+        holder = None
+        if holder_idents:
+            frames = sys._current_frames()
+            for ident in holder_idents:
+                frame = frames.get(ident)
+                if frame is not None:
+                    holder = _describe_frame(frame)
+                    break
+            if (holder is not None and self._writer is None
+                    and len(self._readers) > 1):
+                holder += f" (+{len(self._readers) - 1} readers)"
+        if holder is None:
+            # Queued behind a writer that is itself still waiting
+            # (writer preference), or the holder released mid-capture.
+            holder = ("<waiting-writer>" if self._waiting_writers
+                      else "<released>")
+        return waiter, holder
+
+    def _record_wait(self, mode: str, waited_s: float,
+                     sites: Optional[Tuple[str, str]] = None) -> None:
         # Called with the condition mutex held.
         self._wait_s[mode] += waited_s
         if waited_s < _CONTENTION_FLOOR_S:
             return
         self._contended[mode] += 1
+        if sites is not None:
+            self._note_contention(mode, sites[0], sites[1], waited_s)
         from ..obs import get_registry  # local: keep import cost off hot path
 
         get_registry().histogram(
             "repro_docstore_lock_wait_millis", "lock wait time by mode"
         ).observe(waited_s * 1e3, mode=mode,
                   **({"coll": self.name} if self.name else {}))
+
+    def _note_contention(self, mode: str, waiter: str, holder: str,
+                         waited_s: float) -> None:
+        # Called with the condition mutex held.
+        key = (mode, waiter, holder)
+        entry = self._contention.get(key)
+        if entry is None:
+            if len(self._contention) >= MAX_CONTENTION_SITES:
+                key = (mode, OVERFLOW_SITE, OVERFLOW_SITE)
+                entry = self._contention.get(key)
+            if entry is None:
+                entry = self._contention[key] = {
+                    "count": 0, "wait_ms": 0.0, "max_wait_ms": 0.0,
+                    "last_ts": 0.0,
+                }
+        entry["count"] += 1
+        entry["wait_ms"] += waited_s * 1e3
+        entry["max_wait_ms"] = max(entry["max_wait_ms"], waited_s * 1e3)
+        entry["last_ts"] = time.time()
 
     # -- context-manager faces -------------------------------------------
 
@@ -207,4 +301,22 @@ class RWLock:
                 "active_readers": len(self._readers),
                 "writer_held": self._writer is not None,
                 "waiting_writers": self._waiting_writers,
+                "contention_sites": len(self._contention),
             }
+
+    def contention_report(self, limit: int = 10) -> list:
+        """Top contended (mode, waiter, holder) pairings by total wait.
+
+        Each row carries the waiting call site, the holder's site at the
+        moment the wait began, the number of waits above the noise floor,
+        and cumulative/max wait milliseconds — the "who is blocking whom"
+        view behind ``server_status()["locks"]["top_contended"]``.
+        """
+        with self._cond:
+            rows = [
+                {"mode": mode, "waiter": waiter, "holder": holder,
+                 **entry}
+                for (mode, waiter, holder), entry in self._contention.items()
+            ]
+        rows.sort(key=lambda r: (-r["wait_ms"], r["waiter"], r["holder"]))
+        return rows[:limit]

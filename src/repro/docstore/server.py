@@ -238,6 +238,11 @@ class DatastoreServer:
                     "result": export_traces(request.get("trace_id"))}
         if op == "server_status":
             return {"ok": True, "result": self.store.server_status()}
+        if op == "profile":
+            return {"ok": True, "result": self._profile_op(request)}
+        if op == "lock_report":
+            return {"ok": True, "result": self.store.lock_report(
+                limit=request.get("limit", 10))}
         db_name = request.get("db")
         if not isinstance(db_name, str):
             raise WireProtocolError("request missing 'db'")
@@ -256,6 +261,43 @@ class DatastoreServer:
         if handler is None:
             raise WireProtocolError(f"unknown wire op {op!r}")
         return {"ok": True, "result": handler(coll, request)}
+
+    @staticmethod
+    def _profile_op(request: Mapping[str, Any]) -> Any:
+        """The ``profile`` wire op: drive the server's sampling profiler.
+
+        Actions: ``start`` (optional ``hz``), ``stop``, ``reset``,
+        ``snapshot`` (the default; optional ``limit`` bounds the stack
+        list), and ``flame`` (folded ``stack count`` lines ready for a
+        flamegraph renderer).  The profiler is the process-global one, so
+        a profile started over the wire is visible on ``/debug/profile``
+        and persisted by the telemetry warehouse.
+        """
+        from ..obs.profiler import get_profiler, start_profiler, stop_profiler
+
+        action = request.get("action", "snapshot")
+        if action == "start":
+            existing = get_profiler()
+            already = existing is not None and existing.running
+            profiler = start_profiler(hz=request.get("hz") or 100.0)
+            return {"running": True, "hz": profiler.hz,
+                    "already_running": already}
+        if action == "stop":
+            snapshot = stop_profiler()
+            return snapshot if snapshot is not None else {"running": False}
+        profiler = get_profiler()
+        if profiler is None:
+            if action in ("snapshot", "reset"):
+                return {"running": False, "samples": 0, "stacks": []}
+            return []
+        if action == "reset":
+            profiler.reset()
+            return {"running": profiler.running, "samples": 0, "stacks": []}
+        if action == "flame":
+            return profiler.folded(limit=request.get("limit", 0))
+        if action == "snapshot":
+            return profiler.snapshot(limit=request.get("limit", 0))
+        raise WireProtocolError(f"unknown profile action {action!r}")
 
     @staticmethod
     def _op_insert_one(coll: Any, req: Mapping[str, Any]) -> Any:
@@ -326,7 +368,8 @@ class DatastoreServer:
 
     @staticmethod
     def _op_aggregate(coll: Any, req: Mapping[str, Any]) -> Any:
-        return coll.aggregate(req["pipeline"])
+        return coll.aggregate(req["pipeline"],
+                              explain=req.get("explain", False))
 
     @staticmethod
     def _op_create_index(coll: Any, req: Mapping[str, Any]) -> Any:
@@ -352,6 +395,8 @@ class DatastoreServer:
 
     @staticmethod
     def _op_explain(coll: Any, req: Mapping[str, Any]) -> Any:
+        if req.get("pipeline") is not None:
+            return coll.explain(pipeline=req["pipeline"])
         sort = [(f, d) for f, d in req["sort"]] if req.get("sort") else None
         return coll.explain(
             req.get("query") or {},
@@ -436,7 +481,12 @@ class RemoteCollection:
     def delete_many(self, query=None) -> dict:
         return self._call("delete_many", query=query or {})
 
-    def aggregate(self, pipeline: List[Mapping[str, Any]]) -> List[dict]:
+    def aggregate(self, pipeline: List[Mapping[str, Any]],
+                  explain: bool = False) -> Any:
+        """Run a pipeline server-side; ``explain=True`` returns per-stage
+        executionStats instead of result documents."""
+        if explain:
+            return self._call("aggregate", pipeline=pipeline, explain=True)
         return self._call("aggregate", pipeline=pipeline)
 
     def create_index(self, keys: Any, unique: bool = False,
@@ -474,8 +524,15 @@ class RemoteCollection:
         projection: Optional[Mapping[str, Any]] = None,
         hint: Optional[str] = None,
         verbosity: str = "executionStats",
+        pipeline: Optional[List[Mapping[str, Any]]] = None,
     ) -> dict:
-        """Run the remote planner for ``query`` (advisor replay support)."""
+        """Run the remote planner for ``query`` (advisor replay support).
+
+        With ``pipeline=[...]`` explains an aggregation instead — same
+        per-stage executionStats as the in-process API.
+        """
+        if pipeline is not None:
+            return self._call("explain", pipeline=pipeline)
         request: Dict[str, Any] = {
             "query": query or {},
             "sort": [list(p) for p in sort] if sort else None,
@@ -521,7 +578,7 @@ _IDEMPOTENT_OPS = frozenset({
     "ping", "find", "find_one", "count", "distinct", "aggregate",
     "list_databases", "list_collections", "server_status", "db_status",
     "top", "stats", "index_stats", "explain", "plan_cache", "current_op",
-    "export_traces",
+    "export_traces", "lock_report", "profile",
 })
 
 #: Server error types re-raised as their specific client-side exception
@@ -741,6 +798,25 @@ class RemoteClient:
     def export_traces(self, trace_id: Optional[str] = None) -> List[dict]:
         """Finished span dicts buffered in the *server* process."""
         return self.request({"op": "export_traces", "trace_id": trace_id})
+
+    def profile(self, action: str = "snapshot", hz: Optional[float] = None,
+                limit: int = 0) -> Any:
+        """Drive the *server's* sampling profiler over the wire.
+
+        ``action`` is ``start``/``stop``/``reset``/``snapshot``/``flame``;
+        ``flame`` returns folded ``stack count`` lines of the server
+        process, ready for a flamegraph renderer.
+        """
+        request: Dict[str, Any] = {"op": "profile", "action": action}
+        if hz is not None:
+            request["hz"] = hz
+        if limit:
+            request["limit"] = limit
+        return self.request(request)
+
+    def lock_report(self, limit: int = 10) -> dict:
+        """Store-wide lock totals + top contended (waiter, holder) sites."""
+        return self.request({"op": "lock_report", "limit": limit})
 
     def close(self) -> None:
         with self._pool_lock:

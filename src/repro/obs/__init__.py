@@ -35,7 +35,11 @@ Fleet-health tooling builds on that substrate:
 * :mod:`.warehouse` — the self-hosted telemetry warehouse: metrics
   history with incremental rollups, the access-log warehouse, tail-sampled
   traces, and a persisted profile mirror, all stored in a ``telemetry``
-  database with TTL retention — the datastore dogfooding itself.
+  database with TTL retention — the datastore dogfooding itself;
+* :mod:`.profiler` — the continuous wall-clock sampling profiler: a
+  daemon sampling every thread's stack via ``sys._current_frames`` into
+  bounded flamegraph-ready folded stacks, shared process-wide so the wire
+  server, ``/debug`` endpoints, CLI, and warehouse see one profile.
 """
 
 from .logging import RedactingFormatter, get_logger, log_event, redact
@@ -80,6 +84,12 @@ from .slo import (
     default_rules,
 )
 from .advisor import IndexAdvisor, IndexRecommendation
+from .profiler import (
+    SamplingProfiler,
+    get_profiler,
+    start_profiler,
+    stop_profiler,
+)
 from .warehouse import (
     MetricsHistoryRecorder,
     MetricsRollupBuilder,
@@ -133,4 +143,8 @@ __all__ = [
     "MetricsRollupBuilder",
     "TailSampler",
     "labels_key",
+    "SamplingProfiler",
+    "get_profiler",
+    "start_profiler",
+    "stop_profiler",
 ]

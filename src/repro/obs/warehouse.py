@@ -22,6 +22,10 @@ landing it in real collections in a ``telemetry`` database:
 * ``telemetry.profile`` — a persistent mirror of slow ``system.profile``
   entries, so the index advisor can mine evidence across restarts
   (:meth:`~repro.obs.advisor.IndexAdvisor.from_warehouse`).
+* ``telemetry.profiles`` — periodic snapshots of the continuous sampling
+  profiler (:mod:`repro.obs.profiler`): folded stacks and top functions
+  land on every tick while the profiler runs, so flamegraphs survive
+  restarts and can be diffed across deploys.
 * ``telemetry.alerts`` — the SLO engine's alert history
   (:meth:`TelemetryWarehouse.slo_engine`); open alerts persist and are
   re-adopted after a restart.
@@ -57,6 +61,10 @@ ROLLUP_TTL_S = 30 * 86400.0
 ACCESS_TTL_S = 14 * 86400.0
 TRACES_TTL_S = 86400.0
 PROFILE_TTL_S = 86400.0
+PROFILES_TTL_S = 86400.0
+
+#: Folded stacks persisted per profiler snapshot (hottest first).
+PROFILE_SNAPSHOT_STACKS = 50
 
 #: Root spans slower than this are tail-sampled by default.
 TRACE_LATENCY_THRESHOLD_MS = 250.0
@@ -378,6 +386,7 @@ class TelemetryWarehouse:
                  access_ttl_s: float = ACCESS_TTL_S,
                  traces_ttl_s: float = TRACES_TTL_S,
                  profile_ttl_s: float = PROFILE_TTL_S,
+                 profiles_ttl_s: float = PROFILES_TTL_S,
                  trace_latency_threshold_ms: float =
                  TRACE_LATENCY_THRESHOLD_MS):
         # Imported lazily: repro.api pulls repro.obs in at import time, so
@@ -400,6 +409,9 @@ class TelemetryWarehouse:
         )
         self.db["profile"].create_index(
             "ts", name="ts_ttl", expire_after_seconds=profile_ttl_s
+        )
+        self.db["profiles"].create_index(
+            "ts", name="ts_ttl", expire_after_seconds=profiles_ttl_s
         )
         self.access = QueryLog(
             collection=self.db["access"], ttl_s=access_ttl_s
@@ -466,6 +478,60 @@ class TelemetryWarehouse:
             [("ts", 1)]
         ))
 
+    # -- profiler snapshots -----------------------------------------------
+
+    def record_profiler_snapshot(self, profiler: Optional[Any] = None,
+                                 stacks: int = PROFILE_SNAPSHOT_STACKS,
+                                 now: Optional[float] = None) -> int:
+        """Persist one sampling-profiler snapshot into
+        ``telemetry.profiles``; returns the number of documents written
+        (0 when no profiler is running or it has no samples yet).
+
+        Only the hottest ``stacks`` folded stacks are stored — the
+        profiler itself already bounds distinct stacks, this bounds the
+        per-snapshot document size.
+        """
+        from .profiler import get_profiler
+
+        if profiler is None:
+            profiler = get_profiler()
+        if profiler is None or not profiler.running:
+            return 0
+        snap = profiler.snapshot(limit=stacks)
+        if not snap.get("samples"):
+            return 0
+        doc = {
+            "ts": time.time() if now is None else now,
+            "hz": snap["hz"],
+            "samples": snap["samples"],
+            "threads": snap["threads"],
+            "distinct_stacks": snap["distinct_stacks"],
+            "truncated": snap["truncated"],
+            "duration_s": snap["duration_s"],
+            "overhead_ms": snap["overhead_ms"],
+            "stacks": snap["stacks"],
+            "top": snap["top"],
+        }
+        self.db["profiles"].insert_one(doc)
+        get_registry().counter(
+            "repro_warehouse_profiler_snapshots_total",
+            "sampling-profiler snapshots recorded into telemetry.profiles",
+        ).inc(1)
+        return 1
+
+    def profiler_snapshots(self, since: Optional[float] = None,
+                           limit: int = 0) -> List[dict]:
+        """Persisted profiler snapshots, time-ascending."""
+        query: Dict[str, Any] = {}
+        if since is not None:
+            query["ts"] = {"$gte": float(since)}
+        cursor = self.db["profiles"].find(query, {"_id": 0}).sort(
+            [("ts", 1)]
+        )
+        if limit:
+            cursor = cursor.limit(int(limit))
+        return list(cursor)
+
     # -- SLO / advisor integration ---------------------------------------
 
     def latency_source(self, threshold_ms: float,
@@ -502,10 +568,12 @@ class TelemetryWarehouse:
         points = self.recorder.record_once(now)
         rollup = self.rollups.process_pending()
         mirrored = self.sync_profile()
+        profiler_snaps = self.record_profiler_snapshot(now=now)
         return {
             "metric_points": points,
             "rollup": rollup,
             "profile_mirrored": mirrored,
+            "profiler_snapshots": profiler_snaps,
         }
 
     @property
@@ -577,5 +645,5 @@ class TelemetryWarehouse:
         return {
             name: self.db[name].count_documents()
             for name in ("metrics", "metrics_rollup", "access",
-                         "traces", "profile", "alerts")
+                         "traces", "profile", "profiles", "alerts")
         }

@@ -677,7 +677,7 @@ class TestWarehouseLifecycle:
         stats = wh.stats()
         assert stats["metrics"] == out["metric_points"]
         assert set(stats) == {"metrics", "metrics_rollup", "access",
-                              "traces", "profile", "alerts"}
+                              "traces", "profile", "profiles", "alerts"}
 
     def test_background_loop_and_reaper(self, store):
         wh = TelemetryWarehouse(store, registry=get_registry())
