@@ -1,0 +1,158 @@
+"""Flight-recorder benchmark: recorder overhead + diagnosis surfaces.
+
+Two questions, two gates:
+
+1. **Does the black box tax the hot path?**  Re-runs :mod:`bench_obs`'s
+   core workloads (indexed ``find``, ``insert_one``, group-by
+   ``aggregate``) with a :class:`FlightRecorder` capturing full
+   diagnostic snapshots of the *same* store at its default 1 Hz cadence.
+   CI gates ``find``/``insert`` against the same ``baseline_obs.json``
+   budget with a tightened 10% tolerance (the gate's ``--only`` flag):
+   an always-on recorder that slows the engine it is meant to autopsy
+   would never be left on in production.
+
+2. **Are the diagnosis surfaces fast?**  Times one full snapshot
+   ``capture`` (server_status + /proc + metric deltas + delta-encode +
+   append), decoding a ~240-snapshot ring (``decode_ring``), the
+   MAD-z-score ``anomaly_scan`` over that window, and building the
+   pre-crash report from the ring alone (``crash_report``) — all gated
+   against ``baseline_flight.json``.
+
+Writes ``BENCH_flight.json`` at the repo root.  Run from the repo
+root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_flight.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+import bench_obs
+from bench_obs import _build_collection, _timed, calibrate
+
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs.flight import (
+    FlightRecorder,
+    build_crash_report,
+    decode_ring,
+    scan_anomalies,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_flight.json")
+
+RECORDER_INTERVAL_S = 1.0
+PREFILL_SNAPSHOTS = 240
+
+
+def run_core_with_recorder(n_docs: int, iters: int) -> Dict[str, dict]:
+    """bench_obs's find/insert/aggregate with the recorder at 1 Hz."""
+    store, _coll = _build_collection(n_docs)
+    flight_dir = tempfile.mkdtemp(prefix="bench-flight-")
+    recorder = FlightRecorder(store, flight_dir,
+                              interval_s=RECORDER_INTERVAL_S)
+    recorder.start()
+    try:
+        return bench_obs.run_benchmarks(n_docs, iters, store=store)
+    finally:
+        recorder.stop()
+        store.close()
+        shutil.rmtree(flight_dir, ignore_errors=True)
+
+
+def run_flight_surfaces(n_docs: int, iters: int) -> Dict[str, dict]:
+    """Latency of the capture path and the ring-reading surfaces."""
+    store, coll = _build_collection(n_docs)
+    flight_dir = tempfile.mkdtemp(prefix="bench-flight-ring-")
+    recorder = FlightRecorder(store, flight_dir)
+    # A realistic ring: a few minutes of 1 Hz history with the store
+    # moving between ticks so the deltas are non-trivial.
+    for i in range(PREFILL_SNAPSHOTS):
+        coll.find_one({"material_id": f"mp-{i % n_docs}"})
+        recorder.capture()
+    recorder.flush()
+    window = recorder.recent()
+
+    def bench_capture(i: int) -> None:
+        recorder.capture()
+
+    def bench_decode_ring(i: int) -> None:
+        decode_ring(flight_dir)
+
+    def bench_anomaly_scan(i: int) -> None:
+        scan_anomalies(window, threshold=6.0)
+
+    def bench_crash_report(i: int) -> None:
+        build_crash_report(flight_dir, window_s=30.0)
+
+    try:
+        results = {
+            "capture": _timed(bench_capture,
+                              max(iters // 3, 50), batch=10, repeats=5),
+            "decode_ring": _timed(bench_decode_ring,
+                                  max(iters // 30, 5)),
+            "anomaly_scan": _timed(bench_anomaly_scan,
+                                   max(iters // 30, 5)),
+            "crash_report": _timed(bench_crash_report,
+                                   max(iters // 30, 5)),
+        }
+    finally:
+        recorder.stop()
+        store.close()
+        shutil.rmtree(flight_dir, ignore_errors=True)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the results JSON")
+    parser.add_argument("--n-docs", type=int, default=bench_obs.N_DOCS)
+    parser.add_argument("--iters", type=int, default=bench_obs.ITERS)
+    args = parser.parse_args(argv)
+
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        calibration_ms = calibrate()
+        benchmarks = run_core_with_recorder(args.n_docs, args.iters)
+        # Fresh registry for the surfaces phase: capture's metric-delta
+        # pass prices the registry it runs against, and the surfaces
+        # store's own traffic -- not the core phase's leftover
+        # reservoirs -- is the representative load.
+        set_registry(MetricsRegistry())
+        benchmarks.update(run_flight_surfaces(args.n_docs, args.iters))
+    finally:
+        set_registry(previous)
+    doc = {
+        "meta": {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "n_docs": args.n_docs,
+            "iters": args.iters,
+            "recorder_interval_s": RECORDER_INTERVAL_S,
+            "prefill_snapshots": PREFILL_SNAPSHOTS,
+            "calibration_ms": calibration_ms,
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"calibration: {calibration_ms:.2f} ms")
+    for name, stats in benchmarks.items():
+        print(f"{name:18s} p50 {stats['p50_ms']:8.4f} ms   "
+              f"p95 {stats['p95_ms']:8.4f} ms   "
+              f"p99 {stats['p99_ms']:8.4f} ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -204,6 +204,57 @@ def main() -> None:
               f"in={stage['docs_in']} out={stage['docs_out']} "
               f"{stage['elapsed_ms']:.3f}ms{extra}")
 
+    # 11. The flight recorder: an out-of-band black box appending full
+    #     diagnostic snapshots (serverStatus, /proc, metric deltas) to a
+    #     size-capped on-disk ring of delta-compressed chunks, plus a
+    #     stall watchdog that dumps every thread's stack the moment a
+    #     lock, the journal committer, or wire dispatch wedges.  After a
+    #     crash the ring alone reconstructs the final pre-crash window —
+    #     `repro diagnose --crash` never has to open the datastore.
+    import tempfile
+
+    from repro.obs.flight import (
+        FlightRecorder,
+        StallWatchdog,
+        build_crash_report,
+        decode_ring,
+    )
+
+    flight_dir = tempfile.mkdtemp(prefix="tour-flight-")
+    rec = FlightRecorder(store, flight_dir, interval_s=60.0)
+    for _ in range(5):
+        db["materials"].find_one({})
+        rec.capture()
+    rec.flush()
+
+    dog = StallWatchdog(rec, store=store, stall_timeout_s=0.01)
+    held, release = threading.Event(), threading.Event()
+
+    def tour_lock_wedge():
+        with coll._lock.write():
+            held.set()
+            release.wait(timeout=5)
+
+    wedge = threading.Thread(target=tour_lock_wedge, daemon=True)
+    wedge.start()
+    held.wait(timeout=5)
+    dog.check_once()          # arms the probe: lock failure must sustain
+    _time.sleep(0.05)
+    for event in dog.check_once():
+        print(f"[flight] stall {event['probe']}: {event['detail']}; "
+              f"{len(event['stacks'])} thread stacks dumped")
+    release.set()
+    wedge.join(timeout=5)
+    rec.stop()
+
+    ring = decode_ring(flight_dir)
+    print(f"[flight] ring decoded: {ring['records']} records in "
+          f"{ring['chunks'] if isinstance(ring['chunks'], int) else len(ring['chunks'])} chunks -> "
+          f"{len(ring['snapshots'])} snapshots, {len(ring['events'])} events")
+    final = build_crash_report(flight_dir, window_s=60.0)
+    print(f"[flight] pre-crash window: {final['snapshots_in_window']} "
+          f"snapshots, final opcounters {final['final']['opcounters']}")
+
 
 if __name__ == "__main__":
     main()

@@ -28,7 +28,11 @@ Two operational endpoints ride alongside the data API:
 * ``GET /debug/profile|flamegraph|locks`` — the continuous profiler:
   JSON snapshot of the process-global sampling profiler (``action=start``
   / ``action=stop`` drive its lifecycle), folded flamegraph stacks as
-  ``text/plain``, and the backing store's lock-contention report.
+  ``text/plain``, and the backing store's lock-contention report;
+* ``GET /debug/flight`` — the process-global flight recorder's status
+  (``?window=N`` adds the last N in-memory snapshots, ``?anomalies=1``
+  runs the MAD-z-score scan, ``?events=1`` lists recent stall/shutdown
+  events).
 
 When a :class:`~repro.obs.warehouse.TelemetryWarehouse` is attached,
 every request additionally lands a structured record in
@@ -300,7 +304,32 @@ class _Handler(BaseHTTPRequestHandler):
             limit = int(params.get("limit", ["10"])[0])
             self._send_json(200, store.lock_report(limit=limit))
             return
+        if section == "flight":
+            self._serve_flight(params)
+            return
         self._send_json(404, {"error": f"unknown debug section {section!r}"})
+
+    def _serve_flight(self, params: dict) -> None:
+        """``GET /debug/flight`` — the process-global flight recorder."""
+        from ..obs.flight import get_flight_recorder, scan_anomalies
+
+        recorder = get_flight_recorder()
+        if recorder is None:
+            self._send_json(200, {"attached": False, "running": False})
+            return
+        if params.get("anomalies", [None])[0]:
+            self._send_json(200, {
+                "attached": True,
+                "anomalies": scan_anomalies(recorder.recent()),
+            })
+            return
+        doc = {"attached": True, **recorder.status()}
+        window = int(params.get("window", ["0"])[0])
+        if window:
+            doc["snapshots"] = recorder.recent(window)
+        if params.get("events", [None])[0]:
+            doc["events"] = recorder.recent_events(50)
+        self._send_json(200, doc)
 
     def _serve_trace(self, trace_id: str) -> None:
         """``GET /traces/<trace_id>`` — one tail-sampled trace tree."""

@@ -11,6 +11,7 @@ A downstream operator's entry points over a persistent datastore directory::
     python -m repro.cli mongotop  --data-dir ./mpdb --n 3
     python -m repro.cli advise    --data-dir ./mpdb --verify
     python -m repro.cli profile   --host localhost --port 8900 --flame
+    python -m repro.cli diagnose  --data-dir ./mpdb --crash
 
 Every command opens the same snapshot+journal-backed store, so state
 persists between invocations — a one-machine analog of operating the
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -178,6 +180,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
             access_log=warehouse.access if warehouse else None,
         ).start()
         print(f"wire protocol on {wire.address[0]}:{wire.port}")
+    recorder = None
+    watchdog = None
+    if not args.no_flight:
+        from .obs.flight import (
+            StallWatchdog,
+            enable_fault_handler,
+            generate_crash_report,
+            start_flight_recorder,
+            stop_flight_recorder,
+        )
+
+        flight_dir = args.flight_dir or os.path.join(args.data_dir, "flight")
+        enable_fault_handler(flight_dir)
+        crash = generate_crash_report(
+            flight_dir, journal_recovery=store.last_recovery)
+        if crash is not None:
+            print(f"unclean shutdown detected: crash report written to "
+                  f"{os.path.join(flight_dir, 'crash_report.json')}")
+            if warehouse is not None:
+                warehouse.record_flight_event({
+                    "type": "crash",
+                    "session": crash.get("session"),
+                    "last_snapshot_ts": crash.get("last_snapshot_ts"),
+                    "snapshots_in_window": crash.get("snapshots_in_window"),
+                    "journal_recovery": crash.get("journal_recovery"),
+                })
+        recorder = start_flight_recorder(
+            store, flight_dir, interval_s=args.flight_interval)
+        watchdog = StallWatchdog(
+            recorder, store=store, wire_server=wire,
+            stall_timeout_s=args.stall_timeout,
+            event_sink=(warehouse.record_flight_event
+                        if warehouse is not None else None),
+        ).start()
+        print(f"flight recorder on {flight_dir} "
+              f"(every {args.flight_interval:g}s, stall timeout "
+              f"{args.stall_timeout:g}s)")
     print(f"Materials API + Web UI on {server.base_url} "
           f"(try {server.base_url}/ui) — Ctrl-C to stop")
     if warehouse is not None:
@@ -190,6 +229,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
+        if watchdog is not None:
+            watchdog.stop()
+        if recorder is not None:
+            stop_flight_recorder()
         if wire is not None:
             wire.stop()
         server.stop()
@@ -540,6 +583,145 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """``repro diagnose`` — decode the flight-recorder ring: recent
+    windows, time-range slices, window diffs, an anomaly scan, and the
+    pre-crash report.  The local path reads only the ring directory —
+    it never opens the docstore, so it works when the data files are
+    the casualty; ``--host`` asks a live server about *its* recorder."""
+    from .obs import flight as fl
+
+    if args.host:
+        if args.port is None:
+            raise SystemExit("--host requires --port")
+        from .docstore.server import RemoteClient
+
+        client = RemoteClient(args.host, args.port)
+        try:
+            if args.crash:
+                doc = client.flight("crash")
+            elif args.anomalies:
+                doc = client.flight("anomalies", threshold=args.threshold)
+            elif args.window:
+                doc = client.flight("window", limit=args.window)
+            else:
+                doc = client.flight("status")
+        finally:
+            client.close()
+        print(json.dumps(doc, default=str,
+                         indent=None if args.json else 2))
+        return 0
+
+    flight_dir = args.flight_dir or os.path.join(args.data_dir, "flight")
+
+    if args.crash:
+        report = fl.read_crash_report(flight_dir)
+        source = "crash_report.json"
+        if report is None:
+            report = fl.build_crash_report(flight_dir,
+                                           window_s=args.window_s)
+            source = "ring"
+        if args.json:
+            print(json.dumps(report, default=str))
+            return 0
+        print(f"crash report ({source}) for {flight_dir}")
+        session = report.get("session") or {}
+        if session:
+            print(f"  session: pid {session.get('pid')}  "
+                  f"clean={session.get('clean')}")
+        final = report.get("final")
+        if final:
+            print(f"  last snapshot: seq {final.get('seq')} at "
+                  f"{_fmt_ts(final.get('ts') or 0.0)} "
+                  f"({report.get('snapshots_in_window', 0)} snapshots in "
+                  f"the final {report.get('window_s', 0.0):g}s)")
+            ops = final.get("opcounters") or {}
+            if ops:
+                print("  opcounters: "
+                      + "  ".join(f"{k} {ops[k]}" for k in sorted(ops)))
+            journal = final.get("journal") or {}
+            if journal:
+                print(f"  journal: pending {journal.get('pending')}  "
+                      f"appended {journal.get('appended')}  "
+                      f"committed {journal.get('committed')}")
+        else:
+            print("  no snapshots in the ring")
+        if report.get("journal_recovery"):
+            print(f"  journal recovery: {report['journal_recovery']}")
+        for warning in report.get("decode_warnings") or []:
+            print(f"  warning: {warning}")
+        for event in (report.get("events") or [])[-5:]:
+            print(f"  event: {event.get('type')} at "
+                  f"{_fmt_ts(event.get('ts', 0.0))}")
+        for finding in (report.get("anomalies") or [])[:5]:
+            print(f"  anomaly: {finding['series']} z={finding['z']:+.1f} "
+                  f"value {finding['value']:g} (median "
+                  f"{finding['median']:g})")
+        return 0
+
+    decoded = fl.decode_ring(flight_dir, since=args.since, until=args.until)
+    snaps = decoded["snapshots"]
+    window = snaps[-args.window:] if args.window else snaps
+
+    if args.diff:
+        result = fl.diff_window(snaps, args.diff[0], args.diff[1])
+        if args.json:
+            print(json.dumps(result, default=str))
+            return 0
+        print(f"window diff: {result.get('snapshots', 0)} snapshots "
+              f"{_fmt_ts(result.get('first_ts') or 0.0)} .. "
+              f"{_fmt_ts(result.get('last_ts') or 0.0)}")
+        for path in sorted(result.get("deltas", {})):
+            d = result["deltas"][path]
+            print(f"  {path}: {d['from']:g} -> {d['to']:g} "
+                  f"({d['delta']:+g})")
+        return 0
+
+    if args.anomalies:
+        findings = fl.scan_anomalies(window, threshold=args.threshold)
+        if args.json:
+            print(json.dumps(findings, default=str))
+            return 0
+        if not findings:
+            print(f"no anomalies above |z| >= {args.threshold:g} "
+                  f"in {len(window)} snapshots")
+        for finding in findings:
+            print(f"{finding['z']:>+8.1f}  {finding['series']}  "
+                  f"value {finding['value']:g} (median "
+                  f"{finding['median']:g}) at {_fmt_ts(finding['ts'])}")
+        return 0
+
+    if args.json:
+        print(json.dumps({
+            "directory": flight_dir,
+            "chunks": decoded["chunks"],
+            "records": decoded["records"],
+            "snapshots": len(snaps),
+            "events": decoded["events"],
+            "warnings": decoded["warnings"],
+            "window": window,
+        }, default=str))
+        return 0
+    print(f"flight ring {flight_dir}: {decoded['chunks']} chunks, "
+          f"{decoded['records']} records, {len(snaps)} snapshots, "
+          f"{len(decoded['events'])} events")
+    for warning in decoded["warnings"]:
+        print(f"  warning: {warning}")
+    for event in decoded["events"][-10:]:
+        print(f"  event: {event.get('type')} at "
+              f"{_fmt_ts(event.get('ts', 0.0))}")
+    shown = window if args.window else window[-5:]
+    for snap in shown:
+        server = snap.get("server") or {}
+        ops = server.get("opcounters") or {}
+        proc = snap.get("process") or {}
+        rss = proc.get("rss_bytes")
+        print(f"  {_fmt_ts(snap.get('ts', 0.0))}  seq {snap.get('seq')}  "
+              f"ops {sum(ops.values()) if ops else 0}  "
+              f"rss {'-' if rss is None else f'{rss / 1048576.0:.1f}M'}")
+    return 0
+
+
 def cmd_plan_cache(args: argparse.Namespace) -> int:
     target, close = _monitor_target(args)
     try:
@@ -631,6 +813,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "access log, tail-sampled traces, TTL retention)")
     p.add_argument("--telemetry-interval", type=float, default=5.0,
                    help="seconds between warehouse recording passes")
+    p.add_argument("--no-flight", action="store_true",
+                   help="disable the flight recorder, stall watchdog, and "
+                        "crash forensics")
+    p.add_argument("--flight-dir",
+                   help="flight-ring directory (default <data-dir>/flight)")
+    p.add_argument("--flight-interval", type=float, default=1.0,
+                   help="seconds between flight-recorder snapshots")
+    p.add_argument("--stall-timeout", type=float, default=5.0,
+                   help="seconds a liveness probe must fail before the "
+                        "watchdog declares a stall")
     p.set_defaults(fn=cmd_serve)
 
     for name, help_text in (
@@ -725,6 +917,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     _add_wire_target(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("diagnose",
+                       help="decode the flight-recorder ring: windows, "
+                            "diffs, anomalies, crash forensics (never "
+                            "opens the docstore)")
+    p.add_argument("--flight-dir",
+                   help="ring directory (default <data-dir>/flight)")
+    p.add_argument("--window", type=int, default=0,
+                   help="only the last N snapshots")
+    p.add_argument("--since", type=float,
+                   help="epoch-seconds lower bound on returned records")
+    p.add_argument("--until", type=float,
+                   help="epoch-seconds upper bound on returned records")
+    p.add_argument("--diff", nargs=2, type=float, metavar=("T0", "T1"),
+                   help="numeric-leaf deltas between two instants")
+    p.add_argument("--anomalies", action="store_true",
+                   help="MAD-z-score outlier scan over the window")
+    p.add_argument("--threshold", type=float, default=6.0,
+                   help="modified z-score threshold for --anomalies")
+    p.add_argument("--crash", action="store_true",
+                   help="pre-crash report: the persisted crash_report.json "
+                        "or one rebuilt from the ring alone")
+    p.add_argument("--window-s", type=float, default=30.0,
+                   help="pre-crash window size in seconds for --crash")
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("plan-cache", help="plan-cache counters and size")
     p.add_argument("--db", default="mp")

@@ -17,7 +17,7 @@ from collections import deque
 from typing import Any, Deque, List, Optional
 
 from ..errors import DocstoreError
-from ..obs import active_span
+from ..obs import active_span, get_registry
 from .collection import Collection
 
 __all__ = ["ChangeEvent", "ChangeStream"]
@@ -46,7 +46,10 @@ class ChangeStream:
     ``max_buffer`` bounds memory; when the consumer falls further behind
     than that, the stream records the overflow and raises on the next
     read — the same "resume token too old, resync required" contract real
-    oplog tailing has.
+    oplog tailing has.  Every dropped event bumps ``dropped`` and the
+    ``repro_changestream_dropped_total`` counter, and the
+    ``repro_changestream_backlog`` gauge tracks the pending depth — the
+    numbers behind the health monitor's backlog alerting.
     """
 
     def __init__(self, collection: Collection, max_buffer: int = 10_000):
@@ -54,6 +57,7 @@ class ChangeStream:
             raise DocstoreError("max_buffer must be positive")
         self.collection = collection
         self.max_buffer = max_buffer
+        self.dropped = 0
         self._events: Deque[ChangeEvent] = deque()
         self._lock = threading.Lock()
         self._seq = 0
@@ -78,6 +82,16 @@ class ChangeStream:
             if len(self._events) > self.max_buffer:
                 self._events.popleft()
                 self._overflowed = True
+                self.dropped += 1
+                registry = get_registry()
+                registry.counter(
+                    "repro_changestream_dropped_total",
+                    "change events dropped after buffer overflow",
+                ).inc(1, ns=self.collection.name)
+                registry.gauge(
+                    "repro_changestream_backlog",
+                    "pending change events per stream",
+                ).set(len(self._events), ns=self.collection.name)
 
     # -- consumption --------------------------------------------------------
 
@@ -101,6 +115,10 @@ class ChangeStream:
                 while self._events and (max_events is None
                                         or len(out) < max_events):
                     out.append(self._events.popleft())
+                get_registry().gauge(
+                    "repro_changestream_backlog",
+                    "pending change events per stream",
+                ).set(len(self._events), ns=self.collection.name)
             if s is not None:
                 s.set_attribute("events", len(out))
             return out

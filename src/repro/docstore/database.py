@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import CollectionNotFound, DocstoreError
 from ..obs import current_span, get_registry
+from ..obs.procstats import process_status
 from .collection import Collection
 
 __all__ = ["Database", "DocumentStore"]
@@ -463,12 +464,22 @@ class DocumentStore:
             "collections": collections,
             "locks": locks,
             "planCache": plan_cache,
+            "process": process_status(),
         }
         if self._persistence is not None:
             out["journal"] = self._persistence.journal_stats()
         if self._ttl_reaper is not None:
             out["ttl"] = self._ttl_reaper.stats()
         return out
+
+    @property
+    def last_recovery(self) -> Optional[dict]:
+        """Journal replay accounting from the most recent ``recover()``
+        (``replayed``/``skipped``/``truncated_at``/``reason``), or ``None``
+        for in-memory stores or when no journal existed at startup."""
+        if self._persistence is None:
+            return None
+        return self._persistence.last_recovery
 
     def lock_report(self, limit: int = 10) -> dict:
         """Store-wide lock accounting plus top contended attribution.

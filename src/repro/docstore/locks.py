@@ -149,6 +149,36 @@ class RWLock:
             if sites is not None:
                 self._record_wait("read", time.perf_counter() - t0, sites)
 
+    def try_acquire_read(self, timeout: float = 0.0) -> bool:
+        """Non-blocking (or bounded-wait) read acquisition.
+
+        Returns ``True`` with the read lock held, or ``False`` if it
+        could not be acquired within ``timeout`` seconds.  Honors the
+        same reentrancy rules as :meth:`acquire_read` but never records
+        contention — this is the flight watchdog's liveness probe, and a
+        probe must not pollute the attribution tables it reports on.
+        """
+        me = threading.get_ident()
+        deadline = time.perf_counter() + timeout
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                self._acquires["read"] += 1
+                return True
+            depth = self._readers.get(me)
+            if depth is not None:
+                self._readers[me] = depth + 1
+                self._acquires["read"] += 1
+                return True
+            while self._writer is not None or self._waiting_writers:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if self._writer is not None or self._waiting_writers:
+                        return False
+            self._readers[me] = 1
+            self._acquires["read"] += 1
+            return True
+
     def release_read(self) -> None:
         me = threading.get_ident()
         with self._cond:

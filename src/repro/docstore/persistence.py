@@ -84,6 +84,10 @@ class JournalWriter:
         self._last_fsync = time.monotonic()
         self._stats = {"records": 0, "batches": 0, "fsyncs": 0,
                        "max_batch": 0}
+        # Committer liveness: monotonic time of the last loop pass.  The
+        # flight watchdog reads its age — a wedged fsync shows up as
+        # pending records under a stale heartbeat.
+        self._heartbeat: Optional[float] = None
 
     # -- writer side ------------------------------------------------------
 
@@ -144,6 +148,7 @@ class JournalWriter:
                 batch = self._pending
                 self._pending = []
                 closed = self._closed
+                self._heartbeat = time.monotonic()
             if batch:
                 self._commit(batch)
             elif self.fsync_policy == "interval":
@@ -176,6 +181,7 @@ class JournalWriter:
             self._stats["max_batch"] = max(self._stats["max_batch"], len(batch))
             if fsynced:
                 self._stats["fsyncs"] += 1
+            self._heartbeat = time.monotonic()
             self._cond.notify_all()
 
     def _maybe_interval_fsync(self) -> None:
@@ -261,6 +267,9 @@ class JournalWriter:
                 "written_seq": self._written_seq,
                 "durable_seq": self._durable_seq,
                 "pending": len(self._pending),
+                "heartbeat_age_s": (
+                    time.monotonic() - self._heartbeat
+                    if self._heartbeat is not None else None),
             })
         return out
 

@@ -136,6 +136,11 @@ class DatastoreServer:
         # Test hook: ``fn(wfile, encoded)`` replaces the response write so
         # chaos tests can fail mid-frame; None in production.
         self._response_fault = None
+        # In-flight dispatch registry keyed by handler thread ident: the
+        # flight watchdog's wire probe reads the oldest entry's age to spot
+        # a dispatch wedged inside the engine.
+        self._inflight: Dict[int, tuple] = {}
+        self._inflight_lock = threading.Lock()
 
     def _record_access(self, request: Optional[Mapping[str, Any]],
                        error_type: Optional[str], t0: float,
@@ -211,12 +216,34 @@ class DatastoreServer:
                 f"request {request['op']!r} arrived past its deadline"
             )
         ctx = request.get("$trace")
-        with deadline_scope(deadline):
-            if ctx is None:
-                return self._dispatch(request)
-            with remote_span(f"wire.{request['op']}", ctx,
-                             db=request.get("db"), coll=request.get("coll")):
-                return self._dispatch(request)
+        ident = threading.get_ident()
+        with self._inflight_lock:
+            self._inflight[ident] = (str(request["op"]), time.monotonic())
+        try:
+            with deadline_scope(deadline):
+                if ctx is None:
+                    return self._dispatch(request)
+                with remote_span(f"wire.{request['op']}", ctx,
+                                 db=request.get("db"),
+                                 coll=request.get("coll")):
+                    return self._dispatch(request)
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(ident, None)
+
+    def dispatch_inflight(self) -> List[dict]:
+        """Currently dispatching wire ops with their ages (oldest first).
+
+        The flight watchdog's wire-liveness probe: a dispatch older than
+        the stall timeout means a handler thread is wedged inside the
+        engine (the probe itself never enters the engine).
+        """
+        now = time.monotonic()
+        with self._inflight_lock:
+            rows = [{"op": op, "age_s": now - t0}
+                    for op, t0 in self._inflight.values()]
+        rows.sort(key=lambda r: -r["age_s"])
+        return rows
 
     def _dispatch(self, request: Mapping[str, Any]) -> dict:
         with self._stats_lock:
@@ -240,6 +267,8 @@ class DatastoreServer:
             return {"ok": True, "result": self.store.server_status()}
         if op == "profile":
             return {"ok": True, "result": self._profile_op(request)}
+        if op == "flight":
+            return {"ok": True, "result": self._flight_op(request)}
         if op == "lock_report":
             return {"ok": True, "result": self.store.lock_report(
                 limit=request.get("limit", 10))}
@@ -298,6 +327,46 @@ class DatastoreServer:
         if action == "snapshot":
             return profiler.snapshot(limit=request.get("limit", 0))
         raise WireProtocolError(f"unknown profile action {action!r}")
+
+    @staticmethod
+    def _flight_op(request: Mapping[str, Any]) -> Any:
+        """The ``flight`` wire op: read the server's flight recorder.
+
+        Actions: ``status`` (the default), ``window`` (the last ``limit``
+        in-memory snapshots), ``events`` (recent stall/shutdown events),
+        ``anomalies`` (MAD-z-score scan over the in-memory window), and
+        ``crash`` (the persisted ``crash_report.json``, if any).  The
+        recorder is the process-global one ``repro serve`` starts, so the
+        same data is live on ``GET /debug/flight``.
+        """
+        from ..obs.flight import (
+            get_flight_recorder,
+            read_crash_report,
+            scan_anomalies,
+        )
+
+        action = request.get("action", "status")
+        recorder = get_flight_recorder()
+        if recorder is None:
+            if action == "status":
+                return {"attached": False, "running": False}
+            raise DocstoreError("no flight recorder is running on the server")
+        if action == "status":
+            return {"attached": True, **recorder.status()}
+        if action == "window":
+            return {"snapshots":
+                    recorder.recent(int(request.get("limit") or 60))}
+        if action == "events":
+            return {"events":
+                    recorder.recent_events(int(request.get("limit") or 50))}
+        if action == "anomalies":
+            return {"anomalies": scan_anomalies(
+                recorder.recent(),
+                threshold=float(request.get("threshold") or 6.0))}
+        if action == "crash":
+            report = read_crash_report(recorder.directory)
+            return report if report is not None else {"crash_report": None}
+        raise WireProtocolError(f"unknown flight action {action!r}")
 
     @staticmethod
     def _op_insert_one(coll: Any, req: Mapping[str, Any]) -> Any:
@@ -578,7 +647,7 @@ _IDEMPOTENT_OPS = frozenset({
     "ping", "find", "find_one", "count", "distinct", "aggregate",
     "list_databases", "list_collections", "server_status", "db_status",
     "top", "stats", "index_stats", "explain", "plan_cache", "current_op",
-    "export_traces", "lock_report", "profile",
+    "export_traces", "lock_report", "profile", "flight",
 })
 
 #: Server error types re-raised as their specific client-side exception
@@ -817,6 +886,21 @@ class RemoteClient:
     def lock_report(self, limit: int = 10) -> dict:
         """Store-wide lock totals + top contended (waiter, holder) sites."""
         return self.request({"op": "lock_report", "limit": limit})
+
+    def flight(self, action: str = "status", limit: int = 0,
+               threshold: Optional[float] = None) -> Any:
+        """Read the *server's* flight recorder over the wire.
+
+        ``action`` is ``status``/``window``/``events``/``anomalies``/
+        ``crash``; ``limit`` bounds ``window``/``events``; ``threshold``
+        tunes the ``anomalies`` MAD-z-score cutoff.
+        """
+        request: Dict[str, Any] = {"op": "flight", "action": action}
+        if limit:
+            request["limit"] = limit
+        if threshold is not None:
+            request["threshold"] = threshold
+        return self.request(request)
 
     def close(self) -> None:
         with self._pool_lock:

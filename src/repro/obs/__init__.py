@@ -39,7 +39,14 @@ Fleet-health tooling builds on that substrate:
 * :mod:`.profiler` — the continuous wall-clock sampling profiler: a
   daemon sampling every thread's stack via ``sys._current_frames`` into
   bounded flamegraph-ready folded stacks, shared process-wide so the wire
-  server, ``/debug`` endpoints, CLI, and warehouse see one profile.
+  server, ``/debug`` endpoints, CLI, and warehouse see one profile;
+* :mod:`.flight` — the out-of-band flight recorder: FTDC-style snapshots
+  (``server_status``, metric deltas, process stats) into a size-capped
+  on-disk ring of delta-compressed CRC-checked chunks, a stall watchdog
+  probing lock/journal/wire liveness, and crash forensics that turn an
+  unclean shutdown into a ``crash_report.json``;
+* :mod:`.procstats` — ``/proc``-derived process stats (RSS, CPU seconds,
+  fds, threads) feeding ``server_status()["process"]`` and the recorder.
 """
 
 from .logging import RedactingFormatter, get_logger, log_event, redact
@@ -89,6 +96,22 @@ from .profiler import (
     get_profiler,
     start_profiler,
     stop_profiler,
+)
+from .procstats import process_status
+from .flight import (
+    FlightRecorder,
+    StallWatchdog,
+    build_crash_report,
+    decode_ring,
+    detect_unclean_shutdown,
+    enable_fault_handler,
+    generate_crash_report,
+    get_flight_recorder,
+    read_crash_report,
+    scan_anomalies,
+    set_flight_recorder,
+    start_flight_recorder,
+    stop_flight_recorder,
 )
 from .warehouse import (
     MetricsHistoryRecorder,
@@ -147,4 +170,18 @@ __all__ = [
     "get_profiler",
     "start_profiler",
     "stop_profiler",
+    "process_status",
+    "FlightRecorder",
+    "StallWatchdog",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "start_flight_recorder",
+    "stop_flight_recorder",
+    "decode_ring",
+    "scan_anomalies",
+    "enable_fault_handler",
+    "detect_unclean_shutdown",
+    "build_crash_report",
+    "generate_crash_report",
+    "read_crash_report",
 ]

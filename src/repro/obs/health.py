@@ -74,6 +74,7 @@ class ServerStatusSampler:
             "objects": status.get("objects"),
             "collections": status.get("collections"),
             "active_ops": self._active_ops(),
+            "process": status.get("process"),
         }
         self._prev_counters = counters
         self._samples.append(sample)
@@ -165,22 +166,43 @@ class TopSampler:
 
 
 def format_stat_table(samples: List[dict], header: bool = True) -> str:
-    """Render mongostat samples as aligned columns, one row per sample."""
+    """Render mongostat samples as aligned columns, one row per sample.
+
+    When samples carry a ``process`` section (``server_status()`` on a
+    store with :mod:`repro.obs.procstats` wired in), RSS / fd / thread
+    columns are appended after the timestamp — trailing, so the classic
+    opcounter layout is stable for tooling that slices fixed columns.
+    """
+    has_process = any(s.get("process") for s in samples)
     lines = []
     if header:
         cols = "".join(f"{c:>9s}" for c in STAT_COLUMNS)
-        lines.append(f"{cols}{'active':>9s}{'objects':>9s}  time")
+        head = f"{cols}{'active':>9s}{'objects':>9s}  time"
+        if has_process:
+            head += f"{'rss_mb':>9s}{'fds':>7s}{'thr':>5s}"
+        lines.append(head)
     for s in samples:
         cols = "".join(f"{s['deltas'].get(c, 0):>9d}" for c in STAT_COLUMNS)
         active = s.get("active_ops")
         objects = s.get("objects")
         stamp = time.strftime("%H:%M:%S", time.localtime(s["ts"]))
-        lines.append(
+        row = (
             f"{cols}"
             f"{('-' if active is None else str(active)):>9s}"
             f"{('-' if objects is None else str(objects)):>9s}"
             f"  {stamp}"
         )
+        if has_process:
+            proc = s.get("process") or {}
+            rss = proc.get("rss_bytes")
+            fds = proc.get("open_fds")
+            thr = proc.get("threads")
+            row += (
+                f"{('-' if rss is None else f'{rss / 1048576.0:.1f}'):>9s}"
+                f"{('-' if fds is None else str(fds)):>7s}"
+                f"{('-' if thr is None else str(thr)):>5s}"
+            )
+        lines.append(row)
     return "\n".join(lines)
 
 

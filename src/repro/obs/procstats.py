@@ -1,0 +1,100 @@
+"""Process-level resource stats from ``/proc`` (with a portable fallback).
+
+The paper's deployment ran the datastore, the builders, and the public
+API inside one shared HPC allocation (§IV-A), where the questions that
+page an operator are process-level: is RSS creeping toward the cgroup
+limit, is the fd table filling up, is system CPU eating the walltime?
+MongoDB answers these in ``serverStatus.mem`` / ``extra_info``; this
+module is our equivalent, consumed by ``server_status()`` and captured
+every tick by the flight recorder.
+
+On Linux the numbers come straight from ``/proc/self`` — no subprocess,
+no dependency, one short read per file.  Anywhere else (or when ``/proc``
+is unreadable) the fallback uses :mod:`resource` and
+:func:`threading.active_count`, reporting ``source: "fallback"`` so
+consumers know RSS is a high-water mark rather than current.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["process_status"]
+
+#: Wall-clock time this module was first imported — a faithful enough
+#: process start for uptime reporting (the import happens during startup).
+_PROCESS_START = time.time()
+
+
+def _read_proc(proc_dir: str) -> Dict[str, Any]:
+    """Raw numbers from ``{proc_dir}/stat`` + ``status`` + ``fd``."""
+    out: Dict[str, Any] = {}
+    with open(os.path.join(proc_dir, "stat"), "r", encoding="ascii") as fh:
+        stat = fh.read()
+    # The comm field (2) may contain spaces/parens; everything after the
+    # *last* ')' is fixed-position: state utime=14 stime=15 overall, which
+    # lands at split indexes 11 and 12 of the remainder.
+    rest = stat.rsplit(")", 1)[1].split()
+    clk = os.sysconf("SC_CLK_TCK") or 100
+    out["user_cpu_s"] = int(rest[11]) / clk
+    out["sys_cpu_s"] = int(rest[12]) / clk
+    with open(os.path.join(proc_dir, "status"), "r", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                out["rss_bytes"] = int(line.split()[1]) * 1024
+            elif line.startswith("Threads:"):
+                out["threads"] = int(line.split()[1])
+    try:
+        out["open_fds"] = len(os.listdir(os.path.join(proc_dir, "fd")))
+    except OSError:
+        pass
+    return out
+
+
+def _read_fallback() -> Dict[str, Any]:
+    """Portable approximation via ``getrusage`` (macOS, BSD, anywhere)."""
+    out: Dict[str, Any] = {"threads": threading.active_count()}
+    try:
+        import resource
+        ru = resource.getrusage(resource.RUSAGE_SELF)
+        out["user_cpu_s"] = ru.ru_utime
+        out["sys_cpu_s"] = ru.ru_stime
+        # ru_maxrss is bytes on macOS, KiB elsewhere — and a lifetime
+        # high-water mark either way, not the current resident size.
+        scale = 1 if sys.platform == "darwin" else 1024
+        out["rss_bytes"] = int(ru.ru_maxrss) * scale
+    except Exception:  # no resource module (unlikely) — report what we can
+        pass
+    return out
+
+
+def process_status(proc_dir: Optional[str] = "/proc/self") -> Dict[str, Any]:
+    """One JSON-friendly snapshot of this process's resource usage.
+
+    Keys: ``pid``, ``uptime_s``, ``rss_bytes``, ``user_cpu_s``,
+    ``sys_cpu_s``, ``open_fds``, ``threads``, ``source`` (``"proc"`` or
+    ``"fallback"``).  Missing values are ``None`` rather than absent so
+    delta encoding sees a stable shape.
+    """
+    out: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "uptime_s": time.time() - _PROCESS_START,
+        "rss_bytes": None,
+        "user_cpu_s": None,
+        "sys_cpu_s": None,
+        "open_fds": None,
+        "threads": threading.active_count(),
+        "source": "fallback",
+    }
+    try:
+        if proc_dir is None:
+            raise OSError("proc disabled")
+        out.update(_read_proc(proc_dir))
+        out["source"] = "proc"
+    except (OSError, ValueError, IndexError):
+        out.update(_read_fallback())
+    return out

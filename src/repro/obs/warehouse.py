@@ -29,6 +29,10 @@ landing it in real collections in a ``telemetry`` database:
 * ``telemetry.alerts`` — the SLO engine's alert history
   (:meth:`TelemetryWarehouse.slo_engine`); open alerts persist and are
   re-adopted after a restart.
+* ``telemetry.events`` — operational incidents from the flight recorder's
+  stall watchdog and crash forensics (:mod:`repro.obs.flight`): stall
+  detections with their thread-stack dumps and post-crash reports, queryable
+  long after the on-disk flight ring has rotated past them.
 
 Every collection carries compound query indexes (``(name, ts)``,
 ``(endpoint, ts)``) so warehouse analytics ride the cost-based planner's
@@ -62,6 +66,7 @@ ACCESS_TTL_S = 14 * 86400.0
 TRACES_TTL_S = 86400.0
 PROFILE_TTL_S = 86400.0
 PROFILES_TTL_S = 86400.0
+EVENTS_TTL_S = 30 * 86400.0
 
 #: Folded stacks persisted per profiler snapshot (hottest first).
 PROFILE_SNAPSHOT_STACKS = 50
@@ -387,6 +392,7 @@ class TelemetryWarehouse:
                  traces_ttl_s: float = TRACES_TTL_S,
                  profile_ttl_s: float = PROFILE_TTL_S,
                  profiles_ttl_s: float = PROFILES_TTL_S,
+                 events_ttl_s: float = EVENTS_TTL_S,
                  trace_latency_threshold_ms: float =
                  TRACE_LATENCY_THRESHOLD_MS):
         # Imported lazily: repro.api pulls repro.obs in at import time, so
@@ -412,6 +418,10 @@ class TelemetryWarehouse:
         )
         self.db["profiles"].create_index(
             "ts", name="ts_ttl", expire_after_seconds=profiles_ttl_s
+        )
+        self.db["events"].create_index([("type", 1), ("ts", 1)])
+        self.db["events"].create_index(
+            "ts", name="ts_ttl", expire_after_seconds=events_ttl_s
         )
         self.access = QueryLog(
             collection=self.db["access"], ttl_s=access_ttl_s
@@ -518,6 +528,43 @@ class TelemetryWarehouse:
             "sampling-profiler snapshots recorded into telemetry.profiles",
         ).inc(1)
         return 1
+
+    # -- flight-recorder events --------------------------------------------
+
+    def record_flight_event(self, event: dict) -> dict:
+        """Land one flight-recorder incident in ``telemetry.events``.
+
+        Usable directly as a :class:`~repro.obs.flight.StallWatchdog`
+        ``event_sink``.  Stack dumps are capped so a many-threaded stall
+        can't write an unbounded document.
+        """
+        doc = dict(event)
+        doc.setdefault("ts", time.time())
+        doc.setdefault("type", "unknown")
+        stacks = doc.get("stacks")
+        if isinstance(stacks, list) and len(stacks) > 32:
+            doc["stacks"] = stacks[:32]
+            doc["stacks_truncated"] = len(stacks) - 32
+        self.db["events"].insert_one(doc)
+        get_registry().counter(
+            "repro_warehouse_flight_events_total",
+            "flight-recorder incidents recorded into telemetry.events",
+        ).inc(1, type=str(doc["type"]))
+        return doc
+
+    def flight_events(self, event_type: Optional[str] = None,
+                      since: Optional[float] = None,
+                      limit: int = 0) -> List[dict]:
+        """Recorded flight incidents, time-ascending, via ``(type, ts)``."""
+        query: Dict[str, Any] = {}
+        if event_type is not None:
+            query["type"] = event_type
+        if since is not None:
+            query["ts"] = {"$gte": float(since)}
+        cursor = self.db["events"].find(query, {"_id": 0}).sort([("ts", 1)])
+        if limit:
+            cursor = cursor.limit(int(limit))
+        return list(cursor)
 
     def profiler_snapshots(self, since: Optional[float] = None,
                            limit: int = 0) -> List[dict]:
@@ -645,5 +692,6 @@ class TelemetryWarehouse:
         return {
             name: self.db[name].count_documents()
             for name in ("metrics", "metrics_rollup", "access",
-                         "traces", "profile", "profiles", "alerts")
+                         "traces", "profile", "profiles", "alerts",
+                         "events")
         }

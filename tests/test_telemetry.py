@@ -677,7 +677,8 @@ class TestWarehouseLifecycle:
         stats = wh.stats()
         assert stats["metrics"] == out["metric_points"]
         assert set(stats) == {"metrics", "metrics_rollup", "access",
-                              "traces", "profile", "profiles", "alerts"}
+                              "traces", "profile", "profiles", "alerts",
+                              "events"}
 
     def test_background_loop_and_reaper(self, store):
         wh = TelemetryWarehouse(store, registry=get_registry())
