@@ -255,6 +255,60 @@ def main() -> None:
     print(f"[flight] pre-crash window: {final['snapshots_in_window']} "
           f"snapshots, final opcounters {final['final']['opcounters']}")
 
+    # 12. The sharded cluster: shard a collection, watch a newly added
+    #     shard start empty (imbalance), let the balancer migrate chunks
+    #     to it (copy -> delta drain -> epoch-bumped commit), then show a
+    #     shard-key query routing to a single shard while everything else
+    #     scatter-gathers.  Cluster events (migrations, elections) land in
+    #     telemetry.events through the same warehouse as step 9.
+    from repro.docstore import Balancer, ShardedCluster
+
+    cluster = ShardedCluster(n_replicas=3, split_threshold=40,
+                             event_sink=warehouse.record_flight_event)
+    cluster.add_shard("shard0")
+    materials = cluster.shard_collection("mp.materials", "material_id",
+                                         strategy="range")
+    materials.insert_many([
+        {"material_id": f"mp-{i:05d}", "nelements": 1 + i % 4}
+        for i in range(200)
+    ])
+    cluster.add_shard("shard1")
+    counts = cluster.config.chunk_counts("mp.materials")
+    print(f"[cluster] skewed ingest: chunks per shard = "
+          f"{dict(sorted(counts.items()))}")
+
+    balancer = Balancer(cluster)
+    moves = 0
+    while True:
+        moved = balancer.balance_once()
+        if not moved:
+            break
+        moves += len(moved)
+    counts = cluster.config.chunk_counts("mp.materials")
+    print(f"[cluster] balancer moved {moves} chunks -> "
+          f"{dict(sorted(counts.items()))} "
+          f"(balance factor {cluster.balance_factor('mp.materials'):.2f})")
+
+    targeted = materials.explain({"material_id": "mp-00007"})
+    scatter = materials.explain({"nelements": 3})
+    print(f"[cluster] explain material_id=mp-00007: {targeted['mode']} "
+          f"({len(targeted['shards'])} of {len(cluster.shards)} shards)")
+    print(f"[cluster] explain nelements=3: {scatter['mode']} "
+          f"({len(scatter['shards'])} of {len(cluster.shards)} shards)")
+
+    primary_before = cluster.shard("shard0").rs.primary.name
+    cluster.shard("shard0").rs.kill(primary_before)
+    cluster.await_primaries()
+    materials.insert_one({"material_id": "mp-99999", "nelements": 2})
+    print(f"[cluster] killed primary {primary_before}; re-elected "
+          f"{cluster.shard('shard0').rs.primary.name} "
+          f"(term {cluster.shard('shard0').rs.term}), writes resumed")
+    migrations = [e for e in warehouse.flight_events("migration")]
+    elections = [e for e in warehouse.flight_events("election")]
+    print(f"[cluster] telemetry.events recorded {len(migrations)} "
+          f"migrations, {len(elections)} elections")
+    cluster.stop()
+
 
 if __name__ == "__main__":
     main()

@@ -302,6 +302,67 @@ def cmd_mongotop(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster``: admin the sharded cluster on a live server."""
+    if not args.host or args.port is None:
+        raise SystemExit(
+            "repro cluster requires --host and --port (a live server "
+            "started with an attached sharded cluster)"
+        )
+    from .docstore.server import RemoteClient
+    from .errors import ClusterError
+
+    client = RemoteClient(args.host, args.port)
+    try:
+        if args.action == "status":
+            status = client.shard_status()
+            if args.json:
+                print(json.dumps(status, default=str))
+                return 0
+            print(
+                f"shards: {len(status['shards'])}"
+                f"  migrations: {status['migrations']}"
+                f"  splits: {status['splits']}"
+                f"  staleEpochRetries: {status['staleEpochRetries']}"
+                f"  balancer: "
+                f"{'on' if status['balancerRunning'] else 'off'}"
+            )
+            for shard_id, rs in sorted(status["shards"].items()):
+                members = "  ".join(
+                    f"{m['name']}:{m['role'].lower()}"
+                    for m in rs["members"]
+                )
+                print(f"  {shard_id}: term={rs['term']} "
+                      f"primary={rs['primary']}  {members}")
+            for ns, info in sorted(status["namespaces"].items()):
+                chunks = " ".join(f"{s}={n}" for s, n
+                                  in sorted(info["chunks"].items()))
+                print(f"  {ns}: key={info['shardKey']} "
+                      f"({info['strategy']}) epoch={info['epoch']} "
+                      f"chunks: {chunks}")
+            return 0
+        if args.action == "add-shard":
+            if not args.shard:
+                raise SystemExit("add-shard requires --shard")
+            print(json.dumps(client.add_shard(args.shard)))
+            return 0
+        if args.action == "move-chunk":
+            if not (args.ns and args.chunk and args.to):
+                raise SystemExit(
+                    "move-chunk requires --ns, --chunk and --to")
+            print(json.dumps(client.move_chunk(args.ns, args.chunk,
+                                               args.to)))
+            return 0
+        if not args.shard:
+            raise SystemExit("step-down requires --shard")
+        print(json.dumps(client.step_down(args.shard)))
+        return 0
+    except ClusterError as exc:
+        raise SystemExit(f"repro cluster: {exc}") from exc
+    finally:
+        client.close()
+
+
 def _parse_keys(spec: str):
     """``"formula:1,e_above_hull:-1"`` -> ``[("formula", 1), ...]``.
 
@@ -848,6 +909,20 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_wire_target(p):
         p.add_argument("--host", help="target a live wire-protocol server")
         p.add_argument("--port", type=int, help="server port (with --host)")
+
+    p = sub.add_parser("cluster",
+                       help="sharded-cluster admin (status/add-shard/"
+                            "move-chunk/step-down)")
+    p.add_argument("action",
+                   choices=["status", "add-shard", "move-chunk",
+                            "step-down"])
+    p.add_argument("--shard", help="shard id (add-shard / step-down)")
+    p.add_argument("--ns", help="sharded namespace (move-chunk)")
+    p.add_argument("--chunk", help="chunk id (move-chunk)")
+    p.add_argument("--to", help="destination shard (move-chunk)")
+    p.add_argument("--json", action="store_true")
+    _add_wire_target(p)
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser("explain", help="run the query planner and report")
     p.add_argument("--db", default="mp")

@@ -12,6 +12,9 @@ engine, and web back-end (§III-A).  Public surface:
 * :class:`DatastoreProxy` — the HPC worker-node proxy hop (§IV-A2).
 * :class:`ShardedCollection`, :class:`ReplicaSet` — scale-out paths the
   paper identifies for future growth (§IV-D2).
+* :class:`ShardedCluster` (:mod:`.cluster`) — the self-managing sharded
+  cluster: chunk map + balancer + replica-set elections + shard-targeted
+  routing.
 * :class:`OperationRegistry` / :func:`query_shape` — the live-ops table
   behind ``currentOp()``/``killOp()`` (MongoDB-style op introspection).
 """
@@ -42,6 +45,13 @@ from .sharding import ShardedCollection, hash_shard_key
 from .replication import ReplicaSet, ReplicaNode, Oplog
 from .changestream import ChangeEvent, ChangeStream
 from .filestore import FileStore
+from .cluster import (
+    Balancer,
+    ClusterCollection,
+    HeartbeatMonitor,
+    ShardedCluster,
+    ShardReplicaSet,
+)
 
 __all__ = [
     "ObjectId",
@@ -85,4 +95,9 @@ __all__ = [
     "ChangeEvent",
     "ChangeStream",
     "FileStore",
+    "Balancer",
+    "ClusterCollection",
+    "HeartbeatMonitor",
+    "ShardedCluster",
+    "ShardReplicaSet",
 ]

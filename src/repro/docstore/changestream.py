@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional
 
 from ..errors import DocstoreError
 from ..obs import active_span, get_registry
@@ -52,12 +52,18 @@ class ChangeStream:
     numbers behind the health monitor's backlog alerting.
     """
 
-    def __init__(self, collection: Collection, max_buffer: int = 10_000):
+    def __init__(self, collection: Collection, max_buffer: int = 10_000,
+                 filter_fn: Optional[Callable[[ChangeEvent], bool]] = None):
         if max_buffer < 1:
             raise DocstoreError("max_buffer must be positive")
         self.collection = collection
         self.max_buffer = max_buffer
         self.dropped = 0
+        #: Optional server-side filter: events for which ``filter_fn(event)``
+        #: is falsy are never buffered.  Chunk migrations use this to tail
+        #: only the deltas inside the migrating key range instead of paying
+        #: buffer space for the whole collection's write traffic.
+        self.filter_fn = filter_fn
         self._events: Deque[ChangeEvent] = deque()
         self._lock = threading.Lock()
         self._seq = 0
@@ -78,6 +84,8 @@ class ChangeStream:
                                         (payload.get("doc") or {}).get("_id")),
                 seq=self._seq,
             )
+            if self.filter_fn is not None and not self.filter_fn(event):
+                return
             self._events.append(event)
             if len(self._events) > self.max_buffer:
                 self._events.popleft()

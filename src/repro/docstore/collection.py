@@ -671,6 +671,18 @@ class Collection:
         return self._delete(query or {}, multi=True)
 
     def _delete(self, query: Mapping[str, Any], multi: bool) -> DeleteResult:
+        # IDHACK: a bare _id equality resolves through the _id map instead
+        # of scanning every document.
+        if len(query) == 1 and "_id" in query and not isinstance(
+                query["_id"], (Mapping, list)):
+            t0 = time.perf_counter()
+            deleted = 0
+            with self._lock.write():
+                if self._id_key(query["_id"]) in self._id_to_pos:
+                    self._delete_by_id(query["_id"])
+                    deleted = 1
+            self._observe("delete", "delete", query, t0, nreturned=deleted)
+            return DeleteResult(deleted)
         matcher = compile_query(query)
         deleted = 0
         t0 = time.perf_counter()

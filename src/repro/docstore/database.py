@@ -385,6 +385,7 @@ class DocumentStore:
         self._lock = threading.RLock()
         self._ops = OperationRegistry()
         self._ttl_reaper: Optional[Any] = None
+        self._cluster: Optional[Any] = None
         self.persistence_dir = persistence_dir
         self._persistence = None
         if persistence_dir is not None:
@@ -470,7 +471,21 @@ class DocumentStore:
             out["journal"] = self._persistence.journal_stats()
         if self._ttl_reaper is not None:
             out["ttl"] = self._ttl_reaper.stats()
+        if self._cluster is not None:
+            out["sharding"] = self._cluster.sharding_stats()
         return out
+
+    def attach_cluster(self, cluster: Any) -> Any:
+        """Bind a :class:`~repro.docstore.cluster.ShardedCluster` to this
+        store so ``server_status()["sharding"]`` (and therefore mongostat,
+        the health monitor, and the telemetry sampler) reports its
+        chunk-distribution and migration/election counters."""
+        self._cluster = cluster
+        return cluster
+
+    @property
+    def cluster(self) -> Optional[Any]:
+        return self._cluster
 
     @property
     def last_recovery(self) -> Optional[dict]:

@@ -51,6 +51,7 @@ __all__ = [
     "QueryPlanner",
     "canonical_shape",
     "iter_plan",
+    "shard_key_predicate",
 ]
 
 #: A plan trial ends after this many results (MongoDB's numResults limit).
@@ -103,6 +104,24 @@ def canonical_shape(
         for f, v in (projection or {}).items()
     )) if projection else ()
     return (query_part, sort_part, proj_part)
+
+
+def shard_key_predicate(query: Mapping[str, Any], shard_key: str):
+    """The index-usable constraint ``query`` places on the shard key.
+
+    This is the planner's candidate-enumeration machinery reused for shard
+    *targeting*: the same per-field predicate decomposition that decides
+    whether an index prefix can serve a query decides whether the chunk map
+    can prune shards.  Returns the shard key's
+    :class:`~repro.docstore.matching.FieldPredicate` when its ``kind`` is
+    usable for routing (``eq``, ``in``, or ``range``), else ``None`` — the
+    router scatter-gathers exactly when the planner would refuse the same
+    predicate as an index prefix.
+    """
+    predicate = index_predicates(query).get(shard_key)
+    if predicate is None or predicate.kind not in ("eq", "in", "range"):
+        return None
+    return predicate
 
 
 class ScanSpec:

@@ -60,10 +60,10 @@ def _retrace(line: bytes) -> tuple:
 class _ProxyHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         proxy: "DatastoreProxy" = self.server.proxy  # type: ignore[attr-defined]
-        upstream = socket.create_connection(
-            (proxy.upstream_host, proxy.upstream_port), timeout=30.0
-        )
-        upstream_file = upstream.makefile("rb")
+        try:
+            upstream, upstream_file = proxy._connect()
+        except OSError:
+            return
         try:
             while True:
                 line = self.rfile.readline()
@@ -76,12 +76,12 @@ class _ProxyHandler(socketserver.StreamRequestHandler):
                 if ctx is not None:
                     with remote_span("proxy.forward", ctx,
                                      upstream=proxy.upstream_port):
-                        line = resend(trace_context())
-                        upstream.sendall(line)
-                        response = upstream_file.readline()
+                        wire = resend(trace_context())
+                        upstream, upstream_file, response = proxy._roundtrip(
+                            upstream, upstream_file, wire)
                 else:
-                    upstream.sendall(line)
-                    response = upstream_file.readline()
+                    upstream, upstream_file, response = proxy._roundtrip(
+                        upstream, upstream_file, line)
                 if not response:
                     break
                 proxy._count(len(line), len(response),
@@ -91,8 +91,13 @@ class _ProxyHandler(socketserver.StreamRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass
         finally:
-            upstream_file.close()
-            upstream.close()
+            if upstream_file is not None:
+                upstream_file.close()
+            if upstream is not None:
+                try:
+                    upstream.close()
+                except OSError:
+                    pass
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -110,6 +115,13 @@ class DatastoreProxy:
     forward_latency_s:
         Artificial one-way forwarding delay, modelling the extra network hop
         between the compute-node network and the database host.
+    fallbacks:
+        Optional further ``(host, port)`` upstreams.  When the active
+        upstream refuses connections or drops mid-exchange, the proxy
+        rotates to the next one and re-sends the in-flight request once —
+        the re-routing half of the cluster failover story (the surviving
+        server answers ``NotPrimary``/``StaleEpoch`` and the *client*
+        retry logic does the rest).
     """
 
     def __init__(
@@ -119,9 +131,14 @@ class DatastoreProxy:
         host: str = "127.0.0.1",
         port: int = 0,
         forward_latency_s: float = 0.0,
+        fallbacks: Optional[List[tuple]] = None,
     ):
         self.upstream_host = upstream_host
         self.upstream_port = upstream_port
+        self.upstreams: List[tuple] = [(upstream_host, upstream_port)]
+        self.upstreams.extend(tuple(f) for f in (fallbacks or []))
+        self._active = 0
+        self.failovers = 0
         self.forward_latency_s = forward_latency_s
         self._tcp = _ThreadingTCPServer((host, port), _ProxyHandler)
         self._tcp.proxy = self  # type: ignore[attr-defined]
@@ -133,6 +150,71 @@ class DatastoreProxy:
         # (wall ts, forward millis) per relayed request, injected latency
         # included — the wire-level SLI the SLO engine can window over.
         self._latency_log: Deque[tuple] = deque(maxlen=4096)
+
+    # -- upstream failover -------------------------------------------------
+
+    def _connect(self) -> tuple:
+        """Open ``(socket, reader)`` to the first reachable upstream.
+
+        Starts at the active upstream and rotates through the fallbacks;
+        a rotation that lands somewhere new counts as a failover.
+        """
+        with self._lock:
+            start = self._active
+        last_exc: Optional[OSError] = None
+        for offset in range(len(self.upstreams)):
+            idx = (start + offset) % len(self.upstreams)
+            host, port = self.upstreams[idx]
+            try:
+                sock = socket.create_connection((host, port), timeout=30.0)
+            except OSError as exc:
+                last_exc = exc
+                continue
+            with self._lock:
+                if idx != self._active:
+                    self._active = idx
+                    self.failovers += 1
+                    get_registry().counter(
+                        "repro_proxy_failovers_total",
+                        "proxy upstream failovers",
+                    ).inc(1)
+            return sock, sock.makefile("rb")
+        raise last_exc if last_exc is not None else OSError(
+            "proxy has no upstreams")
+
+    def _roundtrip(self, sock: Any, rfile: Any, wire: bytes) -> tuple:
+        """Send one frame, reading one response; fail over once if needed.
+
+        Returns ``(sock, rfile, response)`` — possibly a *new* connection
+        to a fallback upstream when the active one died mid-exchange.  An
+        empty response means every upstream is gone.
+        """
+        for attempt in range(2):
+            try:
+                sock.sendall(wire)
+                response = rfile.readline()
+            except OSError:
+                response = b""
+            if response:
+                return sock, rfile, response
+            try:
+                rfile.close()
+                sock.close()
+            except OSError:
+                pass
+            if attempt == 0:
+                with self._lock:
+                    self._active = (self._active + 1) % len(self.upstreams)
+                    self.failovers += 1
+                    get_registry().counter(
+                        "repro_proxy_failovers_total",
+                        "proxy upstream failovers",
+                    ).inc(1)
+                try:
+                    sock, rfile = self._connect()
+                except OSError:
+                    return None, None, b""
+        return sock, rfile, b""
 
     def _count(self, up: int, down: int,
                elapsed_ms: Optional[float] = None) -> None:
@@ -194,4 +276,7 @@ class DatastoreProxy:
                 "requests_forwarded": self.requests_forwarded,
                 "bytes_up": self.bytes_up,
                 "bytes_down": self.bytes_down,
+                "upstreams": list(self.upstreams),
+                "active_upstream": self._active,
+                "failovers": self.failovers,
             }

@@ -123,6 +123,11 @@ class ReplicaSet:
         self._repl_thread: Optional[threading.Thread] = None
         self._stop_repl = threading.Event()
         self._rr = 0
+        # Election bookkeeping, matching the cluster replica sets
+        # (repro.docstore.cluster.replica): every step_down is a term bump
+        # with an auditable per-node ballot.
+        self.term = 0
+        self.elections: List[dict] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -227,14 +232,38 @@ class ReplicaSet:
     # -- failover -----------------------------------------------------------------
 
     def step_down(self) -> ReplicaNode:
-        """Demote the primary and elect the most up-to-date secondary."""
+        """Demote the primary and elect the most up-to-date secondary.
+
+        The handover is recorded as a term bump with a per-node ballot:
+        each member votes for the candidate iff the candidate's optime is
+        at least its own (the same up-to-dateness rule the cluster-grade
+        :class:`~repro.docstore.cluster.replica.ShardReplicaSet` enforces),
+        and the promotion requires a majority.
+        """
         secondaries = self.secondaries
         if not secondaries:
             raise ReplicationError("cannot step down: no secondaries")
         old_primary = self.primary_node
         new_primary = max(secondaries, key=lambda n: n.applied_optime)
-        # Bring the winner fully up to date before promotion.
+        # Bring the winner fully up to date before asking for votes.
         self.replicate(new_primary)
+        self.term += 1
+        votes = {
+            n.name: n.applied_optime <= new_primary.applied_optime
+            for n in self._nodes
+        }
+        ballot = {
+            "term": self.term,
+            "candidate": new_primary.name,
+            "votes": votes,
+            "granted": sum(votes.values()),
+        }
+        self.elections.append(ballot)
+        if ballot["granted"] < len(self._nodes) // 2 + 1:
+            raise ReplicationError(
+                f"election term {self.term}: candidate {new_primary.name} "
+                f"got {ballot['granted']}/{len(self._nodes)} votes"
+            )
         old_primary.is_primary = False
         new_primary.is_primary = True
         self._watch_primary()
@@ -243,6 +272,8 @@ class ReplicaSet:
     def status(self) -> dict:
         return {
             "set": self.name,
+            "term": self.term,
+            "elections": len(self.elections),
             "members": [
                 {
                     "name": n.name,

@@ -30,10 +30,14 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Mapping, Optional
 
 from ..errors import (
+    ClusterError,
     ConnectionLost,
     DeadlineExceeded,
     DocstoreError,
+    NotPrimary,
     OperationKilled,
+    ShardingError,
+    StaleEpoch,
     WireProtocolError,
 )
 from ..obs import export_traces, get_registry, remote_span, span, trace_context
@@ -120,8 +124,13 @@ class DatastoreServer:
     """Serves a :class:`DocumentStore` over TCP (one JSON doc per line)."""
 
     def __init__(self, store: Optional[DocumentStore] = None, host: str = "127.0.0.1", port: int = 0,
-                 access_log: Optional[Any] = None):
+                 access_log: Optional[Any] = None, cluster: Optional[Any] = None):
         self.store = store or DocumentStore()
+        # Optional sharded-cluster facade behind the cluster wire ops
+        # (``add_shard``/``move_chunk``/``shard_status``/``step_down``).
+        # Falls back to a cluster attached to the store itself.
+        self.cluster = cluster if cluster is not None else getattr(
+            self.store, "cluster", None)
         self._tcp = _ThreadingTCPServer((host, port), _Handler)
         self._tcp.datastore_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -272,6 +281,8 @@ class DatastoreServer:
         if op == "lock_report":
             return {"ok": True, "result": self.store.lock_report(
                 limit=request.get("limit", 10))}
+        if op in ("shard_status", "add_shard", "move_chunk", "step_down"):
+            return {"ok": True, "result": self._cluster_op(op, request)}
         db_name = request.get("db")
         if not isinstance(db_name, str):
             raise WireProtocolError("request missing 'db'")
@@ -290,6 +301,33 @@ class DatastoreServer:
         if handler is None:
             raise WireProtocolError(f"unknown wire op {op!r}")
         return {"ok": True, "result": handler(coll, request)}
+
+    def _cluster_op(self, op: str, request: Mapping[str, Any]) -> Any:
+        """The sharded-cluster wire ops (mongos admin-command analogs).
+
+        * ``shard_status`` — the full cluster topology/counters document;
+        * ``add_shard``    — register a shard (idempotent);
+        * ``move_chunk``   — run a chunk migration, returning docs moved;
+        * ``step_down``    — demote a shard's primary, returning the new
+          primary's member name.
+        """
+        cluster = self.cluster
+        if cluster is None:
+            raise ClusterError("server has no sharded cluster attached")
+        if op == "shard_status":
+            return cluster.status()
+        if op == "add_shard":
+            shard = cluster.add_shard(str(request["shard"]))
+            return {"shard": shard.shard_id,
+                    "shards": sorted(cluster.shards)}
+        if op == "move_chunk":
+            moved = cluster.move_chunk(str(request["ns"]),
+                                       str(request["chunk"]),
+                                       str(request["to"]))
+            return {"chunk": request["chunk"], "to": request["to"],
+                    "docs": moved}
+        new_primary = cluster.step_down(str(request["shard"]))
+        return {"shard": request["shard"], "primary": new_primary}
 
     @staticmethod
     def _profile_op(request: Mapping[str, Any]) -> Any:
@@ -647,7 +685,8 @@ _IDEMPOTENT_OPS = frozenset({
     "ping", "find", "find_one", "count", "distinct", "aggregate",
     "list_databases", "list_collections", "server_status", "db_status",
     "top", "stats", "index_stats", "explain", "plan_cache", "current_op",
-    "export_traces", "lock_report", "profile", "flight",
+    "export_traces", "lock_report", "profile", "flight", "shard_status",
+    "add_shard",
 })
 
 #: Server error types re-raised as their specific client-side exception
@@ -655,6 +694,10 @@ _IDEMPOTENT_OPS = frozenset({
 _REMOTE_ERROR_TYPES = {
     "DeadlineExceeded": DeadlineExceeded,
     "OperationKilled": OperationKilled,
+    "ClusterError": ClusterError,
+    "NotPrimary": NotPrimary,
+    "StaleEpoch": StaleEpoch,
+    "ShardingError": ShardingError,
 }
 
 
@@ -886,6 +929,23 @@ class RemoteClient:
     def lock_report(self, limit: int = 10) -> dict:
         """Store-wide lock totals + top contended (waiter, holder) sites."""
         return self.request({"op": "lock_report", "limit": limit})
+
+    def shard_status(self) -> dict:
+        """The remote cluster's topology/counters (``sh.status()`` analog)."""
+        return self.request({"op": "shard_status"})
+
+    def add_shard(self, shard_id: str) -> dict:
+        """Register a shard on the remote cluster (idempotent)."""
+        return self.request({"op": "add_shard", "shard": shard_id})
+
+    def move_chunk(self, ns: str, chunk_id: str, to: str) -> dict:
+        """Migrate one chunk on the remote cluster; returns docs moved."""
+        return self.request({"op": "move_chunk", "ns": ns,
+                             "chunk": chunk_id, "to": to})
+
+    def step_down(self, shard_id: str) -> dict:
+        """Demote a remote shard's primary; returns the new primary."""
+        return self.request({"op": "step_down", "shard": shard_id})
 
     def flight(self, action: str = "status", limit: int = 0,
                threshold: Optional[float] = None) -> Any:

@@ -15,7 +15,19 @@ a real deployment, would live on its own server).
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+import heapq
+import itertools
+import json
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from ..errors import ShardingError
 from ..obs import active_span
@@ -28,18 +40,45 @@ __all__ = ["ShardedCollection", "hash_shard_key"]
 
 def hash_shard_key(value: Any) -> int:
     """Stable hash of a shard-key value (md5 of its canonical JSON)."""
-    payload = document_to_json(value, sort_keys=True, default=str)
+    if type(value) is str:
+        # json.dumps on a bare string is byte-identical to the canonical
+        # encoding below; skipping the custom encoder halves routing cost
+        # for the dominant string-key case.
+        payload = json.dumps(value)
+    else:
+        payload = document_to_json(value, sort_keys=True, default=str)
     return int.from_bytes(hashlib.md5(payload.encode()).digest()[:8], "big")
 
 
-def _materialize(result: Any) -> List[dict]:
-    """Normalize a shard ``find`` result to a list.
+class _Descending:
+    """Inverts ``ordering_key`` comparison for descending sort components."""
 
-    Local :class:`Collection` shards return a cursor;
-    :class:`~repro.docstore.server.RemoteCollection` shards (each behind
-    its own server, the paper's scale-out topology) return plain lists.
-    """
-    return result.to_list() if hasattr(result, "to_list") else list(result)
+    __slots__ = ("key",)
+
+    def __init__(self, value: Any):
+        self.key = ordering_key(value)
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.key == other.key
+
+
+def _merge_key(sort: Sequence[tuple]):
+    """Comparison key over a sort spec, usable with ``heapq.merge``."""
+
+    def key(doc: Mapping[str, Any]) -> tuple:
+        parts = []
+        for field, direction in sort:
+            value = get_path(doc, field)
+            if value is MISSING:
+                value = None
+            parts.append(ordering_key(value) if direction >= 0
+                         else _Descending(value))
+        return tuple(parts)
+
+    return key
 
 
 class ShardedCollection:
@@ -149,12 +188,49 @@ class ShardedCollection:
                        else r.inserted_id)
         return InsertResult(ids)
 
+    def _shard_stream(
+        self,
+        index: int,
+        query: Mapping[str, Any],
+        projection: Optional[Mapping[str, Any]],
+        sort: Optional[Sequence[tuple]],
+        limit: int,
+    ) -> Iterator[dict]:
+        """Lazy per-shard result stream with sort+limit pushed down.
+
+        Local :class:`Collection` shards yield through their cursor, so
+        nothing materializes until the merge consumes it; remote shards
+        (each behind its own server) apply sort+limit server-side and
+        ship back at most ``limit`` documents instead of the full shard.
+        """
+        shard = self.shards[index]
+        if isinstance(shard, Collection):
+            cursor = shard.find(query, projection)
+            if sort:
+                cursor = cursor.sort(list(sort))
+            if limit:
+                cursor = cursor.limit(limit)
+            return iter(cursor)
+        result = shard.find(query, projection,
+                            sort=list(sort) if sort else None,
+                            limit=limit or 0)
+        return iter(result.to_list() if hasattr(result, "to_list")
+                    else result)
+
     def find(
         self,
         query: Optional[Mapping[str, Any]] = None,
         projection: Optional[Mapping[str, Any]] = None,
+        sort: Optional[Sequence[tuple]] = None,
+        limit: int = 0,
     ) -> List[dict]:
-        """Scatter-gather find; returns a merged, materialized list.
+        """Routed find with per-shard sort+limit pushdown and k-way merge.
+
+        Each targeted shard is asked for *its* top-``limit`` documents in
+        sort order; the router then streams a ``heapq.merge`` over the
+        shard cursors and stops after the global limit — it never
+        materializes a shard's full result set the way the old
+        gather-then-concatenate path did.
 
         Inside an active trace the fan-out is recorded as a
         ``sharded.find`` span with one ``shard.find`` child per shard
@@ -164,13 +240,21 @@ class ShardedCollection:
         query = query or {}
         targets = self._route_query(query)
         self.last_targets = targets
-        out: List[dict] = []
         with active_span("sharded.find", coll=self.name,
                          targets=len(targets)) as fan:
+            streams = []
             for i in targets:
                 with active_span("shard.find", shard=i):
-                    res = self.shards[i].find(query, projection)
-                    out.extend(_materialize(res))
+                    streams.append(self._shard_stream(
+                        i, query, projection, sort, limit))
+            if sort:
+                merged: Iterator[dict] = heapq.merge(
+                    *streams, key=_merge_key(sort))
+            else:
+                merged = itertools.chain.from_iterable(streams)
+            if limit:
+                merged = itertools.islice(merged, limit)
+            out = list(merged)
             if fan is not None:
                 fan.set_attribute("nreturned", len(out))
         return out
@@ -196,9 +280,38 @@ class ShardedCollection:
                 for i in self._route_query(query)
             )
 
+    def _reject_shard_key_mutation(self, update: Mapping[str, Any]) -> None:
+        """Refuse updates that would change a document's shard key.
+
+        Once placed, a document's routing value is immutable (as in
+        mongos): mutating it in place would leave the document on a shard
+        that no longer owns it.  Rejected paths are the key itself, any
+        subpath of it, and any prefix of it (rewriting the enclosing
+        subdocument also rewrites the key).
+        """
+        key = self.shard_key
+        for op, spec in update.items():
+            if not str(op).startswith("$"):
+                # Replacement-style update: the whole document is
+                # rewritten, shard key included.
+                raise ShardingError(
+                    f"replacement update would modify the immutable "
+                    f"shard key {key!r}"
+                )
+            if not isinstance(spec, Mapping):
+                continue
+            for field in spec:
+                if field == key or field.startswith(key + ".") or (
+                        key.startswith(field + ".")):
+                    raise ShardingError(
+                        f"update would modify the immutable shard key "
+                        f"{key!r} (operator {op!r} on {field!r})"
+                    )
+
     def update_many(
         self, query: Mapping[str, Any], update: Mapping[str, Any]
     ) -> UpdateResult:
+        self._reject_shard_key_mutation(update)
         matched = modified = 0
         for i in self._route_query(query):
             r = self.shards[i].update_many(query, update)

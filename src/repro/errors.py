@@ -61,6 +61,32 @@ class ReplicationError(DocstoreError):
     """Replica-set configuration or failover error."""
 
 
+class ClusterError(DocstoreError):
+    """Base class for sharded-cluster (config/balancer/election) errors."""
+
+
+class NotPrimary(ClusterError):
+    """The targeted replica-set member is not (or no longer) the primary.
+
+    Routers catch this, wait for (or trigger) an election, re-resolve the
+    primary, and retry — the client never sees a failover if a new primary
+    emerges within the retry budget.
+    """
+
+
+class StaleEpoch(ClusterError):
+    """A routed operation carried an outdated chunk-map epoch.
+
+    Raised by a shard that no longer owns the targeted chunk (it split or
+    migrated away).  Routers refresh their cached chunk map from the config
+    metadata and retry against the new owner.
+    """
+
+
+class ElectionFailed(ClusterError):
+    """A primary election could not reach a majority of voting members."""
+
+
 class MatgenError(ReproError):
     """Base class for materials object-model errors."""
 

@@ -13,6 +13,7 @@ from .batch import BatchJob, BatchQueue, Reservation
 from .taskfarm import FarmTask, TaskFarm
 from .network import NetworkPolicy
 from .numa import NUMAModel
+from .deploy import ClusterDeployment, deploy_cluster_scenario
 
 __all__ = [
     "SimClock",
@@ -25,4 +26,6 @@ __all__ = [
     "TaskFarm",
     "NetworkPolicy",
     "NUMAModel",
+    "ClusterDeployment",
+    "deploy_cluster_scenario",
 ]

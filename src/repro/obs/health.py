@@ -75,6 +75,7 @@ class ServerStatusSampler:
             "collections": status.get("collections"),
             "active_ops": self._active_ops(),
             "process": status.get("process"),
+            "sharding": status.get("sharding"),
         }
         self._prev_counters = counters
         self._samples.append(sample)
@@ -172,14 +173,20 @@ def format_stat_table(samples: List[dict], header: bool = True) -> str:
     store with :mod:`repro.obs.procstats` wired in), RSS / fd / thread
     columns are appended after the timestamp — trailing, so the classic
     opcounter layout is stable for tooling that slices fixed columns.
+    Samples from a store with an attached sharded cluster additionally get
+    a ``shards`` column: per-shard chunk counts joined by ``|``, so a
+    drifting distribution is visible straight from mongostat.
     """
     has_process = any(s.get("process") for s in samples)
+    has_sharding = any(s.get("sharding") for s in samples)
     lines = []
     if header:
         cols = "".join(f"{c:>9s}" for c in STAT_COLUMNS)
         head = f"{cols}{'active':>9s}{'objects':>9s}  time"
         if has_process:
             head += f"{'rss_mb':>9s}{'fds':>7s}{'thr':>5s}"
+        if has_sharding:
+            head += f"{'shards':>14s}"
         lines.append(head)
     for s in samples:
         cols = "".join(f"{s['deltas'].get(c, 0):>9d}" for c in STAT_COLUMNS)
@@ -202,6 +209,11 @@ def format_stat_table(samples: List[dict], header: bool = True) -> str:
                 f"{('-' if fds is None else str(fds)):>7s}"
                 f"{('-' if thr is None else str(thr)):>5s}"
             )
+        if has_sharding:
+            sharding = s.get("sharding") or {}
+            chunks = sharding.get("chunksPerShard") or {}
+            cell = "|".join(str(chunks[k]) for k in sorted(chunks)) or "-"
+            row += f"{cell:>14s}"
         lines.append(row)
     return "\n".join(lines)
 

@@ -177,3 +177,94 @@ class TestReplicaSet:
             time.sleep(0.01)
         rs.stop_background_replication()
         assert rs.secondaries[0].database["m"].count_documents() == 10
+
+
+class TestSortLimitPushdown:
+    def test_sorted_limited_find_merges_lazily(self):
+        sc = make_sharded(n=4)
+        for i in range(120):
+            sc.insert_one({"mps_id": f"m{i}", "n": i})
+        top = sc.find({}, sort=[("n", -1)], limit=5)
+        assert [d["n"] for d in top] == [119, 118, 117, 116, 115]
+        bottom = sc.find({}, sort=[("n", 1)], limit=3)
+        assert [d["n"] for d in bottom] == [0, 1, 2]
+
+    def test_global_sort_without_limit(self):
+        sc = make_sharded(n=3)
+        for i in range(50):
+            sc.insert_one({"mps_id": f"m{i}", "n": 49 - i})
+        out = sc.find({}, sort=[("n", 1)])
+        assert [d["n"] for d in out] == list(range(50))
+
+    def test_limit_without_sort_stops_early(self):
+        sc = make_sharded(n=3)
+        for i in range(60):
+            sc.insert_one({"mps_id": f"m{i}"})
+        assert len(sc.find({}, limit=7)) == 7
+
+    def test_multi_key_sort_with_descending_component(self):
+        sc = make_sharded(n=3)
+        for i in range(30):
+            sc.insert_one({"mps_id": f"m{i}", "g": i % 3, "n": i})
+        out = sc.find({}, sort=[("g", 1), ("n", -1)])
+        keys = [(d["g"], -d["n"]) for d in out]
+        assert keys == sorted(keys)
+
+    def test_unsorted_find_unchanged(self):
+        sc = make_sharded(n=3)
+        for i in range(20):
+            sc.insert_one({"mps_id": f"m{i}"})
+        assert len(sc.find({})) == 20
+
+
+class TestImmutableShardKey:
+    def test_set_on_shard_key_rejected(self):
+        sc = make_sharded()
+        sc.insert_one({"mps_id": "m1", "state": "old"})
+        for bad in ({"$set": {"mps_id": "m2"}},
+                    {"$inc": {"mps_id": 1}},
+                    {"$set": {"mps_id.sub": 1}},
+                    {"$unset": {"mps_id": ""}}):
+            with pytest.raises(ShardingError):
+                sc.update_many({"state": "old"}, bad)
+
+    def test_replacement_update_rejected(self):
+        sc = make_sharded()
+        sc.insert_one({"mps_id": "m1"})
+        with pytest.raises(ShardingError):
+            sc.update_many({"mps_id": "m1"}, {"mps_id": "m2", "x": 1})
+
+    def test_prefix_path_rejected_for_nested_key(self):
+        shards = [Collection(f"s{i}") for i in range(2)]
+        sc = ShardedCollection("m", "meta.id", shards)
+        sc.insert_one({"meta": {"id": "a"}})
+        with pytest.raises(ShardingError):
+            sc.update_many({}, {"$set": {"meta": {"id": "b"}}})
+
+    def test_non_key_updates_still_apply(self):
+        sc = make_sharded()
+        sc.insert_one({"mps_id": "m1", "state": "old"})
+        r = sc.update_many({"mps_id": "m1"}, {"$set": {"state": "new"}})
+        assert r.modified_count == 1
+        assert sc.find_one({"mps_id": "m1"})["state"] == "new"
+
+
+class TestElectionTerms:
+    def test_step_down_bumps_term_and_records_ballot(self):
+        rs = ReplicaSet("rs0", n_secondaries=2)
+        rs.primary["m"].insert_many([{} for _ in range(5)])
+        rs.replicate()
+        winner = rs.step_down()
+        assert rs.term == 1
+        assert len(rs.elections) == 1
+        ballot = rs.elections[0]
+        assert ballot["candidate"] == winner.name
+        assert ballot["granted"] == 3  # unanimous: winner is up to date
+        assert rs.status()["term"] == 1
+
+    def test_successive_elections_accumulate_terms(self):
+        rs = ReplicaSet("rs0", n_secondaries=2)
+        rs.step_down()
+        rs.step_down()
+        assert rs.term == 2
+        assert [b["term"] for b in rs.elections] == [1, 2]
